@@ -1,0 +1,47 @@
+// Command liquid-bench runs the experiment suite that reproduces the
+// paper's claims (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded results). Each experiment prints a table;
+// absolute numbers are machine-dependent, the shapes are the reproduction
+// target.
+//
+// Usage:
+//
+//	liquid-bench            # run everything at full scale
+//	liquid-bench -quick     # CI-sized runs
+//	liquid-bench -run E7    # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sizes (seconds per experiment)")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	scale := bench.Scale{Quick: *quick}
+	start := time.Now()
+	var tables []bench.Table
+	if *run == "" {
+		tables = bench.All(scale)
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			f, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				log.Fatalf("liquid-bench: unknown experiment %q (E1..E13)", id)
+			}
+			tables = append(tables, f(scale))
+		}
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,60 @@
+// Command liquid-broker runs a Liquid messaging-layer cluster (brokers +
+// coordination service) in one process and serves the binary protocol over
+// TCP until interrupted. Clients (liquid-producer, liquid-consumer,
+// liquid-admin, or any program using the library) connect to the printed
+// bootstrap addresses.
+//
+// Usage:
+//
+//	liquid-broker -brokers 3 -data /var/lib/liquid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	liquid "repro"
+)
+
+func main() {
+	brokers := flag.Int("brokers", 1, "number of brokers in the cluster")
+	dataDir := flag.String("data", "", "data directory (default: temp, removed on exit)")
+	retention := flag.Duration("retention-interval", 30*time.Second, "how often log retention runs")
+	compaction := flag.Duration("compaction-interval", time.Minute, "how often compacted topics are cleaned")
+	verbose := flag.Bool("v", false, "verbose logging")
+	flag.Parse()
+
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	stack, err := liquid.Start(liquid.Config{
+		Brokers:            *brokers,
+		DataDir:            *dataDir,
+		RetentionInterval:  *retention,
+		CompactionInterval: *compaction,
+		Logger:             logger,
+	})
+	if err != nil {
+		log.Fatalf("liquid-broker: %v", err)
+	}
+	defer stack.Shutdown()
+
+	fmt.Printf("liquid cluster up: %d broker(s)\n", *brokers)
+	fmt.Printf("bootstrap: %s\n", strings.Join(stack.Addrs(), ","))
+	fmt.Printf("data: %s\n", stack.DataDir())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+}

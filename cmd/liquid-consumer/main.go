@@ -1,0 +1,92 @@
+// Command liquid-consumer is a console consumer: it subscribes to a topic
+// (optionally as part of a consumer group) and prints messages as
+// "partition@offset key value" lines until interrupted.
+//
+// Usage:
+//
+//	liquid-consumer -bootstrap host:port -topic events -from earliest
+//	liquid-consumer -bootstrap host:port -topic events -group dashboard
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	liquid "repro"
+)
+
+func main() {
+	bootstrap := flag.String("bootstrap", "127.0.0.1:9092", "comma-separated broker addresses")
+	topic := flag.String("topic", "", "topic to consume")
+	group := flag.String("group", "", "consumer group (empty = standalone, all partitions)")
+	from := flag.String("from", "latest", "start position: earliest | latest")
+	flag.Parse()
+	if *topic == "" {
+		log.Fatal("liquid-consumer: -topic is required")
+	}
+	cli, err := liquid.NewClient(liquid.ClientConfig{
+		Bootstrap: strings.Split(*bootstrap, ","),
+		ClientID:  "liquid-consumer",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	start := liquid.StartLatest
+	if *from == "earliest" {
+		start = liquid.StartEarliest
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	poll := func(time.Duration) ([]liquid.Message, error) { return nil, nil }
+	if *group == "" {
+		consumer := liquid.NewConsumer(cli, liquid.ConsumerConfig{})
+		defer consumer.Close()
+		n, err := cli.PartitionCount(*topic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for p := int32(0); p < n; p++ {
+			if err := consumer.Assign(*topic, p, start); err != nil {
+				log.Fatal(err)
+			}
+		}
+		poll = consumer.Poll
+	} else {
+		gc, err := liquid.NewGroupConsumer(cli, liquid.ConsumerConfig{}, liquid.GroupConfig{
+			Group:      *group,
+			Topics:     []string{*topic},
+			AutoCommit: true,
+			StartFrom:  start,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer gc.Close()
+		poll = gc.Poll
+	}
+
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		msgs, err := poll(500 * time.Millisecond)
+		if err != nil {
+			continue
+		}
+		for _, m := range msgs {
+			fmt.Printf("%d@%d\t%s\t%s\n", m.Partition, m.Offset, m.Key, m.Value)
+		}
+	}
+}

@@ -1,0 +1,648 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/isolation"
+	"repro/internal/mapreduce"
+	"repro/internal/processing"
+	"repro/internal/workload"
+)
+
+// passThroughTask forwards messages to the next stage's topic.
+type passThroughTask struct {
+	next string
+}
+
+func (p passThroughTask) Process(msg client.Message, _ *processing.TaskContext, out *processing.Collector) error {
+	// A token normalisation step, so each stage does real work.
+	v := strings.ToUpper(string(msg.Value))
+	return out.Send(p.next, msg.Key, []byte(v))
+}
+
+// E1PipelineLatency is the headline experiment (Fig. 1, §1–§2): the
+// end-to-end latency of a k-stage ETL pipeline on Liquid's nearline path
+// versus the same pipeline as chained MapReduce jobs over the DFS.
+func E1PipelineLatency(scale Scale) Table {
+	t := Table{
+		ID:      "E1",
+		Title:   "nearline vs MR/DFS pipeline latency",
+		Claim:   "Fig.1/§1: DFS-based stacks pay high per-stage latency; Liquid is low-latency by default",
+		Headers: []string{"stages", "liquid p50 ms", "liquid p99 ms", "mr/dfs ms", "speedup"},
+	}
+	stages := []int{1, 2, 3, 4}
+	if scale.Quick {
+		stages = []int{1, 2}
+	}
+	probes := scale.pick(10, 30)
+
+	s, err := newStack(1, nil)
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer s.Shutdown()
+
+	// The MR baseline runs over a DFS with production-like costs and a
+	// modest 250ms scheduler delay per phase (far kinder than the
+	// minutes-scale batch scheduling of real deployments).
+	fsDir, err := os.MkdirTemp("", "e1-dfs-")
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer os.RemoveAll(fsDir)
+	fs, err := dfs.Open(dfs.Config{Dir: fsDir, ChunkBytes: 1 << 20, Cost: dfs.ProductionModel()})
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer fs.Close()
+	engine := mapreduce.NewEngine(fs, mapreduce.EngineConfig{SchedulerDelay: 250 * time.Millisecond})
+
+	for _, k := range stages {
+		// ---- Liquid: k chained jobs over topics t0..tk.
+		topics := make([]string, k+1)
+		for i := range topics {
+			topics[i] = fmt.Sprintf("e1-s%d-t%d", k, i)
+			if err := s.CreateFeed(topics[i], 1, 1); err != nil {
+				t.Notes = append(t.Notes, "failed: "+err.Error())
+				return t
+			}
+		}
+		jobs := make([]*processing.Job, 0, k)
+		for i := 0; i < k; i++ {
+			job, err := s.RunJob(processing.JobConfig{
+				Name:   fmt.Sprintf("e1-%d-stage%d", k, i),
+				Inputs: []string{topics[i]},
+				Factory: func(next string) processing.TaskFactory {
+					return func() processing.StreamTask { return passThroughTask{next: next} }
+				}(topics[i+1]),
+				PollWait: 20 * time.Millisecond,
+			})
+			if err != nil {
+				t.Notes = append(t.Notes, "job failed: "+err.Error())
+				return t
+			}
+			jobs = append(jobs, job)
+		}
+		p := s.NewProducer(client.ProducerConfig{Linger: time.Millisecond})
+		cons := s.NewConsumer(client.ConsumerConfig{})
+		cons.Assign(topics[k], 0, client.StartLatest)
+		var lat durations
+		for i := 0; i < probes; i++ {
+			start := time.Now()
+			if _, err := p.SendSync(client.Message{Topic: topics[0], Value: []byte(fmt.Sprintf("probe-%d", i))}); err != nil {
+				continue
+			}
+			deadline := time.Now().Add(15 * time.Second)
+			got := false
+			for !got && time.Now().Before(deadline) {
+				msgs, err := cons.Poll(time.Second)
+				if err != nil {
+					continue
+				}
+				for _, m := range msgs {
+					if strings.HasPrefix(string(m.Value), "PROBE-") {
+						got = true
+					}
+				}
+			}
+			if got {
+				lat = append(lat, time.Since(start))
+			}
+		}
+		p.Close()
+		cons.Close()
+		for _, j := range jobs {
+			j.Stop()
+		}
+
+		// ---- MR/DFS: identity pipeline of k stages over the probe file.
+		inPrefix := fmt.Sprintf("/e1/%d/in/", k)
+		fs.WriteFile(inPrefix+"events", mapreduce.EncodeLines([]mapreduce.KV{
+			{Key: "probe", Value: "probe-data"},
+		}))
+		specs := make([]mapreduce.JobSpec, k)
+		for i := range specs {
+			specs[i] = mapreduce.JobSpec{
+				Name:        fmt.Sprintf("e1mr-%d-%d", k, i),
+				InputPrefix: inPrefix,
+				OutputDir:   fmt.Sprintf("/e1/%d/out%d", k, i),
+				NumReducers: 1,
+				Map: func(key, value string, emit func(k, v string)) error {
+					emit(key, strings.ToUpper(value))
+					return nil
+				},
+			}
+		}
+		mrStart := time.Now()
+		if _, err := engine.RunPipeline(mapreduce.Pipeline{Stages: specs}); err != nil {
+			t.Notes = append(t.Notes, "mr pipeline failed: "+err.Error())
+			return t
+		}
+		mrDur := time.Since(mrStart)
+
+		speedup := float64(mrDur) / float64(lat.p(0.5))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(k), ms(lat.p(0.5)), ms(lat.p(0.99)),
+			ms(mrDur), fmt.Sprintf("%.0fx", speedup),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"MR numbers are charitable: data is assumed to arrive exactly when the pipeline starts;",
+		"real batch deployments add scheduling wait (minutes to hours) on top",
+		"expected shape: Liquid flat in ms; MR grows linearly with stages; gap widens with depth")
+	return t
+}
+
+// statsTask counts records per key in local state — the periodic
+// statistics job of §4.2's motivating example.
+type statsTask struct{}
+
+func (statsTask) Process(msg client.Message, ctx *processing.TaskContext, _ *processing.Collector) error {
+	store := ctx.Store("stats")
+	n := 0
+	if v, ok, err := store.Get(msg.Key); err != nil {
+		return err
+	} else if ok {
+		n, _ = strconv.Atoi(string(v))
+	}
+	return store.Put(msg.Key, []byte(strconv.Itoa(n+1)))
+}
+
+// E5Incremental validates §4.2: with checkpoints in the offset manager, a
+// periodic statistics job processes only new data, so update cost tracks
+// the delta, not the total.
+func E5Incremental(scale Scale) Table {
+	t := Table{
+		ID:      "E5",
+		Title:   "incremental vs from-scratch processing",
+		Claim:   "§4.2: reading all data each round grows linearly; incremental reads only the delta",
+		Headers: []string{"round", "total records", "from-scratch processed", "incremental processed"},
+	}
+	s, err := newStack(1, nil)
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer s.Shutdown()
+	if err := s.CreateFeed("profiles", 1, 1); err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	base := scale.pick(2000, 20000)
+	delta := base / 20 // 5% of profiles change per period (§4.2)
+	rounds := 4
+
+	runJob := func(name string, fresh bool) (processed int64, err error) {
+		cfg := processing.JobConfig{
+			Name:               name,
+			Inputs:             []string{"profiles"},
+			Factory:            func() processing.StreamTask { return statsTask{} },
+			Stores:             []processing.StoreSpec{{Name: "stats", NoChangelog: fresh}},
+			CheckpointInterval: 100 * time.Millisecond,
+			PollWait:           20 * time.Millisecond,
+		}
+		if fresh {
+			// From-scratch: forget checkpoints by using a new group each
+			// round (name carries a nonce) and re-reading from earliest.
+			cfg.StartFrom = client.StartEarliest
+		}
+		job, err := s.RunJob(cfg)
+		if err != nil {
+			return 0, err
+		}
+		c := job.Metrics().Counter(name + ".processed")
+		// Drain until the counter stops moving.
+		last := int64(-1)
+		for i := 0; i < 400; i++ {
+			time.Sleep(25 * time.Millisecond)
+			cur := c.Value()
+			if cur == last && cur > 0 {
+				break
+			}
+			last = cur
+		}
+		job.Stop()
+		return c.Value(), nil
+	}
+
+	gen := workload.NewProfile(workload.ProfileConfig{Seed: 5}, time.Now().UnixMilli())
+	produce := func(n int) error {
+		p := s.NewProducer(client.ProducerConfig{})
+		defer p.Close()
+		for i := 0; i < n; i++ {
+			upd := gen.Next()
+			if err := p.Send(client.Message{Topic: "profiles", Key: []byte(upd.UserID), Value: upd.Encode()}); err != nil {
+				return err
+			}
+		}
+		return p.Flush()
+	}
+	if err := produce(base); err != nil {
+		t.Notes = append(t.Notes, "produce failed: "+err.Error())
+		return t
+	}
+	total := base
+	for round := 1; round <= rounds; round++ {
+		if round > 1 {
+			if err := produce(delta); err != nil {
+				t.Notes = append(t.Notes, "produce failed: "+err.Error())
+				return t
+			}
+			total += delta
+		}
+		scratch, err := runJob(fmt.Sprintf("scratch-r%d", round), true)
+		if err != nil {
+			t.Notes = append(t.Notes, "scratch job failed: "+err.Error())
+			return t
+		}
+		incr, err := runJob("incremental", false)
+		if err != nil {
+			t.Notes = append(t.Notes, "incremental job failed: "+err.Error())
+			return t
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(round), fmt.Sprint(total), fmt.Sprint(scratch), fmt.Sprint(incr),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("base %d records, +%d (5%%) per round", base, delta),
+		"expected shape: from-scratch column grows with the total; incremental stays at the delta")
+	return t
+}
+
+// hogTask burns CPU per message — the runaway ETL job of §4.4.
+type hogTask struct {
+	burn time.Duration
+}
+
+func (h hogTask) Process(client.Message, *processing.TaskContext, *processing.Collector) error {
+	start := time.Now()
+	x := 0
+	for time.Since(start) < h.burn {
+		x++
+	}
+	_ = x
+	return nil
+}
+
+// echoTask forwards input to an output topic (the latency-sensitive
+// victim).
+type echoTask struct{ out string }
+
+func (e echoTask) Process(msg client.Message, _ *processing.TaskContext, out *processing.Collector) error {
+	return out.Send(e.out, msg.Key, msg.Value)
+}
+
+// E8Isolation validates §4.4 (ETL-as-a-service): without isolation a
+// resource-hungry job degrades a co-located latency-sensitive job; with
+// the per-job governor it cannot.
+func E8Isolation(scale Scale) Table {
+	t := Table{
+		ID:      "E8",
+		Title:   "resource isolation between co-located jobs",
+		Claim:   "§4.4: per-job resource control keeps a runaway job from degrading neighbours",
+		Headers: []string{"configuration", "victim p50 ms", "victim p99 ms"},
+	}
+	probes := scale.pick(15, 40)
+
+	run := func(label string, governed bool) []string {
+		s, err := newStack(1, nil)
+		if err != nil {
+			return []string{label, "error", err.Error()}
+		}
+		defer s.Shutdown()
+		for _, feed := range []string{"victim-in", "victim-out", "hog-in"} {
+			if err := s.CreateFeed(feed, 1, 1); err != nil {
+				return []string{label, "error", err.Error()}
+			}
+		}
+		var gov *isolation.Governor
+		if governed {
+			gov = isolation.New(isolation.Config{CPUShare: 0.10, Burst: 5 * time.Millisecond})
+		}
+		if _, err := s.RunJob(processing.JobConfig{
+			Name:     "hog",
+			Inputs:   []string{"hog-in"},
+			Factory:  func() processing.StreamTask { return hogTask{burn: 5 * time.Millisecond} },
+			Governor: gov,
+			PollWait: 10 * time.Millisecond,
+		}); err != nil {
+			return []string{label, "error", err.Error()}
+		}
+		if _, err := s.RunJob(processing.JobConfig{
+			Name:     "victim",
+			Inputs:   []string{"victim-in"},
+			Factory:  func() processing.StreamTask { return echoTask{out: "victim-out"} },
+			PollWait: 10 * time.Millisecond,
+		}); err != nil {
+			return []string{label, "error", err.Error()}
+		}
+
+		// Saturate the hog's input.
+		hogP := s.NewProducer(client.ProducerConfig{})
+		defer hogP.Close()
+		for i := 0; i < 2000; i++ {
+			hogP.Send(client.Message{Topic: "hog-in", Value: []byte("work")})
+		}
+		hogP.Flush()
+		time.Sleep(100 * time.Millisecond) // let the hog get going
+
+		p := s.NewProducer(client.ProducerConfig{Linger: time.Millisecond})
+		defer p.Close()
+		cons := s.NewConsumer(client.ConsumerConfig{})
+		defer cons.Close()
+		cons.Assign("victim-out", 0, client.StartLatest)
+		var lat durations
+		for i := 0; i < probes; i++ {
+			start := time.Now()
+			if _, err := p.SendSync(client.Message{Topic: "victim-in", Value: []byte(fmt.Sprintf("p%d", i))}); err != nil {
+				continue
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				msgs, err := cons.Poll(500 * time.Millisecond)
+				if err != nil {
+					continue
+				}
+				if len(msgs) > 0 {
+					lat = append(lat, time.Since(start))
+					break
+				}
+			}
+		}
+		return []string{label, ms(lat.p(0.5)), ms(lat.p(0.99))}
+	}
+	t.Rows = append(t.Rows, run("no isolation (hog unbounded)", false))
+	t.Rows = append(t.Rows, run("governed (hog capped at 10% CPU)", true))
+	t.Notes = append(t.Notes,
+		"hog burns 5ms CPU per message on a saturated input",
+		"expected shape: victim latency degraded without isolation, restored with the governor")
+	return t
+}
+
+// E12UseCases runs the site-speed use case end to end (§5.1): time from a
+// degradation beginning to the anomaly being visible in the derived feed,
+// nearline vs the MR/DFS batch path.
+func E12UseCases(scale Scale) Table {
+	t := Table{
+		ID:      "E12",
+		Title:   "use case: site-speed anomaly detection latency",
+		Claim:   "§5.1: anomalies detected within minutes instead of hours; here nearline seconds vs batch",
+		Headers: []string{"path", "detection latency"},
+	}
+	events := scale.pick(3000, 20000)
+
+	// ---- Nearline path.
+	s, err := newStack(1, nil)
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer s.Shutdown()
+	for _, feed := range []string{"rum", "rum-agg"} {
+		if err := s.CreateFeed(feed, 1, 1); err != nil {
+			t.Notes = append(t.Notes, "failed: "+err.Error())
+			return t
+		}
+	}
+	if _, err := s.RunJob(processing.JobConfig{
+		Name:           "sitespeed",
+		Inputs:         []string{"rum"},
+		Factory:        func() processing.StreamTask { return &rumAggBenchTask{} },
+		WindowInterval: 200 * time.Millisecond,
+		PollWait:       20 * time.Millisecond,
+	}); err != nil {
+		t.Notes = append(t.Notes, "job failed: "+err.Error())
+		return t
+	}
+	gen := workload.NewRUM(workload.RUMConfig{Seed: 1, SlowCDN: "cdn-beta"}, time.Now().UnixMilli())
+	p := s.NewProducer(client.ProducerConfig{})
+	start := time.Now()
+	go func() {
+		defer p.Close()
+		for i := 0; i < events; i++ {
+			ev := gen.Next()
+			p.Send(client.Message{Topic: "rum", Key: []byte(ev.SessionID), Value: ev.Encode()})
+		}
+		p.Flush()
+	}()
+	cons := s.NewConsumer(client.ConsumerConfig{})
+	defer cons.Close()
+	cons.Assign("rum-agg", 0, client.StartEarliest)
+	var nearline time.Duration
+	deadline := time.Now().Add(30 * time.Second)
+	for nearline == 0 && time.Now().Before(deadline) {
+		msgs, err := cons.Poll(300 * time.Millisecond)
+		if err != nil {
+			continue
+		}
+		for _, m := range msgs {
+			var agg map[string]any
+			if json.Unmarshal(m.Value, &agg) != nil {
+				continue
+			}
+			if mean, ok := agg["meanLoadMs"].(float64); ok && mean > 600 {
+				nearline = time.Since(start)
+				break
+			}
+		}
+	}
+
+	// ---- Batch path: the same events accumulate in the DFS; an hourly
+	// aggregation job runs over them. The detection latency is the batch
+	// period (when the data lands just after a run) plus the job; we
+	// charge only HALF the period (the average case) plus the job.
+	fsDir, _ := os.MkdirTemp("", "e12-")
+	defer os.RemoveAll(fsDir)
+	fs, err := dfs.Open(dfs.Config{Dir: fsDir, ChunkBytes: 1 << 20, Cost: dfs.ProductionModel()})
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer fs.Close()
+	gen2 := workload.NewRUM(workload.RUMConfig{Seed: 1, SlowCDN: "cdn-beta"}, time.Now().UnixMilli())
+	var lines []mapreduce.KV
+	for i := 0; i < events; i++ {
+		ev := gen2.Next()
+		lines = append(lines, mapreduce.KV{Key: ev.CDN, Value: strconv.FormatInt(ev.LoadMs, 10)})
+	}
+	fs.WriteFile("/rum/events", mapreduce.EncodeLines(lines))
+	engine := mapreduce.NewEngine(fs, mapreduce.EngineConfig{SchedulerDelay: 250 * time.Millisecond})
+	mrStart := time.Now()
+	_, err = engine.Run(mapreduce.JobSpec{
+		Name: "rum-batch", InputPrefix: "/rum/", OutputDir: "/rum-out",
+		Reduce: func(key string, values []string, emit func(k, v string)) error {
+			var sum, n int64
+			for _, v := range values {
+				x, _ := strconv.ParseInt(v, 10, 64)
+				sum += x
+				n++
+			}
+			emit(key, strconv.FormatInt(sum/n, 10))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Notes = append(t.Notes, "mr failed: "+err.Error())
+		return t
+	}
+	jobDur := time.Since(mrStart)
+	const batchPeriod = time.Hour
+	batchLatency := batchPeriod/2 + jobDur
+
+	t.Rows = append(t.Rows,
+		[]string{"liquid nearline", nearline.Round(time.Millisecond).String()},
+		[]string{"mr/dfs batch (hourly job)", fmt.Sprintf("%s (= period/2 + %s job)", batchLatency.Round(time.Second), jobDur.Round(time.Millisecond))},
+	)
+	t.Notes = append(t.Notes, "expected shape: seconds vs tens of minutes — the paper's minutes-not-hours claim")
+	return t
+}
+
+// rumAggBenchTask is the windowed CDN aggregator used by E12.
+type rumAggBenchTask struct {
+	counts map[string]int64
+	sums   map[string]int64
+}
+
+func (t *rumAggBenchTask) Init(*processing.TaskContext) error {
+	t.counts = make(map[string]int64)
+	t.sums = make(map[string]int64)
+	return nil
+}
+
+func (t *rumAggBenchTask) Process(msg client.Message, _ *processing.TaskContext, _ *processing.Collector) error {
+	ev, err := workload.DecodeRUM(msg.Value)
+	if err != nil {
+		return nil
+	}
+	t.counts[ev.CDN]++
+	t.sums[ev.CDN] += ev.LoadMs
+	return nil
+}
+
+func (t *rumAggBenchTask) Window(_ *processing.TaskContext, out *processing.Collector) error {
+	for cdn, n := range t.counts {
+		if n < 20 {
+			continue
+		}
+		b, _ := json.Marshal(map[string]any{"cdn": cdn, "meanLoadMs": t.sums[cdn] / n, "count": n})
+		if err := out.Send("rum-agg", []byte(cdn), b); err != nil {
+			return err
+		}
+	}
+	t.counts = make(map[string]int64)
+	t.sums = make(map[string]int64)
+	return nil
+}
+
+// E13StateRecovery validates §3.2's changelog mechanism: restore time
+// after a failure scales with state size, and compaction bounds it by
+// key count rather than update count.
+func E13StateRecovery(scale Scale) Table {
+	t := Table{
+		ID:      "E13",
+		Title:   "stateful job recovery from changelog",
+		Claim:   "§3.2/§4.1: state is reconstructed from the changelog; compaction accelerates recovery",
+		Headers: []string{"keys", "updates", "changelog compacted", "restored records", "restore ms"},
+	}
+	cases := []struct{ keys, updates int }{
+		{1000, 10000},
+		{1000, 50000},
+	}
+	if scale.Quick {
+		cases = []struct{ keys, updates int }{{200, 2000}}
+	}
+	for _, tc := range cases {
+		for _, compacted := range []bool{false, true} {
+			s, err := newStack(1, func(c *core.Config) {
+				// Small segments so the changelog rolls and its inactive
+				// segments become compactable.
+				c.DefaultSegmentBytes = 16 << 10
+				if compacted {
+					c.CompactionInterval = 200 * time.Millisecond
+				}
+			})
+			if err != nil {
+				t.Notes = append(t.Notes, "failed: "+err.Error())
+				return t
+			}
+			if err := s.CreateFeed("updates", 1, 1); err != nil {
+				s.Shutdown()
+				t.Notes = append(t.Notes, "failed: "+err.Error())
+				return t
+			}
+			cfg := processing.JobConfig{
+				Name:               "recov",
+				Inputs:             []string{"updates"},
+				Factory:            func() processing.StreamTask { return statsTask{} },
+				Stores:             []processing.StoreSpec{{Name: "stats"}},
+				CheckpointInterval: 100 * time.Millisecond,
+				PollWait:           20 * time.Millisecond,
+			}
+			job, err := s.RunJob(cfg)
+			if err != nil {
+				s.Shutdown()
+				t.Notes = append(t.Notes, "job failed: "+err.Error())
+				return t
+			}
+			p := s.NewProducer(client.ProducerConfig{BatchBytes: 256 << 10})
+			for i := 0; i < tc.updates; i++ {
+				p.Send(client.Message{
+					Topic: "updates",
+					Key:   []byte(fmt.Sprintf("k%d", i%tc.keys)),
+					Value: []byte("u"),
+				})
+			}
+			p.Flush()
+			p.Close()
+			c := job.Metrics().Counter("recov.processed")
+			deadline := time.Now().Add(120 * time.Second)
+			for c.Value() < int64(tc.updates) && time.Now().Before(deadline) {
+				time.Sleep(25 * time.Millisecond)
+			}
+			job.Stop()
+			if compacted {
+				// Give the background cleaner a couple of cycles.
+				time.Sleep(700 * time.Millisecond)
+			}
+
+			// "Failure": start a fresh job incarnation; it must restore
+			// state from the changelog before resuming.
+			job2, err := s.RunJob(cfg)
+			if err != nil {
+				s.Shutdown()
+				t.Notes = append(t.Notes, "restart failed: "+err.Error())
+				return t
+			}
+			deadline = time.Now().Add(60 * time.Second)
+			reg := job2.Metrics()
+			for reg.Counter("recov.restores").Value() == 0 && time.Now().Before(deadline) {
+				time.Sleep(20 * time.Millisecond)
+			}
+			restored := reg.Counter("recov.restored.records").Value()
+			restoreNs := reg.Histogram("recov.restore.ns").Max()
+			job2.Stop()
+			s.Shutdown()
+
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(tc.keys), fmt.Sprint(tc.updates),
+				fmt.Sprint(compacted), fmt.Sprint(restored),
+				ms(time.Duration(restoreNs)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: uncompacted restores replay every update; compacted replays ~one record per key")
+	return t
+}

@@ -1,0 +1,592 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/coord"
+	"repro/internal/metrics"
+	"repro/internal/storage/compact"
+	"repro/internal/storage/log"
+)
+
+// Config parameterises one broker.
+type Config struct {
+	// ID is the unique broker id.
+	ID int32
+	// Host/Port to listen on; Port 0 picks an ephemeral port.
+	Host string
+	Port int32
+	// DataDir holds partition logs.
+	DataDir string
+	// SessionTimeout bounds how long after this broker stops heartbeating
+	// it is declared dead by the controller.
+	SessionTimeout time.Duration
+	// KeepAliveInterval is the heartbeat period (default timeout/4).
+	KeepAliveInterval time.Duration
+	// ReplicaMaxLag is the ISR-shrink threshold: a follower that has not
+	// caught up for this long is removed from the ISR (paper §4.3).
+	ReplicaMaxLag time.Duration
+	// ReplicaFetchWaitMs is the long-poll budget of replica fetchers.
+	ReplicaFetchWaitMs int32
+	// ReplicaFetchBytes bounds one replication fetch.
+	ReplicaFetchBytes int32
+	// RetentionInterval is how often retention is enforced (0 disables).
+	RetentionInterval time.Duration
+	// CompactionInterval is how often compacted topics are cleaned
+	// (0 disables).
+	CompactionInterval time.Duration
+	// OffsetsPartitions is the partition count of the internal offsets
+	// topic.
+	OffsetsPartitions int32
+	// OffsetsReplication is its replication factor (capped at the live
+	// broker count at creation time).
+	OffsetsReplication int16
+	// Default log settings for topics that do not override them.
+	DefaultSegmentBytes   int32
+	DefaultRetentionMs    int64
+	DefaultRetentionBytes int64
+	// Logger receives operational events; nil discards them.
+	Logger *slog.Logger
+	// Metrics receives broker counters; nil creates a private registry.
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Host == "" {
+		c.Host = "127.0.0.1"
+	}
+	if c.SessionTimeout == 0 {
+		c.SessionTimeout = 2 * time.Second
+	}
+	if c.KeepAliveInterval == 0 {
+		c.KeepAliveInterval = c.SessionTimeout / 4
+	}
+	if c.ReplicaMaxLag == 0 {
+		c.ReplicaMaxLag = 2 * time.Second
+	}
+	if c.ReplicaFetchWaitMs == 0 {
+		c.ReplicaFetchWaitMs = 50
+	}
+	if c.ReplicaFetchBytes == 0 {
+		c.ReplicaFetchBytes = 1 << 20
+	}
+	if c.RetentionInterval == 0 {
+		c.RetentionInterval = 15 * time.Second
+	}
+	if c.OffsetsPartitions == 0 {
+		c.OffsetsPartitions = 4
+	}
+	if c.OffsetsReplication == 0 {
+		c.OffsetsReplication = 1
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	return c
+}
+
+// Broker is one messaging-layer node.
+type Broker struct {
+	cfg        Config
+	store      *coord.Store
+	reg        *cluster.Registry
+	session    coord.SessionID
+	controller *cluster.Controller
+	listener   net.Listener
+	logger     *slog.Logger
+
+	mu       sync.Mutex
+	replicas map[tp]*replica
+	conns    map[net.Conn]struct{}
+	stopped  bool
+
+	fetchers *fetcherManager
+	groups   *groupCoordinator
+	offsets  *offsetManager
+
+	stopCh      chan struct{}
+	wg          sync.WaitGroup
+	watchCancel func()
+}
+
+// Start launches a broker against the shared coordination store: it binds
+// its listener, registers its ephemeral liveness node, adopts replicas for
+// existing topics, joins the controller election and begins serving.
+func Start(store *coord.Store, cfg Config) (*Broker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, errors.New("broker: DataDir is required")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", fmt.Sprintf("%s:%d", cfg.Host, cfg.Port))
+	if err != nil {
+		return nil, fmt.Errorf("broker: listen: %w", err)
+	}
+	cfg.Port = int32(ln.Addr().(*net.TCPAddr).Port)
+
+	b := &Broker{
+		cfg:      cfg,
+		store:    store,
+		reg:      cluster.NewRegistry(store),
+		listener: ln,
+		logger:   cfg.Logger.With("broker", cfg.ID),
+		replicas: make(map[tp]*replica),
+		conns:    make(map[net.Conn]struct{}),
+		stopCh:   make(chan struct{}),
+	}
+	b.fetchers = newFetcherManager(b)
+	b.groups = newGroupCoordinator(b)
+	b.offsets = newOffsetManager(b)
+
+	b.session = store.CreateSession(cfg.SessionTimeout)
+	info := cluster.BrokerInfo{ID: cfg.ID, Host: cfg.Host, Port: cfg.Port}
+	if err := b.reg.RegisterBroker(b.session, info); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("broker: register: %w", err)
+	}
+
+	// Adopt replicas for already-known topics, then watch for changes.
+	events, cancel := store.Watch("/")
+	b.watchCancel = cancel
+	b.syncAllTopics()
+
+	b.controller = cluster.NewController(b.reg, b.session, cfg.ID, cfg.Logger)
+	b.controller.Start()
+
+	b.wg.Add(3)
+	go b.watchLoop(events)
+	go b.acceptLoop()
+	go b.housekeeping()
+
+	b.logger.Info("broker started", "addr", b.Addr())
+	return b, nil
+}
+
+// Addr returns the broker's listen address.
+func (b *Broker) Addr() string {
+	return fmt.Sprintf("%s:%d", b.cfg.Host, b.cfg.Port)
+}
+
+// ID returns the broker id.
+func (b *Broker) ID() int32 { return b.cfg.ID }
+
+// Metrics returns the broker's metrics registry.
+func (b *Broker) Metrics() *metrics.Registry { return b.cfg.Metrics }
+
+// clientID renders this broker's identity for replication fetches.
+func (b *Broker) clientID() string { return "broker-" + strconv.Itoa(int(b.cfg.ID)) }
+
+// brokerAddr resolves a broker id to its address via the registry.
+func (b *Broker) brokerAddr(id int32) (string, bool) {
+	for _, info := range b.reg.LiveBrokers() {
+		if info.ID == id {
+			return info.Addr(), true
+		}
+	}
+	return "", false
+}
+
+// getReplica returns the locally hosted replica for a partition, or nil.
+func (b *Broker) getReplica(t tp) *replica {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.replicas[t]
+}
+
+// coordinatesGroup reports whether this broker leads the offsets-topic
+// partition for the group.
+func (b *Broker) coordinatesGroup(group string) bool {
+	r := b.getReplica(tp{topic: OffsetsTopic, partition: groupPartition(group, b.cfg.OffsetsPartitions)})
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.isLeader
+}
+
+// logDir renders the directory for a partition log.
+func (b *Broker) logDir(t tp) string {
+	return filepath.Join(b.cfg.DataDir, fmt.Sprintf("%s-%d", t.topic, t.partition))
+}
+
+// logConfigFor merges topic config with broker defaults.
+func (b *Broker) logConfigFor(tc cluster.TopicConfig) log.Config {
+	cfg := log.Config{
+		SegmentBytes:   int64(tc.SegmentBytes),
+		RetentionMs:    tc.RetentionMs,
+		RetentionBytes: tc.RetentionBytes,
+		Compacted:      tc.Compacted,
+	}
+	if cfg.SegmentBytes == 0 {
+		cfg.SegmentBytes = int64(b.cfg.DefaultSegmentBytes)
+	}
+	if cfg.RetentionMs == 0 {
+		cfg.RetentionMs = b.cfg.DefaultRetentionMs
+	}
+	if cfg.RetentionBytes == 0 {
+		cfg.RetentionBytes = b.cfg.DefaultRetentionBytes
+	}
+	return cfg
+}
+
+// syncAllTopics adopts replicas and roles for every topic in the registry.
+func (b *Broker) syncAllTopics() {
+	for _, name := range b.reg.Topics() {
+		info, err := b.reg.GetTopic(name)
+		if err != nil {
+			continue
+		}
+		b.ensureTopic(info)
+	}
+}
+
+// ensureTopic opens local replicas for partitions assigned to this broker
+// and applies their current leadership state.
+func (b *Broker) ensureTopic(info cluster.TopicInfo) {
+	for p, replicas := range info.Assignment {
+		hosted := false
+		for _, id := range replicas {
+			if id == b.cfg.ID {
+				hosted = true
+				break
+			}
+		}
+		if !hosted {
+			continue
+		}
+		t := tp{topic: info.Name, partition: int32(p)}
+		b.mu.Lock()
+		if b.stopped {
+			b.mu.Unlock()
+			return
+		}
+		_, exists := b.replicas[t]
+		if !exists {
+			l, err := log.Open(b.logDir(t), b.logConfigFor(info.Config))
+			if err != nil {
+				b.mu.Unlock()
+				b.logger.Error("open log failed", "tp", t.String(), "err", err)
+				continue
+			}
+			b.replicas[t] = newReplica(t, l, b.cfg.ID)
+		}
+		b.mu.Unlock()
+		if !exists {
+			b.applyPartitionState(t)
+		}
+	}
+}
+
+// removeTopic closes and deletes local replicas of a deleted topic.
+func (b *Broker) removeTopic(name string) {
+	b.mu.Lock()
+	var victims []*replica
+	for t, r := range b.replicas {
+		if t.topic == name {
+			victims = append(victims, r)
+			delete(b.replicas, t)
+		}
+	}
+	b.mu.Unlock()
+	for _, r := range victims {
+		b.fetchers.remove(r.tp)
+		r.close()
+		os.RemoveAll(b.logDir(r.tp))
+	}
+}
+
+// applyPartitionState reads a partition's registry state and transitions
+// the local replica's role accordingly.
+func (b *Broker) applyPartitionState(t tp) {
+	r := b.getReplica(t)
+	if r == nil {
+		return
+	}
+	st, ver, err := b.reg.PartitionState(t.topic, t.partition)
+	if err != nil {
+		return
+	}
+	info, err := b.reg.GetTopic(t.topic)
+	if err != nil || int(t.partition) >= len(info.Assignment) {
+		return
+	}
+	wasOffsetsLeader := b.isOffsetsLeader(t, r)
+	if st.Leader == b.cfg.ID {
+		b.fetchers.remove(t)
+		r.becomeLeader(st.Epoch, info.Assignment[t.partition], st.ISR, ver)
+		if t.topic == OffsetsTopic && !wasOffsetsLeader {
+			b.offsets.load(t.partition, r)
+		}
+	} else {
+		if err := r.becomeFollower(st.Leader, st.Epoch, ver); err != nil {
+			b.logger.Error("follower transition failed", "tp", t.String(), "err", err)
+		}
+		if t.topic == OffsetsTopic && wasOffsetsLeader {
+			b.offsets.unload(t.partition)
+		}
+		if st.Leader >= 0 {
+			b.fetchers.assign(t, st.Leader)
+		} else {
+			b.fetchers.remove(t)
+		}
+	}
+}
+
+// isOffsetsLeader reports whether r is a leader replica of the offsets
+// topic (used to detect offset-manager load/unload transitions).
+func (b *Broker) isOffsetsLeader(t tp, r *replica) bool {
+	if t.topic != OffsetsTopic {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.isLeader
+}
+
+// watchLoop reacts to registry changes: topics appearing/disappearing and
+// partition leadership moving.
+func (b *Broker) watchLoop(events <-chan coord.Event) {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.stopCh:
+			return
+		case ev, ok := <-events:
+			if !ok {
+				// Watch overflowed: resync everything.
+				var cancel func()
+				events, cancel = b.store.Watch("/")
+				b.mu.Lock()
+				old := b.watchCancel
+				b.watchCancel = cancel
+				b.mu.Unlock()
+				if old != nil {
+					old()
+				}
+				b.syncAllTopics()
+				continue
+			}
+			b.handleEvent(ev)
+		}
+	}
+}
+
+func (b *Broker) handleEvent(ev coord.Event) {
+	if topic, ok := cutTopicPath(ev.Path); ok {
+		switch ev.Type {
+		case coord.EventCreated:
+			if info, err := b.reg.GetTopic(topic); err == nil {
+				b.ensureTopic(info)
+			}
+		case coord.EventDeleted:
+			b.removeTopic(topic)
+		}
+		return
+	}
+	if topic, partition, ok := cluster.ParseStatePath(ev.Path); ok {
+		if ev.Type == coord.EventCreated || ev.Type == coord.EventUpdated {
+			b.applyPartitionState(tp{topic: topic, partition: partition})
+		}
+		return
+	}
+}
+
+// cutTopicPath extracts a topic name from a /topics/<name> path.
+func cutTopicPath(path string) (string, bool) {
+	if len(path) <= len(cluster.TopicsPrefix) || path[:len(cluster.TopicsPrefix)] != cluster.TopicsPrefix {
+		return "", false
+	}
+	return path[len(cluster.TopicsPrefix):], true
+}
+
+// housekeeping runs the periodic duties: session keepalive, ISR shrink,
+// group expiry, retention and compaction.
+func (b *Broker) housekeeping() {
+	defer b.wg.Done()
+	keepalive := time.NewTicker(b.cfg.KeepAliveInterval)
+	defer keepalive.Stop()
+	isr := time.NewTicker(b.cfg.ReplicaMaxLag / 2)
+	defer isr.Stop()
+	groups := time.NewTicker(250 * time.Millisecond)
+	defer groups.Stop()
+
+	var retentionC, compactionC <-chan time.Time
+	if b.cfg.RetentionInterval > 0 {
+		t := time.NewTicker(b.cfg.RetentionInterval)
+		defer t.Stop()
+		retentionC = t.C
+	}
+	if b.cfg.CompactionInterval > 0 {
+		t := time.NewTicker(b.cfg.CompactionInterval)
+		defer t.Stop()
+		compactionC = t.C
+	}
+	for {
+		select {
+		case <-b.stopCh:
+			return
+		case <-keepalive.C:
+			if err := b.store.KeepAlive(b.session); err != nil {
+				b.logger.Warn("session lost", "err", err)
+			}
+		case <-isr.C:
+			b.shrinkLaggingISRs()
+		case <-groups.C:
+			b.groups.tick(time.Now())
+		case <-retentionC:
+			b.enforceRetention()
+		case <-compactionC:
+			b.compactLogs()
+		}
+	}
+}
+
+// shrinkLaggingISRs removes followers that stopped keeping up from the ISR
+// of partitions this broker leads (paper §4.3).
+func (b *Broker) shrinkLaggingISRs() {
+	now := time.Now()
+	for _, r := range b.replicaSnapshot() {
+		lagging := r.laggingFollowers(b.cfg.ReplicaMaxLag, now)
+		for _, id := range lagging {
+			b.updateISR(r, id, false)
+		}
+	}
+}
+
+// updateISR commits an ISR change (add or remove) through the registry
+// with CAS, then installs it locally.
+func (b *Broker) updateISR(r *replica, followerID int32, add bool) {
+	for attempt := 0; attempt < 3; attempt++ {
+		st, ver, err := b.reg.PartitionState(r.tp.topic, r.tp.partition)
+		if err != nil {
+			return
+		}
+		if st.Leader != b.cfg.ID {
+			return // no longer leader; controller owns this partition now
+		}
+		newISR := st.ISR[:0:0]
+		found := false
+		for _, id := range st.ISR {
+			if id == followerID {
+				found = true
+				if !add {
+					continue
+				}
+			}
+			newISR = append(newISR, id)
+		}
+		if add && !found {
+			newISR = append(newISR, followerID)
+		}
+		if len(newISR) == len(st.ISR) && found == add {
+			r.setISR(newISR, ver)
+			return // already in desired shape
+		}
+		st.ISR = newISR
+		nv, err := b.reg.SetPartitionState(r.tp.topic, r.tp.partition, st, ver)
+		if err != nil {
+			if errors.Is(err, coord.ErrBadVersion) {
+				continue
+			}
+			return
+		}
+		r.setISR(newISR, nv)
+		b.logger.Info("isr updated", "tp", r.tp.String(), "isr", newISR, "add", add, "follower", followerID)
+		return
+	}
+}
+
+// enforceRetention applies retention to every local log.
+func (b *Broker) enforceRetention() {
+	now := time.Now()
+	for _, r := range b.replicaSnapshot() {
+		if _, err := r.log.EnforceRetention(now); err != nil && !errors.Is(err, log.ErrClosed) {
+			b.logger.Warn("retention failed", "tp", r.tp.String(), "err", err)
+		}
+	}
+}
+
+// compactLogs runs a compaction pass over compacted topics.
+func (b *Broker) compactLogs() {
+	for _, r := range b.replicaSnapshot() {
+		if r.log.Config().Compacted {
+			if _, err := compact.Compact(r.log); err != nil && !errors.Is(err, log.ErrClosed) {
+				b.logger.Warn("compaction failed", "tp", r.tp.String(), "err", err)
+			}
+		}
+	}
+}
+
+// replicaSnapshot copies the replica list without holding the broker lock
+// during per-replica work.
+func (b *Broker) replicaSnapshot() []*replica {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*replica, 0, len(b.replicas))
+	for _, r := range b.replicas {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Stop shuts the broker down gracefully: the session is closed so the
+// controller reassigns leadership immediately.
+func (b *Broker) Stop() {
+	b.shutdown(true)
+}
+
+// Kill simulates a crash: the listener drops and heartbeats stop, but the
+// session is left to expire on its own, exactly as a dead machine would
+// behave (used by the failover experiments, paper §4.3).
+func (b *Broker) Kill() {
+	b.shutdown(false)
+}
+
+func (b *Broker) shutdown(graceful bool) {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	b.stopped = true
+	b.mu.Unlock()
+
+	close(b.stopCh)
+	b.listener.Close()
+	// Drop every open connection so per-connection goroutines unblock;
+	// a crashed machine's sockets die with it.
+	b.mu.Lock()
+	for conn := range b.conns {
+		conn.Close()
+	}
+	b.mu.Unlock()
+	b.controller.Stop()
+	b.fetchers.stopAll()
+	b.groups.dropAll()
+	if b.watchCancel != nil {
+		b.watchCancel()
+	}
+	if graceful {
+		b.store.CloseSession(b.session)
+	}
+	b.wg.Wait()
+	for _, r := range b.replicaSnapshot() {
+		r.close()
+	}
+	b.logger.Info("broker stopped", "graceful", graceful)
+}

@@ -1,0 +1,377 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Group coordination implements the consumer-group protocol of the
+// messaging layer (paper §3.1): within a group the system behaves as a
+// queue (each message goes to one member), across groups as pub/sub. The
+// coordinator for a group is the broker leading the offsets-topic partition
+// the group hashes to; members join (triggering a rebalance), the first
+// member becomes group leader and computes the partition assignment
+// client-side, SyncGroup distributes it, and heartbeats police liveness.
+
+// groupState is the rebalance state machine.
+type groupState int
+
+const (
+	groupEmpty groupState = iota
+	groupPreparingRebalance
+	groupCompletingRebalance
+	groupStable
+)
+
+func (s groupState) String() string {
+	switch s {
+	case groupEmpty:
+		return "empty"
+	case groupPreparingRebalance:
+		return "preparing-rebalance"
+	case groupCompletingRebalance:
+		return "completing-rebalance"
+	case groupStable:
+		return "stable"
+	}
+	return "unknown"
+}
+
+// member is one consumer in a group.
+type member struct {
+	id             string
+	metadata       []byte
+	assignment     []byte
+	sessionTimeout time.Duration
+	lastHeartbeat  time.Time
+	pendingJoin    chan *wire.JoinGroupResponse
+	pendingSync    chan *wire.SyncGroupResponse
+}
+
+// group is the coordinator-side state of one consumer group.
+type group struct {
+	name       string
+	state      groupState
+	generation int32
+	protocol   string
+	leaderID   string
+	members    map[string]*member
+	nextMember int
+	// rebalanceDeadline bounds how long the join barrier waits for all
+	// known members to rejoin before evicting stragglers.
+	rebalanceDeadline time.Time
+	rebalanceTimeout  time.Duration
+}
+
+// groupCoordinator owns all groups this broker coordinates.
+type groupCoordinator struct {
+	b *Broker
+
+	mu     sync.Mutex
+	groups map[string]*group
+}
+
+func newGroupCoordinator(b *Broker) *groupCoordinator {
+	return &groupCoordinator{b: b, groups: make(map[string]*group)}
+}
+
+// handleJoin processes a JoinGroup request, returning a channel the caller
+// blocks on (the join barrier) or an immediate error response.
+func (g *groupCoordinator) handleJoin(req *wire.JoinGroupRequest, clientID string) <-chan *wire.JoinGroupResponse {
+	ch := make(chan *wire.JoinGroupResponse, 1)
+	if !g.b.coordinatesGroup(req.Group) {
+		ch <- &wire.JoinGroupResponse{Err: wire.ErrNotCoordinator}
+		return ch
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	grp, ok := g.groups[req.Group]
+	if !ok {
+		grp = &group{name: req.Group, members: make(map[string]*member)}
+		g.groups[req.Group] = grp
+	}
+	now := time.Now()
+	memberID := req.MemberID
+	if memberID == "" {
+		grp.nextMember++
+		memberID = fmt.Sprintf("%s-%d", clientID, grp.nextMember)
+	}
+	m, exists := grp.members[memberID]
+	if !exists {
+		m = &member{id: memberID}
+		grp.members[memberID] = m
+	}
+	m.metadata = req.Metadata
+	m.sessionTimeout = time.Duration(req.SessionTimeoutMs) * time.Millisecond
+	if m.sessionTimeout <= 0 {
+		m.sessionTimeout = 10 * time.Second
+	}
+	m.lastHeartbeat = now
+	m.pendingJoin = ch
+
+	rebalanceTimeout := time.Duration(req.RebalanceTimeoutMs) * time.Millisecond
+	if rebalanceTimeout <= 0 {
+		rebalanceTimeout = 3 * time.Second
+	}
+	if grp.state != groupPreparingRebalance {
+		grp.state = groupPreparingRebalance
+		grp.rebalanceDeadline = now.Add(rebalanceTimeout)
+		grp.rebalanceTimeout = rebalanceTimeout
+		grp.protocol = req.Protocol
+		// Wake parked syncs from the previous generation: they must
+		// rejoin.
+		for _, om := range grp.members {
+			if om.pendingSync != nil {
+				om.pendingSync <- &wire.SyncGroupResponse{Err: wire.ErrRebalanceInProgress}
+				om.pendingSync = nil
+			}
+		}
+	}
+	g.maybeCompleteJoinLocked(grp)
+	return ch
+}
+
+// maybeCompleteJoinLocked finishes the join barrier when every known
+// member has a pending join, or when the rebalance deadline passed (then
+// stragglers are evicted). Called with g.mu held.
+func (g *groupCoordinator) maybeCompleteJoinLocked(grp *group) {
+	if grp.state != groupPreparingRebalance {
+		return
+	}
+	allJoined := true
+	for _, m := range grp.members {
+		if m.pendingJoin == nil {
+			allJoined = false
+			break
+		}
+	}
+	expired := time.Now().After(grp.rebalanceDeadline)
+	if !allJoined && !expired {
+		return
+	}
+	if !allJoined {
+		// Evict members that missed the barrier.
+		for id, m := range grp.members {
+			if m.pendingJoin == nil {
+				delete(grp.members, id)
+			}
+		}
+	}
+	if len(grp.members) == 0 {
+		grp.state = groupEmpty
+		return
+	}
+	grp.generation++
+	// Deterministic leader: lexicographically smallest member id, unless
+	// the previous leader is still present.
+	ids := make([]string, 0, len(grp.members))
+	for id := range grp.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if _, ok := grp.members[grp.leaderID]; !ok || grp.leaderID == "" {
+		grp.leaderID = ids[0]
+	}
+	memberList := make([]wire.GroupMember, 0, len(ids))
+	for _, id := range ids {
+		memberList = append(memberList, wire.GroupMember{
+			MemberID: id,
+			Metadata: grp.members[id].metadata,
+		})
+	}
+	now := time.Now()
+	for _, id := range ids {
+		m := grp.members[id]
+		resp := &wire.JoinGroupResponse{
+			Generation: grp.generation,
+			Protocol:   grp.protocol,
+			LeaderID:   grp.leaderID,
+			MemberID:   id,
+		}
+		if id == grp.leaderID {
+			resp.Members = memberList
+		}
+		// The barrier may have parked this member for a long time;
+		// restart its session clock so it is not expired mid-sync.
+		m.lastHeartbeat = now
+		m.pendingJoin <- resp
+		m.pendingJoin = nil
+	}
+	grp.state = groupCompletingRebalance
+	g.b.logger.Debug("group rebalanced",
+		"group", grp.name, "generation", grp.generation, "members", len(ids))
+}
+
+// tick drives join-barrier deadlines and member expiry; the broker calls it
+// periodically.
+func (g *groupCoordinator) tick(now time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, grp := range g.groups {
+		if grp.state == groupPreparingRebalance && now.After(grp.rebalanceDeadline) {
+			g.maybeCompleteJoinLocked(grp)
+		}
+		// Expire members whose heartbeats stopped — except those parked
+		// in a join barrier, whose liveness is the pending join itself.
+		victim := false
+		for id, m := range grp.members {
+			if m.pendingJoin != nil {
+				continue
+			}
+			if now.Sub(m.lastHeartbeat) > m.sessionTimeout {
+				delete(grp.members, id)
+				victim = true
+				g.b.logger.Debug("group member expired", "group", grp.name, "member", id)
+			}
+		}
+		if victim && len(grp.members) == 0 {
+			grp.state = groupEmpty
+			continue
+		}
+		if victim {
+			if grp.state != groupPreparingRebalance {
+				grp.state = groupPreparingRebalance
+				grp.rebalanceDeadline = now.Add(grp.rebalanceTimeout)
+			}
+			// The expired member may have been the last straggler the
+			// join barrier was waiting for.
+			g.maybeCompleteJoinLocked(grp)
+		}
+	}
+}
+
+// handleSync processes a SyncGroup request.
+func (g *groupCoordinator) handleSync(req *wire.SyncGroupRequest) <-chan *wire.SyncGroupResponse {
+	ch := make(chan *wire.SyncGroupResponse, 1)
+	if !g.b.coordinatesGroup(req.Group) {
+		ch <- &wire.SyncGroupResponse{Err: wire.ErrNotCoordinator}
+		return ch
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	grp, ok := g.groups[req.Group]
+	if !ok {
+		ch <- &wire.SyncGroupResponse{Err: wire.ErrUnknownMemberID}
+		return ch
+	}
+	m, ok := grp.members[req.MemberID]
+	if !ok {
+		ch <- &wire.SyncGroupResponse{Err: wire.ErrUnknownMemberID}
+		return ch
+	}
+	if req.Generation != grp.generation {
+		ch <- &wire.SyncGroupResponse{Err: wire.ErrIllegalGeneration}
+		return ch
+	}
+	switch grp.state {
+	case groupStable:
+		ch <- &wire.SyncGroupResponse{Assignment: m.assignment}
+		return ch
+	case groupCompletingRebalance:
+		// fall through
+	default:
+		ch <- &wire.SyncGroupResponse{Err: wire.ErrRebalanceInProgress}
+		return ch
+	}
+	if req.MemberID == grp.leaderID {
+		// The leader delivers everyone's assignment.
+		byID := make(map[string][]byte, len(req.Assignments))
+		for _, a := range req.Assignments {
+			byID[a.MemberID] = a.Assignment
+		}
+		for id, om := range grp.members {
+			om.assignment = byID[id]
+			if om.pendingSync != nil {
+				om.pendingSync <- &wire.SyncGroupResponse{Assignment: om.assignment}
+				om.pendingSync = nil
+			}
+		}
+		grp.state = groupStable
+		ch <- &wire.SyncGroupResponse{Assignment: m.assignment}
+		return ch
+	}
+	m.pendingSync = ch
+	return ch
+}
+
+// handleHeartbeat refreshes liveness and signals rebalances.
+func (g *groupCoordinator) handleHeartbeat(req *wire.HeartbeatRequest) wire.ErrorCode {
+	if !g.b.coordinatesGroup(req.Group) {
+		return wire.ErrNotCoordinator
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	grp, ok := g.groups[req.Group]
+	if !ok {
+		return wire.ErrUnknownMemberID
+	}
+	m, ok := grp.members[req.MemberID]
+	if !ok {
+		return wire.ErrUnknownMemberID
+	}
+	m.lastHeartbeat = time.Now()
+	if req.Generation != grp.generation {
+		return wire.ErrIllegalGeneration
+	}
+	if grp.state == groupPreparingRebalance {
+		return wire.ErrRebalanceInProgress
+	}
+	return wire.ErrNone
+}
+
+// handleLeave removes a member and triggers a rebalance for the rest.
+func (g *groupCoordinator) handleLeave(req *wire.LeaveGroupRequest) wire.ErrorCode {
+	if !g.b.coordinatesGroup(req.Group) {
+		return wire.ErrNotCoordinator
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	grp, ok := g.groups[req.Group]
+	if !ok {
+		return wire.ErrNone
+	}
+	m, ok := grp.members[req.MemberID]
+	if !ok {
+		return wire.ErrNone
+	}
+	if m.pendingJoin != nil {
+		m.pendingJoin <- &wire.JoinGroupResponse{Err: wire.ErrUnknownMemberID}
+	}
+	if m.pendingSync != nil {
+		m.pendingSync <- &wire.SyncGroupResponse{Err: wire.ErrUnknownMemberID}
+	}
+	delete(grp.members, req.MemberID)
+	if len(grp.members) == 0 {
+		grp.state = groupEmpty
+		return wire.ErrNone
+	}
+	if grp.state != groupPreparingRebalance {
+		grp.state = groupPreparingRebalance
+		grp.rebalanceDeadline = time.Now().Add(grp.rebalanceTimeout)
+	}
+	g.maybeCompleteJoinLocked(grp)
+	return wire.ErrNone
+}
+
+// dropAll fails all parked requests; used at broker shutdown.
+func (g *groupCoordinator) dropAll() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, grp := range g.groups {
+		for _, m := range grp.members {
+			if m.pendingJoin != nil {
+				m.pendingJoin <- &wire.JoinGroupResponse{Err: wire.ErrCoordinatorNotAvailable}
+				m.pendingJoin = nil
+			}
+			if m.pendingSync != nil {
+				m.pendingSync <- &wire.SyncGroupResponse{Err: wire.ErrCoordinatorNotAvailable}
+				m.pendingSync = nil
+			}
+		}
+	}
+	g.groups = make(map[string]*group)
+}

@@ -1,0 +1,523 @@
+package broker
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/coord"
+	"repro/internal/storage/record"
+	"repro/internal/wire"
+)
+
+// acceptLoop serves client and replica connections. Each connection is
+// handled by one goroutine processing requests serially; blocking APIs
+// (long-poll fetch, join barriers) therefore block only their own
+// connection, which clients know to dedicate.
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.listener.Accept()
+		if err != nil {
+			return // listener closed on shutdown
+		}
+		b.mu.Lock()
+		if b.stopped {
+			b.mu.Unlock()
+			conn.Close()
+			return
+		}
+		b.conns[conn] = struct{}{}
+		b.mu.Unlock()
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			defer func() {
+				conn.Close()
+				b.mu.Lock()
+				delete(b.conns, conn)
+				b.mu.Unlock()
+			}()
+			b.serveConn(conn)
+		}()
+	}
+}
+
+func (b *Broker) serveConn(conn net.Conn) {
+	for {
+		select {
+		case <-b.stopCh:
+			return
+		default:
+		}
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		hdr, body, err := wire.DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		resp, reply := b.dispatch(hdr, body)
+		if !reply {
+			continue
+		}
+		if err := wire.WriteFrame(conn, wire.EncodeResponse(hdr.CorrelationID, resp)); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes and routes one request. reply=false means the request
+// is fire-and-forget (acks=0 produce) and no response frame is written.
+func (b *Broker) dispatch(hdr wire.RequestHeader, r *wire.Reader) (wire.Message, bool) {
+	body, ok := wire.NewRequestBody(hdr.API)
+	if !ok {
+		return &wire.ProduceResponse{}, true // unknown API: empty response
+	}
+	body.Decode(r)
+	if r.Err() != nil {
+		return &wire.ProduceResponse{}, true
+	}
+	b.cfg.Metrics.Counter("broker.requests").Inc()
+	switch req := body.(type) {
+	case *wire.ProduceRequest:
+		resp := b.handleProduce(req)
+		return resp, req.RequiredAcks != 0
+	case *wire.FetchRequest:
+		return b.handleFetch(req), true
+	case *wire.ListOffsetsRequest:
+		return b.handleListOffsets(req), true
+	case *wire.MetadataRequest:
+		return b.handleMetadata(req), true
+	case *wire.CreateTopicsRequest:
+		return b.handleCreateTopics(req), true
+	case *wire.DeleteTopicsRequest:
+		return b.handleDeleteTopics(req), true
+	case *wire.OffsetCommitRequest:
+		return b.handleOffsetCommit(req), true
+	case *wire.OffsetFetchRequest:
+		return b.handleOffsetFetch(req), true
+	case *wire.OffsetQueryRequest:
+		return b.offsets.query(req), true
+	case *wire.FindCoordinatorRequest:
+		return b.handleFindCoordinator(req), true
+	case *wire.JoinGroupRequest:
+		return <-b.groups.handleJoin(req, hdr.ClientID), true
+	case *wire.SyncGroupRequest:
+		return <-b.groups.handleSync(req), true
+	case *wire.HeartbeatRequest:
+		return &wire.HeartbeatResponse{Err: b.groups.handleHeartbeat(req)}, true
+	case *wire.LeaveGroupRequest:
+		return &wire.LeaveGroupResponse{Err: b.groups.handleLeave(req)}, true
+	}
+	return &wire.ProduceResponse{}, true
+}
+
+// ------------------------------------------------------------- produce
+
+func (b *Broker) handleProduce(req *wire.ProduceRequest) *wire.ProduceResponse {
+	resp := &wire.ProduceResponse{}
+	type pending struct {
+		topic int
+		part  int
+		ch    <-chan wire.ErrorCode
+	}
+	var waits []pending
+	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	for _, t := range req.Topics {
+		rt := wire.ProduceRespTopic{Name: t.Name}
+		for _, p := range t.Partitions {
+			rp := wire.ProduceRespPartition{Partition: p.Partition, BaseOffset: -1}
+			r := b.getReplica(tp{topic: t.Name, partition: p.Partition})
+			if r == nil {
+				rp.Err = wire.ErrUnknownTopicOrPartition
+				rt.Partitions = append(rt.Partitions, rp)
+				continue
+			}
+			records, err := decodeProducedRecords(p.Records)
+			if err != nil || len(records) == 0 {
+				rp.Err = wire.ErrCorruptMessage
+				rt.Partitions = append(rt.Partitions, rp)
+				continue
+			}
+			base, ackCh, code := r.appendAsLeader(records, req.RequiredAcks)
+			rp.Err = code
+			rp.BaseOffset = base
+			rp.HighWatermark = r.highWatermark()
+			if code == wire.ErrNone {
+				b.cfg.Metrics.Counter("broker.messages.in").Add(int64(len(records)))
+			}
+			if ackCh != nil {
+				waits = append(waits, pending{topic: len(resp.Topics), part: len(rt.Partitions), ch: ackCh})
+			}
+			rt.Partitions = append(rt.Partitions, rp)
+		}
+		resp.Topics = append(resp.Topics, rt)
+	}
+	if len(waits) > 0 {
+		deadline := time.NewTimer(timeout)
+		defer deadline.Stop()
+		for _, w := range waits {
+			select {
+			case code := <-w.ch:
+				resp.Topics[w.topic].Partitions[w.part].Err = code
+			case <-deadline.C:
+				resp.Topics[w.topic].Partitions[w.part].Err = wire.ErrRequestTimedOut
+			case <-b.stopCh:
+				resp.Topics[w.topic].Partitions[w.part].Err = wire.ErrBrokerNotAvailable
+			}
+		}
+	}
+	return resp
+}
+
+// decodeProducedRecords validates and extracts the records of a produce
+// payload. Producers send one encoded batch per partition; offsets inside
+// are placeholders that the leader reassigns.
+func decodeProducedRecords(data []byte) ([]record.Record, error) {
+	var out []record.Record
+	err := record.ScanRecords(data, func(r record.Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// --------------------------------------------------------------- fetch
+
+func (b *Broker) handleFetch(req *wire.FetchRequest) *wire.FetchResponse {
+	isFollower := req.ReplicaID >= 0
+	maxWait := time.Duration(req.MaxWaitMs) * time.Millisecond
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	if maxWait > 30*time.Second {
+		maxWait = 30 * time.Second
+	}
+	minBytes := int(req.MinBytes)
+	deadline := time.Now().Add(maxWait)
+
+	// Single-partition requests (the common consumer case) wait
+	// event-driven on the partition's notify channel; multi-partition
+	// requests poll.
+	var single *replica
+	if len(req.Topics) == 1 && len(req.Topics[0].Partitions) == 1 {
+		single = b.getReplica(tp{topic: req.Topics[0].Name, partition: req.Topics[0].Partitions[0].Partition})
+	}
+	for {
+		resp, total, hasError := b.collectFetch(req, isFollower)
+		if total >= minBytes || hasError || !time.Now().Before(deadline) {
+			if total > 0 {
+				b.cfg.Metrics.Counter("broker.fetch.bytes").Add(int64(total))
+			}
+			return resp
+		}
+		remain := time.Until(deadline)
+		if single != nil {
+			select {
+			case <-single.notifyChan():
+			case <-time.After(remain):
+			case <-b.stopCh:
+				return resp
+			}
+		} else {
+			wait := 2 * time.Millisecond
+			if wait > remain {
+				wait = remain
+			}
+			select {
+			case <-time.After(wait):
+			case <-b.stopCh:
+				return resp
+			}
+		}
+	}
+}
+
+// collectFetch performs one non-blocking pass over the requested
+// partitions.
+func (b *Broker) collectFetch(req *wire.FetchRequest, isFollower bool) (*wire.FetchResponse, int, bool) {
+	resp := &wire.FetchResponse{}
+	total := 0
+	hasError := false
+	now := time.Now()
+	for _, t := range req.Topics {
+		rt := wire.FetchRespTopic{Name: t.Name}
+		for _, p := range t.Partitions {
+			rp := wire.FetchRespPartition{Partition: p.Partition}
+			r := b.getReplica(tp{topic: t.Name, partition: p.Partition})
+			if r == nil {
+				rp.Err = wire.ErrUnknownTopicOrPartition
+				hasError = true
+				rt.Partitions = append(rt.Partitions, rp)
+				continue
+			}
+			maxBytes := int(p.MaxBytes)
+			if maxBytes <= 0 {
+				maxBytes = int(req.MaxBytes)
+			}
+			if maxBytes <= 0 {
+				maxBytes = 1 << 20
+			}
+			var data []byte
+			var hw, start int64
+			var code wire.ErrorCode
+			if isFollower {
+				data, hw, start, code = r.readForFollower(p.Offset, maxBytes)
+				if code == wire.ErrNone {
+					for _, id := range r.onFollowerFetch(req.ReplicaID, p.Offset, now) {
+						b.updateISR(r, id, true)
+					}
+				}
+			} else {
+				data, hw, start, code = r.readForConsumer(p.Offset, maxBytes)
+			}
+			rp.Err = code
+			rp.HighWatermark = hw
+			rp.LogStartOffset = start
+			rp.Records = data
+			if code != wire.ErrNone {
+				hasError = true
+			}
+			total += len(data)
+			rt.Partitions = append(rt.Partitions, rp)
+		}
+		resp.Topics = append(resp.Topics, rt)
+	}
+	return resp, total, hasError
+}
+
+// --------------------------------------------------------- list offsets
+
+func (b *Broker) handleListOffsets(req *wire.ListOffsetsRequest) *wire.ListOffsetsResponse {
+	resp := &wire.ListOffsetsResponse{}
+	for _, t := range req.Topics {
+		rt := wire.ListOffsetsRespTopic{Name: t.Name}
+		for _, p := range t.Partitions {
+			rp := wire.ListOffsetsRespPartition{Partition: p.Partition, Offset: -1}
+			r := b.getReplica(tp{topic: t.Name, partition: p.Partition})
+			if r == nil {
+				rp.Err = wire.ErrUnknownTopicOrPartition
+			} else {
+				r.mu.Lock()
+				isLeader := r.isLeader
+				hw := r.hw
+				r.mu.Unlock()
+				switch {
+				case !isLeader:
+					rp.Err = wire.ErrNotLeaderForPartition
+				case p.Timestamp == wire.TimestampEarliest:
+					rp.Offset = r.log.StartOffset()
+				case p.Timestamp == wire.TimestampLatest:
+					rp.Offset = hw
+				default:
+					off, err := r.log.OffsetForTimestamp(p.Timestamp)
+					if err != nil {
+						rp.Err = wire.ErrUnknown
+					} else {
+						if off > hw {
+							off = hw
+						}
+						rp.Offset = off
+						rp.Timestamp = p.Timestamp
+					}
+				}
+			}
+			rt.Partitions = append(rt.Partitions, rp)
+		}
+		resp.Topics = append(resp.Topics, rt)
+	}
+	return resp
+}
+
+// ------------------------------------------------------------ metadata
+
+func (b *Broker) handleMetadata(req *wire.MetadataRequest) *wire.MetadataResponse {
+	resp := &wire.MetadataResponse{ControllerID: b.reg.ControllerID()}
+	for _, info := range b.reg.LiveBrokers() {
+		resp.Brokers = append(resp.Brokers, wire.BrokerMeta{ID: info.ID, Host: info.Host, Port: info.Port})
+	}
+	names := req.Topics
+	if len(names) == 0 {
+		names = b.reg.Topics()
+	}
+	for _, name := range names {
+		tm := wire.TopicMeta{Name: name}
+		info, err := b.reg.GetTopic(name)
+		if err != nil {
+			tm.Err = wire.ErrUnknownTopicOrPartition
+			resp.Topics = append(resp.Topics, tm)
+			continue
+		}
+		tm.Compacted = info.Config.Compacted
+		for p, replicas := range info.Assignment {
+			pm := wire.PartitionMeta{ID: int32(p), Leader: -1, Replicas: replicas}
+			st, _, err := b.reg.PartitionState(name, int32(p))
+			if err != nil {
+				pm.Err = wire.ErrLeaderNotAvailable
+			} else {
+				pm.Leader = st.Leader
+				pm.LeaderEpoch = st.Epoch
+				pm.ISR = st.ISR
+				if st.Leader < 0 {
+					pm.Err = wire.ErrLeaderNotAvailable
+				}
+			}
+			tm.Partitions = append(tm.Partitions, pm)
+		}
+		resp.Topics = append(resp.Topics, tm)
+	}
+	return resp
+}
+
+// --------------------------------------------------------- admin APIs
+
+func (b *Broker) handleCreateTopics(req *wire.CreateTopicsRequest) *wire.CreateTopicsResponse {
+	resp := &wire.CreateTopicsResponse{}
+	for _, spec := range req.Topics {
+		resp.Results = append(resp.Results, wire.TopicResult{
+			Name: spec.Name,
+			Err:  b.createTopic(spec),
+		})
+	}
+	return resp
+}
+
+// createTopic validates a spec, computes the replica assignment over live
+// brokers and publishes the topic. Every broker (including this one) adopts
+// its replicas through the registry watch; this broker also adopts
+// synchronously so the creating client can produce immediately.
+func (b *Broker) createTopic(spec wire.TopicSpec) wire.ErrorCode {
+	if spec.Name == "" || len(spec.Name) > 255 {
+		return wire.ErrInvalidTopic
+	}
+	for _, c := range spec.Name {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.') {
+			return wire.ErrInvalidTopic
+		}
+	}
+	if spec.NumPartitions <= 0 {
+		spec.NumPartitions = 1
+	}
+	if spec.ReplicationFactor <= 0 {
+		spec.ReplicationFactor = 1
+	}
+	live := b.reg.LiveBrokers()
+	ids := make([]int32, len(live))
+	for i, info := range live {
+		ids[i] = info.ID
+	}
+	assignment, err := cluster.AssignReplicas(ids, spec.NumPartitions, spec.ReplicationFactor)
+	if err != nil {
+		return wire.ErrNotEnoughReplicas
+	}
+	info := cluster.TopicInfo{
+		Name: spec.Name,
+		Config: cluster.TopicConfig{
+			NumPartitions:     spec.NumPartitions,
+			ReplicationFactor: spec.ReplicationFactor,
+			RetentionMs:       spec.RetentionMs,
+			RetentionBytes:    spec.RetentionBytes,
+			SegmentBytes:      spec.SegmentBytes,
+			Compacted:         spec.Compacted,
+		},
+		Assignment: assignment,
+	}
+	if err := b.reg.CreateTopic(info); err != nil {
+		if errors.Is(err, coord.ErrExists) {
+			return wire.ErrTopicAlreadyExists
+		}
+		return wire.ErrUnknown
+	}
+	b.ensureTopic(info)
+	return wire.ErrNone
+}
+
+func (b *Broker) handleDeleteTopics(req *wire.DeleteTopicsRequest) *wire.DeleteTopicsResponse {
+	resp := &wire.DeleteTopicsResponse{}
+	for _, name := range req.Names {
+		code := wire.ErrNone
+		if err := b.reg.DeleteTopic(name); err != nil {
+			code = wire.ErrUnknownTopicOrPartition
+		}
+		resp.Results = append(resp.Results, wire.TopicResult{Name: name, Err: code})
+	}
+	return resp
+}
+
+// -------------------------------------------------------- offset APIs
+
+// ensureOffsetsTopic creates the internal offsets topic on first use.
+func (b *Broker) ensureOffsetsTopic() {
+	if _, err := b.reg.GetTopic(OffsetsTopic); err == nil {
+		return
+	}
+	rf := b.cfg.OffsetsReplication
+	if n := len(b.reg.LiveBrokers()); int(rf) > n {
+		rf = int16(n)
+	}
+	b.createTopic(wire.TopicSpec{
+		Name:              OffsetsTopic,
+		NumPartitions:     b.cfg.OffsetsPartitions,
+		ReplicationFactor: rf,
+		Compacted:         true,
+	})
+}
+
+func (b *Broker) handleFindCoordinator(req *wire.FindCoordinatorRequest) *wire.FindCoordinatorResponse {
+	b.ensureOffsetsTopic()
+	partition := groupPartition(req.Key, b.cfg.OffsetsPartitions)
+	st, _, err := b.reg.PartitionState(OffsetsTopic, partition)
+	if err != nil || st.Leader < 0 {
+		return &wire.FindCoordinatorResponse{Err: wire.ErrCoordinatorNotAvailable, NodeID: -1}
+	}
+	for _, info := range b.reg.LiveBrokers() {
+		if info.ID == st.Leader {
+			return &wire.FindCoordinatorResponse{NodeID: info.ID, Host: info.Host, Port: info.Port}
+		}
+	}
+	return &wire.FindCoordinatorResponse{Err: wire.ErrCoordinatorNotAvailable, NodeID: -1}
+}
+
+func (b *Broker) handleOffsetCommit(req *wire.OffsetCommitRequest) *wire.OffsetCommitResponse {
+	resp := &wire.OffsetCommitResponse{}
+	for _, t := range req.Topics {
+		rt := wire.OffsetCommitRespTopic{Name: t.Name}
+		for _, p := range t.Partitions {
+			code := b.offsets.commit(req.Group, t.Name, p.Partition, p.Offset, p.Metadata)
+			rt.Partitions = append(rt.Partitions, wire.OffsetCommitRespPartition{
+				Partition: p.Partition,
+				Err:       code,
+			})
+		}
+		resp.Topics = append(resp.Topics, rt)
+	}
+	return resp
+}
+
+func (b *Broker) handleOffsetFetch(req *wire.OffsetFetchRequest) *wire.OffsetFetchResponse {
+	resp := &wire.OffsetFetchResponse{}
+	for _, t := range req.Topics {
+		rt := wire.OffsetFetchRespTopic{Name: t.Name}
+		for _, p := range t.Partitions {
+			cp, found, code := b.offsets.fetch(req.Group, t.Name, p)
+			rp := wire.OffsetFetchRespPartition{Partition: p, Err: code, Offset: -1}
+			if found {
+				rp.Offset = cp.Offset
+				rp.Metadata = cp.Metadata
+			}
+			rt.Partitions = append(rt.Partitions, rp)
+		}
+		resp.Topics = append(resp.Topics, rt)
+	}
+	return resp
+}

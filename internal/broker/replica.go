@@ -1,0 +1,414 @@
+// Package broker implements a messaging-layer broker: partition replicas
+// with leader/follower roles, the produce path with configurable
+// durability (acks 0/1/all), long-poll fetches, follower replication with
+// in-sync-replica tracking and high-watermark advancement, group
+// coordination and the offset manager. It is the Kafka-equivalent node of
+// the paper's messaging layer (§3.1, §4.1, §4.3).
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/storage/log"
+	"repro/internal/storage/record"
+	"repro/internal/wire"
+)
+
+// tp identifies a topic partition.
+type tp struct {
+	topic     string
+	partition int32
+}
+
+func (t tp) String() string { return fmt.Sprintf("%s-%d", t.topic, t.partition) }
+
+// ackWaiter blocks an acks=all produce until the high watermark covers its
+// batch (or a timeout/leadership change fails it).
+type ackWaiter struct {
+	minHW int64 // request completes when hw >= minHW
+	ch    chan wire.ErrorCode
+}
+
+// followerState is the leader's view of one follower.
+type followerState struct {
+	leo          int64 // follower's log end offset; -1 until first fetch
+	lastCaughtUp time.Time
+}
+
+// replica is one partition replica hosted by this broker. It wraps the
+// partition's commit log with leadership state.
+type replica struct {
+	tp       tp
+	log      *log.Log
+	brokerID int32
+
+	mu           sync.Mutex
+	isLeader     bool
+	leaderID     int32
+	epoch        int32
+	hw           int64
+	replicas     []int32
+	isr          []int32
+	stateVersion int64
+	followers    map[int32]*followerState
+	waiters      []ackWaiter
+	notifyCh     chan struct{} // closed and replaced on append/HW advance
+	closed       bool
+}
+
+func newReplica(t tp, l *log.Log, brokerID int32) *replica {
+	return &replica{
+		tp:       t,
+		log:      l,
+		brokerID: brokerID,
+		leaderID: -1,
+		hw:       l.NextOffset(), // standalone logs start fully committed
+		notifyCh: make(chan struct{}),
+	}
+}
+
+// notifyLocked wakes all waiters on the notification channel.
+func (r *replica) notifyLocked() {
+	close(r.notifyCh)
+	r.notifyCh = make(chan struct{})
+}
+
+// notifyChan returns the current broadcast channel; it is closed on the
+// next append or high-watermark advance.
+func (r *replica) notifyChan() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.notifyCh
+}
+
+// highWatermark returns the current high watermark.
+func (r *replica) highWatermark() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hw
+}
+
+// becomeLeader promotes the replica. Follower log-end offsets start
+// unknown; the high watermark cannot advance past them until they fetch.
+func (r *replica) becomeLeader(epoch int32, replicas, isr []int32, stateVersion int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	wasLeader := r.isLeader
+	r.isLeader = true
+	r.leaderID = r.brokerID
+	r.epoch = epoch
+	r.replicas = append([]int32(nil), replicas...)
+	r.isr = append([]int32(nil), isr...)
+	r.stateVersion = stateVersion
+	if !wasLeader {
+		r.followers = make(map[int32]*followerState)
+		for _, id := range replicas {
+			if id != r.brokerID {
+				r.followers[id] = &followerState{leo: -1}
+			}
+		}
+		// A sole-survivor leader commits everything it has.
+		r.maybeAdvanceHWLocked()
+	}
+	r.notifyLocked()
+}
+
+// becomeFollower demotes the replica. Outstanding acks=all produces fail
+// with NotLeader so clients retry against the new leader. The local log is
+// truncated to the high watermark: anything above it was never committed
+// and may diverge from the new leader (paper §4.3 hand-over).
+func (r *replica) becomeFollower(leaderID, epoch int32, stateVersion int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.isLeader = false
+	r.leaderID = leaderID
+	r.epoch = epoch
+	r.stateVersion = stateVersion
+	r.followers = nil
+	r.failWaitersLocked(wire.ErrNotLeaderForPartition)
+	if err := r.log.Truncate(r.hw); err != nil {
+		return err
+	}
+	r.notifyLocked()
+	return nil
+}
+
+// failWaitersLocked completes all pending produce waiters with an error.
+func (r *replica) failWaitersLocked(code wire.ErrorCode) {
+	for _, w := range r.waiters {
+		w.ch <- code
+	}
+	r.waiters = nil
+}
+
+// maybeAdvanceHWLocked recomputes the high watermark as the minimum log end
+// offset across the ISR and completes satisfied waiters.
+func (r *replica) maybeAdvanceHWLocked() {
+	if !r.isLeader {
+		return
+	}
+	minLEO := r.log.NextOffset()
+	for _, id := range r.isr {
+		if id == r.brokerID {
+			continue
+		}
+		f, ok := r.followers[id]
+		if !ok || f.leo < 0 {
+			return // an ISR member has not fetched yet: cannot advance
+		}
+		if f.leo < minLEO {
+			minLEO = f.leo
+		}
+	}
+	if minLEO > r.hw {
+		r.hw = minLEO
+		kept := r.waiters[:0]
+		for _, w := range r.waiters {
+			if r.hw >= w.minHW {
+				w.ch <- wire.ErrNone
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		r.waiters = kept
+		r.notifyLocked()
+	}
+}
+
+// appendAsLeader appends records, returning the assigned base offset and,
+// for acks=all, a channel that resolves when the batch is committed.
+func (r *replica) appendAsLeader(records []record.Record, acks int16) (int64, <-chan wire.ErrorCode, wire.ErrorCode) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, nil, wire.ErrBrokerNotAvailable
+	}
+	if !r.isLeader {
+		return 0, nil, wire.ErrNotLeaderForPartition
+	}
+	base, err := r.log.Append(records)
+	if err != nil {
+		return 0, nil, wire.ErrUnknown
+	}
+	last := base + int64(len(records)) - 1
+	r.maybeAdvanceHWLocked()
+	r.notifyLocked() // wake follower long-polls
+	if acks != -1 {
+		return base, nil, wire.ErrNone
+	}
+	if r.hw >= last+1 {
+		done := make(chan wire.ErrorCode, 1)
+		done <- wire.ErrNone
+		return base, done, wire.ErrNone
+	}
+	w := ackWaiter{minHW: last + 1, ch: make(chan wire.ErrorCode, 1)}
+	r.waiters = append(r.waiters, w)
+	return base, w.ch, wire.ErrNone
+}
+
+// appendAsFollower appends a replicated batch and adopts the leader's high
+// watermark (bounded by the local log end).
+func (r *replica) appendAsFollower(batch []byte, leaderHW int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return log.ErrClosed
+	}
+	if len(batch) > 0 {
+		if err := r.log.AppendBatch(batch); err != nil {
+			return err
+		}
+	}
+	hw := leaderHW
+	if leo := r.log.NextOffset(); hw > leo {
+		hw = leo
+	}
+	if hw > r.hw {
+		r.hw = hw
+	}
+	return nil
+}
+
+// setFollowerHW adopts the leader's HW when a fetch returned no data.
+func (r *replica) setFollowerHW(leaderHW int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hw := leaderHW
+	if leo := r.log.NextOffset(); hw > leo {
+		hw = leo
+	}
+	if hw > r.hw {
+		r.hw = hw
+	}
+}
+
+// onFollowerFetch records a follower's fetch position (it has every offset
+// below fetchOffset). It returns the follower ids that just caught up to
+// the log end but are outside the ISR — candidates for ISR expansion,
+// which the broker commits through the coordination service.
+func (r *replica) onFollowerFetch(followerID int32, fetchOffset int64, now time.Time) []int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.isLeader {
+		return nil
+	}
+	f, ok := r.followers[followerID]
+	if !ok {
+		f = &followerState{leo: -1}
+		r.followers[followerID] = f
+	}
+	if fetchOffset > f.leo {
+		f.leo = fetchOffset
+	}
+	leo := r.log.NextOffset()
+	if f.leo >= leo {
+		f.lastCaughtUp = now
+	}
+	r.maybeAdvanceHWLocked()
+	if f.leo >= r.hw && !r.inISRLocked(followerID) {
+		return []int32{followerID}
+	}
+	return nil
+}
+
+func (r *replica) inISRLocked(id int32) bool {
+	for _, x := range r.isr {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// laggingFollowers returns ISR members whose last caught-up time is older
+// than maxLag — candidates for ISR shrink.
+func (r *replica) laggingFollowers(maxLag time.Duration, now time.Time) []int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.isLeader {
+		return nil
+	}
+	var out []int32
+	for _, id := range r.isr {
+		if id == r.brokerID {
+			continue
+		}
+		f, ok := r.followers[id]
+		if !ok {
+			continue
+		}
+		caughtUp := f.leo >= r.log.NextOffset()
+		if !caughtUp && now.Sub(f.lastCaughtUp) > maxLag {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// setISR installs a new ISR (already committed to the coordination
+// service) and re-evaluates the high watermark.
+func (r *replica) setISR(isr []int32, stateVersion int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.isr = append([]int32(nil), isr...)
+	r.stateVersion = stateVersion
+	r.maybeAdvanceHWLocked()
+}
+
+// snapshotState returns the replica's current view for metadata responses.
+func (r *replica) snapshotState() (leader int32, epoch int32, isr []int32, isLeader bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leaderID, r.epoch, append([]int32(nil), r.isr...), r.isLeader
+}
+
+// readForConsumer reads committed data (below the high watermark).
+func (r *replica) readForConsumer(offset int64, maxBytes int) ([]byte, int64, int64, wire.ErrorCode) {
+	r.mu.Lock()
+	hw := r.hw
+	isLeader := r.isLeader
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return nil, 0, 0, wire.ErrBrokerNotAvailable
+	}
+	if !isLeader {
+		return nil, 0, 0, wire.ErrNotLeaderForPartition
+	}
+	start := r.log.StartOffset()
+	if offset < start || offset > hw {
+		if offset >= hw && offset <= r.log.NextOffset() {
+			return nil, hw, start, wire.ErrNone // caught up: empty fetch
+		}
+		return nil, hw, start, wire.ErrOffsetOutOfRange
+	}
+	data, err := r.log.Read(offset, maxBytes)
+	if err != nil {
+		return nil, hw, start, wire.ErrUnknown
+	}
+	// Serve only batches fully below the high watermark. Batch boundaries
+	// align with HW because replication moves whole batches.
+	data = data[:visibleBatches(data, hw)]
+	return data, hw, start, wire.ErrNone
+}
+
+// readForFollower reads up to the log end (followers replicate uncommitted
+// data; it becomes committed exactly when they have it).
+func (r *replica) readForFollower(offset int64, maxBytes int) ([]byte, int64, int64, wire.ErrorCode) {
+	r.mu.Lock()
+	hw := r.hw
+	isLeader := r.isLeader
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return nil, 0, 0, wire.ErrBrokerNotAvailable
+	}
+	if !isLeader {
+		return nil, 0, 0, wire.ErrNotLeaderForPartition
+	}
+	start := r.log.StartOffset()
+	if offset < start {
+		return nil, hw, start, wire.ErrOffsetOutOfRange
+	}
+	end := r.log.NextOffset()
+	if offset > end {
+		return nil, hw, start, wire.ErrOffsetOutOfRange
+	}
+	data, err := r.log.Read(offset, maxBytes)
+	if err != nil {
+		return nil, hw, start, wire.ErrUnknown
+	}
+	return data, hw, start, wire.ErrNone
+}
+
+// visibleBatches returns the byte length of the prefix of data whose
+// batches end below hw.
+func visibleBatches(data []byte, hw int64) int {
+	pos := 0
+	for pos < len(data) {
+		info, err := record.PeekBatchInfo(data[pos:])
+		if err != nil || info.LastOffset >= hw {
+			break
+		}
+		if pos+info.Length > len(data) {
+			break
+		}
+		pos += info.Length
+	}
+	return pos
+}
+
+// close marks the replica closed and fails outstanding waiters.
+func (r *replica) close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.failWaitersLocked(wire.ErrBrokerNotAvailable)
+	r.notifyLocked()
+	return r.log.Close()
+}

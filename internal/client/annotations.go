@@ -1,0 +1,28 @@
+package client
+
+import "encoding/json"
+
+// EncodeAnnotations marshals checkpoint annotations (e.g. software version,
+// rewind markers) into the metadata string stored by the offset manager
+// (paper §4.2). A nil or empty map encodes as the empty string.
+func EncodeAnnotations(a map[string]string) string {
+	if len(a) == 0 {
+		return ""
+	}
+	b, err := json.Marshal(a)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// DecodeAnnotations parses a checkpoint metadata string back into an
+// annotation map. Invalid or empty metadata yields an empty map.
+func DecodeAnnotations(s string) map[string]string {
+	out := make(map[string]string)
+	if s == "" {
+		return out
+	}
+	_ = json.Unmarshal([]byte(s), &out)
+	return out
+}

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// The client's integration behaviour (produce/consume/groups/failover) is
+// covered end-to-end in internal/broker and internal/processing tests;
+// this file unit-tests the client-local logic: partitioners, annotation
+// codecs, and config validation.
+
+func TestHashPartitionerStableForKeys(t *testing.T) {
+	p := &HashPartitioner{}
+	msg := &Message{Key: []byte("user-42")}
+	first := p.Partition(msg, 8)
+	for i := 0; i < 50; i++ {
+		if got := p.Partition(msg, 8); got != first {
+			t.Fatalf("keyed partition moved: %d -> %d", first, got)
+		}
+	}
+	if first < 0 || first >= 8 {
+		t.Fatalf("partition %d out of range", first)
+	}
+}
+
+func TestHashPartitionerSpreadsKeys(t *testing.T) {
+	p := &HashPartitioner{}
+	counts := make(map[int32]int)
+	for i := 0; i < 1000; i++ {
+		msg := &Message{Key: []byte{byte(i), byte(i >> 8), 'k'}}
+		counts[p.Partition(msg, 8)]++
+	}
+	if len(counts) < 6 {
+		t.Fatalf("keys landed on only %d/8 partitions: %v", len(counts), counts)
+	}
+}
+
+func TestHashPartitionerRoundRobinsUnkeyed(t *testing.T) {
+	p := &HashPartitioner{}
+	counts := make(map[int32]int)
+	for i := 0; i < 80; i++ {
+		counts[p.Partition(&Message{}, 8)]++
+	}
+	for part, n := range counts {
+		if n != 10 {
+			t.Fatalf("partition %d got %d/80 unkeyed messages, want 10", part, n)
+		}
+	}
+}
+
+func TestRoundRobinPartitionerIgnoresKeys(t *testing.T) {
+	p := &RoundRobinPartitioner{}
+	seen := make(map[int32]bool)
+	for i := 0; i < 4; i++ {
+		seen[p.Partition(&Message{Key: []byte("same")}, 4)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("round robin visited %d/4 partitions", len(seen))
+	}
+}
+
+func TestQuickPartitionerInRange(t *testing.T) {
+	p := &HashPartitioner{}
+	f := func(key []byte, n uint8) bool {
+		parts := int32(n%32) + 1
+		got := p.Partition(&Message{Key: key}, parts)
+		return got >= 0 && got < parts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnotationsRoundTrip(t *testing.T) {
+	in := map[string]string{"version": "v2", "ts": "12345"}
+	out := DecodeAnnotations(EncodeAnnotations(in))
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %v -> %v", in, out)
+	}
+}
+
+func TestAnnotationsEmpty(t *testing.T) {
+	if got := EncodeAnnotations(nil); got != "" {
+		t.Fatalf("nil encodes to %q", got)
+	}
+	if got := DecodeAnnotations(""); len(got) != 0 {
+		t.Fatalf("empty decodes to %v", got)
+	}
+	if got := DecodeAnnotations("not-json"); len(got) != 0 {
+		t.Fatalf("garbage decodes to %v", got)
+	}
+}
+
+func TestClientConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no bootstrap accepted")
+	}
+	c, err := New(Config{Bootstrap: []string{"127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cfg := c.Config()
+	if cfg.ClientID == "" || cfg.MaxRetries == 0 || cfg.DialTimeout == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestClientUnreachableBootstrap(t *testing.T) {
+	c, err := New(Config{Bootstrap: []string{"127.0.0.1:1"}, DialTimeout: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RefreshMetadata(); err == nil {
+		t.Fatal("metadata against dead broker should fail")
+	}
+}
+
+func TestGroupConfigValidation(t *testing.T) {
+	c, _ := New(Config{Bootstrap: []string{"127.0.0.1:1"}})
+	defer c.Close()
+	if _, err := NewGroupConsumer(c, ConsumerConfig{}, GroupConfig{}); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := NewGroupConsumer(c, ConsumerConfig{}, GroupConfig{Group: "g"}); err == nil {
+		t.Fatal("no topics accepted")
+	}
+}
+
+func TestConsumerAssignValidation(t *testing.T) {
+	c, _ := New(Config{Bootstrap: []string{"127.0.0.1:1"}})
+	defer c.Close()
+	cons := NewConsumer(c, ConsumerConfig{})
+	defer cons.Close()
+	if got := cons.Position("t", 0); got != -1 {
+		t.Fatalf("unassigned position = %d", got)
+	}
+	if err := cons.Seek("t", 0, 5); err == nil {
+		t.Fatal("seek on unassigned partition accepted")
+	}
+	if _, err := cons.Poll(1); err == nil {
+		t.Fatal("poll with no assignment accepted")
+	}
+}
+
+func TestEffectiveAcks(t *testing.T) {
+	if effectiveAcks(AcksNone) != 0 {
+		t.Fatal("AcksNone should map to wire 0")
+	}
+	if effectiveAcks(1) != 1 || effectiveAcks(AcksAll) != -1 {
+		t.Fatal("pass-through acks wrong")
+	}
+	cfg := ProducerConfig{}.withDefaults()
+	if cfg.Acks != 1 {
+		t.Fatalf("zero-value acks should default to leader acks, got %d", cfg.Acks)
+	}
+}
+
+func TestMessageTopicsRequired(t *testing.T) {
+	// tpKey formatting used across consumer internals.
+	if tpKey("a", 3) != "a/3" {
+		t.Fatal("tpKey format changed")
+	}
+}

@@ -1,0 +1,127 @@
+// Package client implements the messaging layer's client side: framed
+// connections, a cluster-aware metadata cache, a batching producer with
+// pluggable partitioners, partition consumers with long-poll fetches, and
+// consumer groups with client-side assignment (paper §3.1). The processing
+// layer and all back-end examples are built on these primitives.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrConnClosed reports use of a closed connection.
+var ErrConnClosed = errors.New("client: connection closed")
+
+// Conn is a synchronous framed protocol connection. One request is in
+// flight at a time per Conn; components that block server-side (long-poll
+// fetches, group joins) use dedicated connections.
+type Conn struct {
+	mu       sync.Mutex
+	nc       net.Conn
+	clientID string
+	nextCorr int32
+	closed   bool
+}
+
+// Dial connects to a broker address.
+func Dial(addr, clientID string, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Conn{nc: nc, clientID: clientID}, nil
+}
+
+// RoundTrip sends a request and decodes the response body into resp.
+func (c *Conn) RoundTrip(api wire.APIKey, req, resp wire.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrConnClosed
+	}
+	c.nextCorr++
+	hdr := wire.RequestHeader{API: api, CorrelationID: c.nextCorr, ClientID: c.clientID}
+	if err := wire.WriteFrame(c.nc, wire.EncodeRequest(&hdr, req)); err != nil {
+		c.closeLocked()
+		return fmt.Errorf("client: send: %w", err)
+	}
+	payload, err := wire.ReadFrame(c.nc)
+	if err != nil {
+		c.closeLocked()
+		return fmt.Errorf("client: recv: %w", err)
+	}
+	corr, r, err := wire.DecodeResponse(payload)
+	if err != nil {
+		c.closeLocked()
+		return err
+	}
+	if corr != hdr.CorrelationID {
+		c.closeLocked()
+		return fmt.Errorf("client: correlation mismatch: got %d want %d", corr, hdr.CorrelationID)
+	}
+	resp.Decode(r)
+	if err := r.Err(); err != nil {
+		c.closeLocked()
+		return err
+	}
+	return nil
+}
+
+// SendOnly writes a request without waiting for a response. Used for
+// acks=0 produces, where the broker does not reply (the minimum-durability
+// point of the paper's §4.3 trade-off).
+func (c *Conn) SendOnly(api wire.APIKey, req wire.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrConnClosed
+	}
+	c.nextCorr++
+	hdr := wire.RequestHeader{API: api, CorrelationID: c.nextCorr, ClientID: c.clientID}
+	if err := wire.WriteFrame(c.nc, wire.EncodeRequest(&hdr, req)); err != nil {
+		c.closeLocked()
+		return fmt.Errorf("client: send: %w", err)
+	}
+	return nil
+}
+
+// SetDeadline bounds the next I/O operations.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrConnClosed
+	}
+	return c.nc.SetDeadline(t)
+}
+
+func (c *Conn) closeLocked() {
+	if !c.closed {
+		c.closed = true
+		c.nc.Close()
+	}
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closeLocked()
+	return nil
+}
+
+// Closed reports whether the connection has been closed.
+func (c *Conn) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}

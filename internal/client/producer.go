@@ -1,0 +1,337 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/storage/record"
+	"repro/internal/wire"
+)
+
+// ErrProducerClosed reports sends on a closed producer.
+var ErrProducerClosed = errors.New("client: producer closed")
+
+// Message is a produced or consumed message.
+type Message struct {
+	Topic     string
+	Partition int32 // assigned by the partitioner when producing
+	Offset    int64 // assigned by the broker
+	Timestamp int64 // ms since epoch; 0 lets the broker stamp append time
+	Key       []byte
+	Value     []byte
+	Headers   []record.Header
+}
+
+// Partitioner chooses a partition for a message.
+type Partitioner interface {
+	Partition(msg *Message, numPartitions int32) int32
+}
+
+// HashPartitioner routes keyed messages by FNV-1a of the key (semantic
+// routing: all updates for a key share a partition and therefore a total
+// order) and unkeyed messages round-robin (load balancing), the two
+// policies named in §3.1.
+type HashPartitioner struct {
+	mu sync.Mutex
+	rr uint32
+}
+
+// Partition implements Partitioner.
+func (h *HashPartitioner) Partition(msg *Message, numPartitions int32) int32 {
+	if msg.Key == nil {
+		h.mu.Lock()
+		h.rr++
+		v := h.rr
+		h.mu.Unlock()
+		return int32(v % uint32(numPartitions))
+	}
+	f := fnv.New32a()
+	f.Write(msg.Key)
+	return int32(f.Sum32() % uint32(numPartitions))
+}
+
+// RoundRobinPartitioner ignores keys and spreads messages evenly.
+type RoundRobinPartitioner struct {
+	mu sync.Mutex
+	rr uint32
+}
+
+// Partition implements Partitioner.
+func (r *RoundRobinPartitioner) Partition(_ *Message, numPartitions int32) int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rr++
+	return int32(r.rr % uint32(numPartitions))
+}
+
+// ProducerConfig parameterises a Producer.
+type ProducerConfig struct {
+	// Acks selects durability: 0 fire-and-forget, 1 leader ack,
+	// -1 all in-sync replicas (paper §4.3).
+	Acks int16
+	// BatchBytes flushes a partition's buffer when it grows past this.
+	BatchBytes int
+	// Linger bounds how long records wait for batching before the
+	// background flusher sends them.
+	Linger time.Duration
+	// Partitioner routes messages; nil selects HashPartitioner.
+	Partitioner Partitioner
+	// TimeoutMs is the broker-side wait bound for acks=all.
+	TimeoutMs int32
+	// OnError receives asynchronous delivery failures (after retries).
+	OnError func(Message, error)
+}
+
+func (c ProducerConfig) withDefaults() ProducerConfig {
+	if c.Acks == 0 {
+		// Acks 0 must be requested explicitly via AcksNone: a zero struct
+		// gets safe leader acks.
+		c.Acks = 1
+	}
+	if c.BatchBytes == 0 {
+		c.BatchBytes = 64 << 10
+	}
+	if c.Linger == 0 {
+		c.Linger = 5 * time.Millisecond
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = &HashPartitioner{}
+	}
+	if c.TimeoutMs == 0 {
+		c.TimeoutMs = 5000
+	}
+	return c
+}
+
+// AcksNone is the explicit fire-and-forget setting for
+// ProducerConfig.Acks.
+const AcksNone int16 = -99
+
+// AcksAll waits for the full in-sync replica set.
+const AcksAll int16 = -1
+
+// effectiveAcks maps the config sentinel to the wire value.
+func effectiveAcks(acks int16) int16 {
+	if acks == AcksNone {
+		return 0
+	}
+	return acks
+}
+
+// Producer batches messages per partition and publishes them to partition
+// leaders. Safe for concurrent use.
+type Producer struct {
+	c   *Client
+	cfg ProducerConfig
+
+	mu      sync.Mutex
+	batches map[string]map[int32][]record.Record // topic -> partition -> pending
+	pending int
+	closed  bool
+
+	flushNow chan struct{}
+	done     chan struct{}
+}
+
+// NewProducer creates a producer on a client.
+func NewProducer(c *Client, cfg ProducerConfig) *Producer {
+	p := &Producer{
+		c:        c,
+		cfg:      cfg.withDefaults(),
+		batches:  make(map[string]map[int32][]record.Record),
+		flushNow: make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	go p.flushLoop()
+	return p
+}
+
+// Send buffers a message for delivery, routed by the configured
+// partitioner (Message.Partition is ignored; use SendExplicit for manual
+// routing). Delivery happens on the next flush (size, linger, or explicit
+// Flush).
+func (p *Producer) Send(msg Message) error {
+	n, err := p.c.PartitionCount(msg.Topic)
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("%w: %s", ErrUnknownPartition, msg.Topic)
+	}
+	return p.enqueue(msg, p.cfg.Partitioner.Partition(&msg, n))
+}
+
+// SendExplicit buffers a message for the exact partition in
+// Message.Partition, bypassing the partitioner. The processing layer uses
+// it to route changelog updates to the owning task's partition.
+func (p *Producer) SendExplicit(msg Message) error {
+	n, err := p.c.PartitionCount(msg.Topic)
+	if err != nil {
+		return err
+	}
+	if msg.Partition < 0 || msg.Partition >= n {
+		return fmt.Errorf("%w: %s/%d", ErrUnknownPartition, msg.Topic, msg.Partition)
+	}
+	return p.enqueue(msg, msg.Partition)
+}
+
+// enqueue adds a record to the partition's pending batch.
+func (p *Producer) enqueue(msg Message, partition int32) error {
+	rec := record.Record{
+		Timestamp: msg.Timestamp,
+		Key:       msg.Key,
+		Value:     msg.Value,
+		Headers:   msg.Headers,
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrProducerClosed
+	}
+	byPart, ok := p.batches[msg.Topic]
+	if !ok {
+		byPart = make(map[int32][]record.Record)
+		p.batches[msg.Topic] = byPart
+	}
+	byPart[partition] = append(byPart[partition], rec)
+	p.pending += len(msg.Key) + len(msg.Value) + 64
+	needFlush := p.pending >= p.cfg.BatchBytes
+	p.mu.Unlock()
+	if needFlush {
+		select {
+		case p.flushNow <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// SendSync delivers one message immediately (partitioner-routed),
+// returning its assigned offset.
+func (p *Producer) SendSync(msg Message) (int64, error) {
+	n, err := p.c.PartitionCount(msg.Topic)
+	if err != nil {
+		return -1, err
+	}
+	partition := p.cfg.Partitioner.Partition(&msg, n)
+	recs := []record.Record{{
+		Timestamp: msg.Timestamp,
+		Key:       msg.Key,
+		Value:     msg.Value,
+		Headers:   msg.Headers,
+	}}
+	return p.produce(msg.Topic, partition, recs)
+}
+
+// flushLoop sends buffered batches on linger expiry or explicit flush
+// signals.
+func (p *Producer) flushLoop() {
+	ticker := time.NewTicker(p.cfg.Linger)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-ticker.C:
+		case <-p.flushNow:
+		}
+		p.flushOnce()
+	}
+}
+
+// Flush synchronously delivers everything buffered so far.
+func (p *Producer) Flush() error {
+	return p.flushOnce()
+}
+
+// flushOnce drains the buffer and produces each partition's batch.
+func (p *Producer) flushOnce() error {
+	p.mu.Lock()
+	batches := p.batches
+	p.batches = make(map[string]map[int32][]record.Record)
+	p.pending = 0
+	p.mu.Unlock()
+
+	var firstErr error
+	for topic, byPart := range batches {
+		for partition, recs := range byPart {
+			if len(recs) == 0 {
+				continue
+			}
+			if _, err := p.produce(topic, partition, recs); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				if p.cfg.OnError != nil {
+					for _, r := range recs {
+						p.cfg.OnError(Message{
+							Topic: topic, Partition: partition,
+							Key: r.Key, Value: r.Value, Timestamp: r.Timestamp,
+						}, err)
+					}
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// produce delivers one batch to the partition leader with retries,
+// returning the base offset (or -1 for acks=0).
+func (p *Producer) produce(topic string, partition int32, recs []record.Record) (int64, error) {
+	payload := record.EncodeBatch(0, recs)
+	req := &wire.ProduceRequest{
+		RequiredAcks: effectiveAcks(p.cfg.Acks),
+		TimeoutMs:    p.cfg.TimeoutMs,
+		Topics: []wire.ProduceTopic{{
+			Name:       topic,
+			Partitions: []wire.ProducePartition{{Partition: partition, Records: payload}},
+		}},
+	}
+	if p.cfg.Acks == AcksNone {
+		// Fire-and-forget: no response frame exists.
+		leader, err := p.c.LeaderFor(topic, partition)
+		if err != nil {
+			return -1, err
+		}
+		conn, err := p.c.ConnTo(leader)
+		if err != nil {
+			return -1, err
+		}
+		if err := conn.SendOnly(wire.APIProduce, req); err != nil {
+			p.c.dropConn(leader)
+			return -1, err
+		}
+		return -1, nil
+	}
+	var base int64 = -1
+	err := p.c.withLeaderRetry(topic, partition, func(conn *Conn) (wire.ErrorCode, error) {
+		var resp wire.ProduceResponse
+		if err := conn.RoundTrip(wire.APIProduce, req, &resp); err != nil {
+			return wire.ErrNone, err
+		}
+		if len(resp.Topics) != 1 || len(resp.Topics[0].Partitions) != 1 {
+			return wire.ErrNone, errors.New("client: malformed produce response")
+		}
+		pr := resp.Topics[0].Partitions[0]
+		base = pr.BaseOffset
+		return pr.Err, nil
+	})
+	return base, err
+}
+
+// Close flushes outstanding messages and stops the producer.
+func (p *Producer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+	return p.flushOnce()
+}

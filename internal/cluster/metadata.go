@@ -1,0 +1,297 @@
+// Package cluster defines the messaging layer's cluster metadata — broker
+// registration, topic assignments, and per-partition leader/ISR state — and
+// the controller that reassigns leadership when brokers fail (paper §4.3).
+// All state lives in the coordination service so that every broker observes
+// the same view through watches.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/coord"
+)
+
+// Well-known coordination paths.
+const (
+	BrokersPrefix  = "/brokers/"
+	ControllerPath = "/controller"
+	TopicsPrefix   = "/topics/"
+	StatePrefix    = "/state/"
+)
+
+// ErrNoTopic reports a lookup of an unknown topic.
+var ErrNoTopic = errors.New("cluster: no such topic")
+
+// BrokerInfo describes one broker's address.
+type BrokerInfo struct {
+	ID   int32  `json:"id"`
+	Host string `json:"host"`
+	Port int32  `json:"port"`
+}
+
+// Addr renders host:port.
+func (b BrokerInfo) Addr() string { return fmt.Sprintf("%s:%d", b.Host, b.Port) }
+
+// TopicConfig carries per-topic log settings.
+type TopicConfig struct {
+	NumPartitions     int32 `json:"numPartitions"`
+	ReplicationFactor int16 `json:"replicationFactor"`
+	RetentionMs       int64 `json:"retentionMs"`
+	RetentionBytes    int64 `json:"retentionBytes"`
+	SegmentBytes      int32 `json:"segmentBytes"`
+	Compacted         bool  `json:"compacted"`
+}
+
+// TopicInfo is a topic's full metadata: configuration plus the replica
+// assignment (Assignment[p] lists the broker ids replicating partition p;
+// the first entry is the preferred leader).
+type TopicInfo struct {
+	Name       string      `json:"name"`
+	Config     TopicConfig `json:"config"`
+	Assignment [][]int32   `json:"assignment"`
+}
+
+// PartitionState is the dynamic leadership state of one partition.
+type PartitionState struct {
+	Leader int32   `json:"leader"` // -1 when offline
+	Epoch  int32   `json:"epoch"`
+	ISR    []int32 `json:"isr"`
+}
+
+// InISR reports whether broker id is in the in-sync replica set.
+func (p PartitionState) InISR(id int32) bool {
+	for _, r := range p.ISR {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// brokerPath renders the registration path for a broker id.
+func brokerPath(id int32) string { return BrokersPrefix + strconv.Itoa(int(id)) }
+
+// statePath renders the partition-state path.
+func statePath(topic string, partition int32) string {
+	return StatePrefix + topic + "/" + strconv.Itoa(int(partition))
+}
+
+// Registry is a typed facade over the coordination store.
+type Registry struct {
+	store *coord.Store
+}
+
+// NewRegistry wraps a coordination store.
+func NewRegistry(store *coord.Store) *Registry { return &Registry{store: store} }
+
+// Store exposes the underlying coordination store for watch registration.
+func (r *Registry) Store() *coord.Store { return r.store }
+
+// RegisterBroker publishes an ephemeral registration for a broker. The node
+// disappears when the broker's session expires, signalling failure.
+func (r *Registry) RegisterBroker(sid coord.SessionID, info BrokerInfo) error {
+	b, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	_, err = r.store.Create(brokerPath(info.ID), b, sid)
+	return err
+}
+
+// LiveBrokers returns currently registered brokers sorted by id.
+func (r *Registry) LiveBrokers() []BrokerInfo {
+	var out []BrokerInfo
+	for _, path := range r.store.List(BrokersPrefix) {
+		v, _, err := r.store.Get(path)
+		if err != nil {
+			continue
+		}
+		var info BrokerInfo
+		if json.Unmarshal(v, &info) == nil {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// BrokerAlive reports whether a broker registration exists.
+func (r *Registry) BrokerAlive(id int32) bool {
+	_, _, err := r.store.Get(brokerPath(id))
+	return err == nil
+}
+
+// CreateTopic writes topic metadata and the initial state of each
+// partition: leader = first assigned replica, ISR = all assigned replicas.
+func (r *Registry) CreateTopic(info TopicInfo) error {
+	b, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	if _, err := r.store.Create(TopicsPrefix+info.Name, b, coord.NoSession); err != nil {
+		return err
+	}
+	for p, replicas := range info.Assignment {
+		st := PartitionState{Leader: replicas[0], Epoch: 1, ISR: append([]int32(nil), replicas...)}
+		sb, err := json.Marshal(st)
+		if err != nil {
+			return err
+		}
+		if _, err := r.store.Create(statePath(info.Name, int32(p)), sb, coord.NoSession); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteTopic removes topic metadata and partition states.
+func (r *Registry) DeleteTopic(name string) error {
+	info, err := r.GetTopic(name)
+	if err != nil {
+		return err
+	}
+	for p := range info.Assignment {
+		_ = r.store.Delete(statePath(name, int32(p)), -1)
+	}
+	return r.store.Delete(TopicsPrefix+name, -1)
+}
+
+// GetTopic returns a topic's metadata.
+func (r *Registry) GetTopic(name string) (TopicInfo, error) {
+	v, _, err := r.store.Get(TopicsPrefix + name)
+	if err != nil {
+		return TopicInfo{}, fmt.Errorf("%w: %s", ErrNoTopic, name)
+	}
+	var info TopicInfo
+	if err := json.Unmarshal(v, &info); err != nil {
+		return TopicInfo{}, err
+	}
+	return info, nil
+}
+
+// Topics returns all topic names, sorted.
+func (r *Registry) Topics() []string {
+	paths := r.store.List(TopicsPrefix)
+	out := make([]string, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, strings.TrimPrefix(p, TopicsPrefix))
+	}
+	return out
+}
+
+// PartitionState reads a partition's leadership state and its CAS version.
+func (r *Registry) PartitionState(topic string, partition int32) (PartitionState, int64, error) {
+	v, ver, err := r.store.Get(statePath(topic, partition))
+	if err != nil {
+		return PartitionState{}, 0, err
+	}
+	var st PartitionState
+	if err := json.Unmarshal(v, &st); err != nil {
+		return PartitionState{}, 0, err
+	}
+	return st, ver, nil
+}
+
+// SetPartitionState writes a partition's leadership state with CAS.
+func (r *Registry) SetPartitionState(topic string, partition int32, st PartitionState, expectedVersion int64) (int64, error) {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return 0, err
+	}
+	return r.store.Set(statePath(topic, partition), b, expectedVersion)
+}
+
+// ElectController attempts to become the controller, returning true on win.
+func (r *Registry) ElectController(sid coord.SessionID, brokerID int32) (bool, error) {
+	return r.store.TryAcquire(ControllerPath, sid, []byte(strconv.Itoa(int(brokerID))))
+}
+
+// ControllerID returns the current controller's broker id, or -1 if none.
+func (r *Registry) ControllerID() int32 {
+	v, _, err := r.store.Get(ControllerPath)
+	if err != nil {
+		return -1
+	}
+	id, err := strconv.Atoi(string(v))
+	if err != nil {
+		return -1
+	}
+	return int32(id)
+}
+
+// AssignReplicas distributes numPartitions partitions over the given broker
+// ids with the requested replication factor, round-robin with a rotating
+// start so leadership spreads evenly (the load-balancing the paper leans on
+// in §4.4). Broker ids are sorted first for determinism.
+func AssignReplicas(brokerIDs []int32, numPartitions int32, rf int16) ([][]int32, error) {
+	if len(brokerIDs) == 0 {
+		return nil, errors.New("cluster: no live brokers")
+	}
+	if int(rf) > len(brokerIDs) {
+		return nil, fmt.Errorf("cluster: replication factor %d exceeds %d live brokers", rf, len(brokerIDs))
+	}
+	if rf < 1 {
+		rf = 1
+	}
+	ids := append([]int32(nil), brokerIDs...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([][]int32, numPartitions)
+	for p := int32(0); p < numPartitions; p++ {
+		replicas := make([]int32, rf)
+		for i := int16(0); i < rf; i++ {
+			replicas[i] = ids[(int(p)+int(i))%len(ids)]
+		}
+		out[p] = replicas
+	}
+	return out, nil
+}
+
+// ParseStatePath splits a /state/<topic>/<partition> path. ok is false for
+// foreign paths.
+func ParseStatePath(path string) (topic string, partition int32, ok bool) {
+	rest, found := strings.CutPrefix(path, StatePrefix)
+	if !found {
+		return "", 0, false
+	}
+	idx := strings.LastIndex(rest, "/")
+	if idx <= 0 {
+		return "", 0, false
+	}
+	p, err := strconv.Atoi(rest[idx+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return rest[:idx], int32(p), true
+}
+
+// ParseBrokerPath extracts the broker id from a /brokers/<id> path.
+func ParseBrokerPath(path string) (int32, bool) {
+	rest, found := strings.CutPrefix(path, BrokersPrefix)
+	if !found {
+		return 0, false
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false
+	}
+	return int32(id), true
+}
+
+// WaitForBrokers blocks until n brokers are registered or the timeout
+// elapses, returning the live set. Used by cluster bootstrap and tests.
+func (r *Registry) WaitForBrokers(n int, timeout time.Duration) []BrokerInfo {
+	deadline := time.Now().Add(timeout)
+	for {
+		live := r.LiveBrokers()
+		if len(live) >= n || time.Now().After(deadline) {
+			return live
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,379 @@
+// Package coord provides the coordination service of the messaging layer, a
+// stand-in for the ZooKeeper ensemble in the paper (§4.3): a logically
+// centralised, versioned key-value store with ephemeral nodes bound to
+// heartbeat sessions, prefix watches, and compare-and-swap updates. Brokers
+// use it for liveness registration, controller election, topic metadata and
+// per-partition leader/ISR state.
+//
+// The store is a single in-process instance (the paper treats ZooKeeper as a
+// given, logically centralised service; replicating the coordinator itself
+// is outside the paper's scope).
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by store operations.
+var (
+	// ErrExists reports a create of a path that already exists.
+	ErrExists = errors.New("coord: node exists")
+	// ErrNotFound reports an operation on a missing path.
+	ErrNotFound = errors.New("coord: node not found")
+	// ErrBadVersion reports a failed compare-and-swap.
+	ErrBadVersion = errors.New("coord: version mismatch")
+	// ErrNoSession reports use of an expired or unknown session.
+	ErrNoSession = errors.New("coord: no such session")
+)
+
+// SessionID identifies a heartbeat session. Ephemeral nodes are deleted
+// when their owning session expires, which is how broker failures become
+// visible to the controller.
+type SessionID int64
+
+// NoSession marks a node as persistent.
+const NoSession SessionID = 0
+
+// EventType classifies a watch event.
+type EventType int
+
+// Watch event types.
+const (
+	EventCreated EventType = iota
+	EventUpdated
+	EventDeleted
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EventCreated:
+		return "created"
+	case EventUpdated:
+		return "updated"
+	case EventDeleted:
+		return "deleted"
+	}
+	return "unknown"
+}
+
+// Event describes a change to a node.
+type Event struct {
+	Type    EventType
+	Path    string
+	Value   []byte
+	Version int64
+}
+
+// node is one entry in the store.
+type node struct {
+	value   []byte
+	version int64
+	owner   SessionID
+}
+
+// session tracks a client's liveness.
+type session struct {
+	id       SessionID
+	timeout  time.Duration
+	deadline time.Time
+}
+
+// watcher receives events for paths under a prefix. Slow watchers whose
+// buffers overflow are closed and must re-register and re-read state, the
+// same contract ZooKeeper clients must honour.
+type watcher struct {
+	prefix string
+	ch     chan Event
+}
+
+// Config parameterises the store.
+type Config struct {
+	// Now is an injectable clock for tests; nil means time.Now.
+	Now func() time.Time
+	// DefaultSessionTimeout applies when CreateSession is given zero.
+	DefaultSessionTimeout time.Duration
+	// WatchBuffer is the per-watcher channel capacity.
+	WatchBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.DefaultSessionTimeout == 0 {
+		c.DefaultSessionTimeout = 6 * time.Second
+	}
+	if c.WatchBuffer == 0 {
+		c.WatchBuffer = 1024
+	}
+	return c
+}
+
+// Store is the coordination service. All methods are safe for concurrent
+// use.
+type Store struct {
+	cfg Config
+
+	mu          sync.Mutex
+	nodes       map[string]*node
+	sessions    map[SessionID]*session
+	watchers    []*watcher
+	nextSession SessionID
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	return &Store{
+		cfg:      cfg.withDefaults(),
+		nodes:    make(map[string]*node),
+		sessions: make(map[SessionID]*session),
+	}
+}
+
+// CreateSession opens a heartbeat session. The caller must call KeepAlive
+// within the timeout or the session's ephemeral nodes are deleted on the
+// next ExpireSessions pass.
+func (s *Store) CreateSession(timeout time.Duration) SessionID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultSessionTimeout
+	}
+	s.nextSession++
+	id := s.nextSession
+	s.sessions[id] = &session{
+		id:       id,
+		timeout:  timeout,
+		deadline: s.cfg.Now().Add(timeout),
+	}
+	return id
+}
+
+// KeepAlive extends a session's deadline.
+func (s *Store) KeepAlive(id SessionID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return ErrNoSession
+	}
+	sess.deadline = s.cfg.Now().Add(sess.timeout)
+	return nil
+}
+
+// CloseSession ends a session immediately, deleting its ephemeral nodes.
+func (s *Store) CloseSession(id SessionID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(id)
+}
+
+// ExpireSessions deletes ephemeral nodes of every session whose deadline
+// passed, returning the expired session ids. Brokers run this on a ticker;
+// tests call it directly with a controlled clock.
+func (s *Store) ExpireSessions() []SessionID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Now()
+	var expired []SessionID
+	for id, sess := range s.sessions {
+		if now.After(sess.deadline) {
+			expired = append(expired, id)
+		}
+	}
+	for _, id := range expired {
+		s.expireLocked(id)
+	}
+	return expired
+}
+
+// expireLocked removes the session and its ephemeral nodes.
+func (s *Store) expireLocked(id SessionID) {
+	if _, ok := s.sessions[id]; !ok {
+		return
+	}
+	delete(s.sessions, id)
+	for path, n := range s.nodes {
+		if n.owner == id {
+			delete(s.nodes, path)
+			s.notifyLocked(Event{Type: EventDeleted, Path: path, Version: n.version})
+		}
+	}
+}
+
+// SessionAlive reports whether the session exists and has not expired.
+func (s *Store) SessionAlive(id SessionID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return ok && !s.cfg.Now().After(sess.deadline)
+}
+
+// Create adds a node. owner NoSession makes it persistent; otherwise the
+// node is ephemeral and vanishes with the session.
+func (s *Store) Create(path string, value []byte, owner SessionID) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.nodes[path]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	if owner != NoSession {
+		if _, ok := s.sessions[owner]; !ok {
+			return 0, ErrNoSession
+		}
+	}
+	n := &node{value: append([]byte(nil), value...), version: 1, owner: owner}
+	s.nodes[path] = n
+	s.notifyLocked(Event{Type: EventCreated, Path: path, Value: n.value, Version: 1})
+	return 1, nil
+}
+
+// Get returns a node's value and version.
+func (s *Store) Get(path string) ([]byte, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[path]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return append([]byte(nil), n.value...), n.version, nil
+}
+
+// Set updates a node's value. expectedVersion -1 skips the version check;
+// otherwise the update succeeds only if the current version matches
+// (compare-and-swap, used for ISR updates so concurrent leader/controller
+// writes cannot clobber each other).
+func (s *Store) Set(path string, value []byte, expectedVersion int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if expectedVersion >= 0 && n.version != expectedVersion {
+		return 0, fmt.Errorf("%w: %s at v%d, expected v%d", ErrBadVersion, path, n.version, expectedVersion)
+	}
+	n.value = append([]byte(nil), value...)
+	n.version++
+	s.notifyLocked(Event{Type: EventUpdated, Path: path, Value: n.value, Version: n.version})
+	return n.version, nil
+}
+
+// Delete removes a node, with the same version semantics as Set.
+func (s *Store) Delete(path string, expectedVersion int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if expectedVersion >= 0 && n.version != expectedVersion {
+		return fmt.Errorf("%w: %s at v%d, expected v%d", ErrBadVersion, path, n.version, expectedVersion)
+	}
+	delete(s.nodes, path)
+	s.notifyLocked(Event{Type: EventDeleted, Path: path, Version: n.version})
+	return nil
+}
+
+// List returns the sorted paths under prefix.
+func (s *Store) List(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for path := range s.nodes {
+		if strings.HasPrefix(path, prefix) {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch subscribes to events for all paths under prefix. The returned
+// cancel function unsubscribes. If the subscriber falls behind and the
+// buffer fills, the channel is closed: the subscriber must re-register and
+// re-read current state.
+func (s *Store) Watch(prefix string) (<-chan Event, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := &watcher{prefix: prefix, ch: make(chan Event, s.cfg.WatchBuffer)}
+	s.watchers = append(s.watchers, w)
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, x := range s.watchers {
+			if x == w {
+				s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+				close(w.ch)
+				return
+			}
+		}
+	}
+	return w.ch, cancel
+}
+
+// notifyLocked fans an event out to matching watchers.
+func (s *Store) notifyLocked(ev Event) {
+	kept := s.watchers[:0]
+	for _, w := range s.watchers {
+		if !strings.HasPrefix(ev.Path, w.prefix) {
+			kept = append(kept, w)
+			continue
+		}
+		select {
+		case w.ch <- ev:
+			kept = append(kept, w)
+		default:
+			// Overflow: drop the watcher; it must re-sync.
+			close(w.ch)
+		}
+	}
+	s.watchers = kept
+}
+
+// StartExpiry launches a background goroutine calling ExpireSessions every
+// interval, returning a stop function. One pump per store is enough; the
+// cluster facade owns it.
+func (s *Store) StartExpiry(interval time.Duration) func() {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				s.ExpireSessions()
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
+}
+
+// TryAcquire attempts to create an ephemeral node at path, implementing
+// leader election: the winner's session holds the node until it dies.
+// It returns true if this session now holds the lock.
+func (s *Store) TryAcquire(path string, owner SessionID, value []byte) (bool, error) {
+	_, err := s.Create(path, value, owner)
+	if errors.Is(err, ErrExists) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,332 @@
+package coord
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// testClock is a controllable clock.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time { return c.t }
+
+func newTestStore() (*Store, *testClock) {
+	clk := &testClock{t: time.Unix(1000, 0)}
+	return New(Config{Now: clk.now}), clk
+}
+
+func TestCreateGetSetDelete(t *testing.T) {
+	s, _ := newTestStore()
+	v, err := s.Create("/a", []byte("1"), NoSession)
+	if err != nil || v != 1 {
+		t.Fatalf("Create: v=%d err=%v", v, err)
+	}
+	if _, err := s.Create("/a", []byte("x"), NoSession); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	val, ver, err := s.Get("/a")
+	if err != nil || string(val) != "1" || ver != 1 {
+		t.Fatalf("Get: %q v%d %v", val, ver, err)
+	}
+	v2, err := s.Set("/a", []byte("2"), 1)
+	if err != nil || v2 != 2 {
+		t.Fatalf("Set: v=%d err=%v", v2, err)
+	}
+	if _, err := s.Set("/a", []byte("x"), 1); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale CAS: %v", err)
+	}
+	if _, err := s.Set("/a", []byte("3"), -1); err != nil {
+		t.Fatalf("unconditional set: %v", err)
+	}
+	if err := s.Delete("/a", 2); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale delete: %v", err)
+	}
+	if err := s.Delete("/a", 3); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, _, err := s.Get("/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s, _ := newTestStore()
+	in := []byte("abc")
+	s.Create("/a", in, NoSession)
+	in[0] = 'X' // caller mutates its buffer
+	got, _, _ := s.Get("/a")
+	if string(got) != "abc" {
+		t.Fatalf("store shares caller memory: %q", got)
+	}
+	got[0] = 'Y' // reader mutates the returned buffer
+	got2, _, _ := s.Get("/a")
+	if string(got2) != "abc" {
+		t.Fatalf("store shares reader memory: %q", got2)
+	}
+}
+
+func TestList(t *testing.T) {
+	s, _ := newTestStore()
+	s.Create("/brokers/2", nil, NoSession)
+	s.Create("/brokers/1", nil, NoSession)
+	s.Create("/topics/a", nil, NoSession)
+	got := s.List("/brokers/")
+	if len(got) != 2 || got[0] != "/brokers/1" || got[1] != "/brokers/2" {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestEphemeralNodesDieWithSession(t *testing.T) {
+	s, clk := newTestStore()
+	sid := s.CreateSession(time.Second)
+	if _, err := s.Create("/brokers/1", []byte("b1"), sid); err != nil {
+		t.Fatal(err)
+	}
+	s.Create("/persistent", nil, NoSession)
+
+	clk.t = clk.t.Add(2 * time.Second)
+	expired := s.ExpireSessions()
+	if len(expired) != 1 || expired[0] != sid {
+		t.Fatalf("expired = %v", expired)
+	}
+	if _, _, err := s.Get("/brokers/1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ephemeral survived expiry: %v", err)
+	}
+	if _, _, err := s.Get("/persistent"); err != nil {
+		t.Fatalf("persistent node died: %v", err)
+	}
+}
+
+func TestKeepAliveExtendsSession(t *testing.T) {
+	s, clk := newTestStore()
+	sid := s.CreateSession(time.Second)
+	s.Create("/n", nil, sid)
+	for i := 0; i < 5; i++ {
+		clk.t = clk.t.Add(800 * time.Millisecond)
+		if err := s.KeepAlive(sid); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.ExpireSessions(); len(got) != 0 {
+			t.Fatalf("session expired despite keepalive at step %d", i)
+		}
+	}
+	if !s.SessionAlive(sid) {
+		t.Fatal("session should be alive")
+	}
+}
+
+func TestCloseSessionImmediate(t *testing.T) {
+	s, _ := newTestStore()
+	sid := s.CreateSession(time.Hour)
+	s.Create("/n", nil, sid)
+	s.CloseSession(sid)
+	if _, _, err := s.Get("/n"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("ephemeral should be gone after CloseSession")
+	}
+	if s.SessionAlive(sid) {
+		t.Fatal("session should be dead")
+	}
+	if err := s.KeepAlive(sid); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("KeepAlive on dead session: %v", err)
+	}
+}
+
+func TestCreateWithDeadSessionFails(t *testing.T) {
+	s, _ := newTestStore()
+	sid := s.CreateSession(time.Second)
+	s.CloseSession(sid)
+	if _, err := s.Create("/n", nil, sid); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("create with dead session: %v", err)
+	}
+}
+
+func TestWatchDeliversEvents(t *testing.T) {
+	s, _ := newTestStore()
+	events, cancel := s.Watch("/topics/")
+	defer cancel()
+
+	s.Create("/topics/a", []byte("v1"), NoSession)
+	s.Set("/topics/a", []byte("v2"), -1)
+	s.Delete("/topics/a", -1)
+	s.Create("/other", nil, NoSession) // outside the prefix: not delivered
+
+	want := []EventType{EventCreated, EventUpdated, EventDeleted}
+	for i, wt := range want {
+		select {
+		case ev := <-events:
+			if ev.Type != wt || ev.Path != "/topics/a" {
+				t.Fatalf("event %d = %+v, want type %v", i, ev, wt)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("timed out waiting for event %d", i)
+		}
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("unexpected event %+v", ev)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestWatchExpiryEmitsDeleted(t *testing.T) {
+	s, clk := newTestStore()
+	sid := s.CreateSession(time.Second)
+	s.Create("/brokers/7", nil, sid)
+	events, cancel := s.Watch("/brokers/")
+	defer cancel()
+
+	clk.t = clk.t.Add(5 * time.Second)
+	s.ExpireSessions()
+	select {
+	case ev := <-events:
+		if ev.Type != EventDeleted || ev.Path != "/brokers/7" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no deletion event after session expiry")
+	}
+}
+
+func TestWatchOverflowClosesChannel(t *testing.T) {
+	s := New(Config{WatchBuffer: 2})
+	events, cancel := s.Watch("/")
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		s.Create("/n"+string(rune('a'+i)), nil, NoSession)
+	}
+	// Drain: channel must eventually be closed, not blocked.
+	closed := false
+	for i := 0; i < 20; i++ {
+		_, ok := <-events
+		if !ok {
+			closed = true
+			break
+		}
+	}
+	if !closed {
+		t.Fatal("overflowed watcher was not closed")
+	}
+}
+
+func TestCancelWatch(t *testing.T) {
+	s, _ := newTestStore()
+	events, cancel := s.Watch("/")
+	cancel()
+	if _, ok := <-events; ok {
+		t.Fatal("cancelled watch channel should be closed")
+	}
+	// Cancel twice is safe.
+	cancel()
+}
+
+func TestTryAcquireElection(t *testing.T) {
+	s, clk := newTestStore()
+	s1 := s.CreateSession(time.Second)
+	s2 := s.CreateSession(time.Hour)
+
+	won, err := s.TryAcquire("/controller", s1, []byte("1"))
+	if err != nil || !won {
+		t.Fatalf("first acquire: won=%v err=%v", won, err)
+	}
+	won, err = s.TryAcquire("/controller", s2, []byte("2"))
+	if err != nil || won {
+		t.Fatalf("second acquire should lose: won=%v err=%v", won, err)
+	}
+	// Holder dies; the seat opens.
+	clk.t = clk.t.Add(2 * time.Second)
+	s.ExpireSessions()
+	won, err = s.TryAcquire("/controller", s2, []byte("2"))
+	if err != nil || !won {
+		t.Fatalf("post-expiry acquire: won=%v err=%v", won, err)
+	}
+	v, _, _ := s.Get("/controller")
+	if string(v) != "2" {
+		t.Fatalf("controller = %q", v)
+	}
+}
+
+func TestStartExpiryPump(t *testing.T) {
+	s := New(Config{})
+	stop := s.StartExpiry(10 * time.Millisecond)
+	defer stop()
+	sid := s.CreateSession(30 * time.Millisecond)
+	s.Create("/n", nil, sid)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, err := s.Get("/n"); errors.Is(err, ErrNotFound) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("expiry pump never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestConcurrentElectionsExactlyOneWinner(t *testing.T) {
+	s := New(Config{})
+	const candidates = 16
+	type result struct {
+		id  SessionID
+		won bool
+	}
+	results := make(chan result, candidates)
+	start := make(chan struct{})
+	for i := 0; i < candidates; i++ {
+		sid := s.CreateSession(time.Hour)
+		go func(sid SessionID) {
+			<-start
+			won, err := s.TryAcquire("/controller", sid, []byte("me"))
+			if err != nil {
+				won = false
+			}
+			results <- result{id: sid, won: won}
+		}(sid)
+	}
+	close(start)
+	winners := 0
+	var winner SessionID
+	for i := 0; i < candidates; i++ {
+		r := <-results
+		if r.won {
+			winners++
+			winner = r.id
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d winners, want exactly 1", winners)
+	}
+	// The winner dying frees the seat for exactly one successor.
+	s.CloseSession(winner)
+	sid := s.CreateSession(time.Hour)
+	won, err := s.TryAcquire("/controller", sid, []byte("next"))
+	if err != nil || !won {
+		t.Fatalf("succession failed: %v %v", won, err)
+	}
+}
+
+func TestConcurrentSessionsAndWrites(t *testing.T) {
+	s, _ := newTestStore()
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- true }()
+			sid := s.CreateSession(time.Hour)
+			base := string(rune('a' + g))
+			for i := 0; i < 100; i++ {
+				path := "/x/" + base + string(rune('0'+i%10))
+				s.Create(path, []byte{byte(i)}, sid)
+				s.Get(path)
+				s.Set(path, []byte{byte(i + 1)}, -1)
+				s.KeepAlive(sid)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := len(s.List("/x/")); got != 40 {
+		t.Fatalf("nodes = %d, want 40", got)
+	}
+}

@@ -1,0 +1,280 @@
+// Package core assembles a complete Liquid stack — coordination service,
+// messaging-layer brokers, and the client/processing machinery — in one
+// process, with brokers communicating over real TCP. It is the programmatic
+// equivalent of deploying the two cooperating layers of the paper (§3):
+// callers create feeds (topics), publish and subscribe through the
+// messaging layer, and run stateful ETL jobs on the processing layer.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/coord"
+	"repro/internal/metrics"
+	"repro/internal/processing"
+	"repro/internal/wire"
+)
+
+// Config sizes a Liquid stack.
+type Config struct {
+	// Brokers is the messaging-layer node count (default 1).
+	Brokers int
+	// DataDir hosts broker logs and job state; empty creates a temp dir
+	// that Shutdown removes.
+	DataDir string
+	// SessionTimeout is the broker liveness window; failover time is
+	// bounded below by it (default 2s; tests use hundreds of ms).
+	SessionTimeout time.Duration
+	// ReplicaMaxLag is the ISR shrink threshold.
+	ReplicaMaxLag time.Duration
+	// OffsetsPartitions / OffsetsReplication size the offset manager's
+	// internal topic.
+	OffsetsPartitions  int32
+	OffsetsReplication int16
+	// RetentionInterval / CompactionInterval drive background log
+	// housekeeping; zero disables each.
+	RetentionInterval  time.Duration
+	CompactionInterval time.Duration
+	// DefaultSegmentBytes / DefaultRetentionMs / DefaultRetentionBytes
+	// apply to topics that do not override them.
+	DefaultSegmentBytes   int32
+	DefaultRetentionMs    int64
+	DefaultRetentionBytes int64
+	// Logger receives operational events from every component.
+	Logger *slog.Logger
+	// Metrics receives stack-wide counters; nil creates a registry.
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Brokers == 0 {
+		c.Brokers = 1
+	}
+	if c.SessionTimeout == 0 {
+		c.SessionTimeout = 2 * time.Second
+	}
+	if c.OffsetsPartitions == 0 {
+		c.OffsetsPartitions = 4
+	}
+	if c.OffsetsReplication == 0 {
+		if c.Brokers >= 3 {
+			c.OffsetsReplication = 3
+		} else {
+			c.OffsetsReplication = int16(c.Brokers)
+		}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	return c
+}
+
+// Stack is a running Liquid deployment.
+type Stack struct {
+	cfg        Config
+	store      *coord.Store
+	stopExpiry func()
+	brokers    []*broker.Broker
+	cli        *client.Client
+	dataRoot   string
+	ownsData   bool
+	jobs       []*processing.Job
+	stopped    bool
+}
+
+// Start boots the coordination service and brokers, waits for the cluster
+// to form, and returns a ready stack.
+func Start(cfg Config) (*Stack, error) {
+	cfg = cfg.withDefaults()
+	dataRoot := cfg.DataDir
+	ownsData := false
+	if dataRoot == "" {
+		dir, err := os.MkdirTemp("", "liquid-")
+		if err != nil {
+			return nil, err
+		}
+		dataRoot = dir
+		ownsData = true
+	}
+	store := coord.New(coord.Config{})
+	s := &Stack{
+		cfg:        cfg,
+		store:      store,
+		stopExpiry: store.StartExpiry(cfg.SessionTimeout / 4),
+		dataRoot:   dataRoot,
+		ownsData:   ownsData,
+	}
+	for i := 0; i < cfg.Brokers; i++ {
+		b, err := broker.Start(store, broker.Config{
+			ID:                    int32(i + 1),
+			DataDir:               filepath.Join(dataRoot, fmt.Sprintf("broker-%d", i+1)),
+			SessionTimeout:        cfg.SessionTimeout,
+			ReplicaMaxLag:         cfg.ReplicaMaxLag,
+			RetentionInterval:     cfg.RetentionInterval,
+			CompactionInterval:    cfg.CompactionInterval,
+			OffsetsPartitions:     cfg.OffsetsPartitions,
+			OffsetsReplication:    cfg.OffsetsReplication,
+			DefaultSegmentBytes:   cfg.DefaultSegmentBytes,
+			DefaultRetentionMs:    cfg.DefaultRetentionMs,
+			DefaultRetentionBytes: cfg.DefaultRetentionBytes,
+			Logger:                cfg.Logger,
+			Metrics:               cfg.Metrics,
+		})
+		if err != nil {
+			s.Shutdown()
+			return nil, fmt.Errorf("core: broker %d: %w", i+1, err)
+		}
+		s.brokers = append(s.brokers, b)
+	}
+	reg := cluster.NewRegistry(store)
+	if live := reg.WaitForBrokers(cfg.Brokers, 10*time.Second); len(live) < cfg.Brokers {
+		s.Shutdown()
+		return nil, errors.New("core: cluster did not form")
+	}
+	cli, err := s.NewClient("liquid-stack")
+	if err != nil {
+		s.Shutdown()
+		return nil, err
+	}
+	s.cli = cli
+	return s, nil
+}
+
+// Addrs returns the brokers' bootstrap addresses.
+func (s *Stack) Addrs() []string {
+	out := make([]string, 0, len(s.brokers))
+	for _, b := range s.brokers {
+		out = append(out, b.Addr())
+	}
+	return out
+}
+
+// Client returns the stack's shared client.
+func (s *Stack) Client() *client.Client { return s.cli }
+
+// Metrics returns the stack-wide metrics registry.
+func (s *Stack) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// DataDir returns the root data directory.
+func (s *Stack) DataDir() string { return s.dataRoot }
+
+// NewClient creates an independent client against this stack.
+func (s *Stack) NewClient(id string) (*client.Client, error) {
+	return client.New(client.Config{
+		Bootstrap:    s.Addrs(),
+		ClientID:     id,
+		MaxRetries:   40,
+		RetryBackoff: 25 * time.Millisecond,
+		MetadataTTL:  time.Second,
+	})
+}
+
+// CreateTopic creates a feed. Zero-valued spec fields use broker defaults.
+func (s *Stack) CreateTopic(spec wire.TopicSpec) error {
+	return s.cli.CreateTopic(spec)
+}
+
+// CreateFeed is shorthand for the common case.
+func (s *Stack) CreateFeed(name string, partitions int32, replication int16) error {
+	return s.cli.CreateTopic(wire.TopicSpec{
+		Name:              name,
+		NumPartitions:     partitions,
+		ReplicationFactor: replication,
+	})
+}
+
+// NewProducer returns a producer on the shared client.
+func (s *Stack) NewProducer(cfg client.ProducerConfig) *client.Producer {
+	return client.NewProducer(s.cli, cfg)
+}
+
+// NewConsumer returns a partition consumer on the shared client.
+func (s *Stack) NewConsumer(cfg client.ConsumerConfig) *client.Consumer {
+	return client.NewConsumer(s.cli, cfg)
+}
+
+// RunJob builds, starts and tracks a processing-layer job. The job's data
+// directory defaults into the stack's.
+func (s *Stack) RunJob(cfg processing.JobConfig) (*processing.Job, error) {
+	if cfg.DataDir == "" {
+		cfg.DataDir = filepath.Join(s.dataRoot, "jobs")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = s.cfg.Logger
+	}
+	job, err := processing.NewJob(s.cli, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := job.Start(); err != nil {
+		return nil, err
+	}
+	s.jobs = append(s.jobs, job)
+	return job, nil
+}
+
+// Broker returns the broker with the given id, or nil.
+func (s *Stack) Broker(id int32) *broker.Broker {
+	for _, b := range s.brokers {
+		if b.ID() == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// KillBroker crashes a broker (no graceful session close): the controller
+// detects the failure via session expiry and fails leadership over, as in
+// paper §4.3. It returns false for unknown ids.
+func (s *Stack) KillBroker(id int32) bool {
+	b := s.Broker(id)
+	if b == nil {
+		return false
+	}
+	b.Kill()
+	return true
+}
+
+// StopBroker gracefully stops a broker (immediate session close).
+func (s *Stack) StopBroker(id int32) bool {
+	b := s.Broker(id)
+	if b == nil {
+		return false
+	}
+	b.Stop()
+	return true
+}
+
+// Shutdown stops jobs, brokers and the coordinator, removing owned data.
+func (s *Stack) Shutdown() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	for _, j := range s.jobs {
+		j.Stop()
+	}
+	if s.cli != nil {
+		s.cli.Close()
+	}
+	for _, b := range s.brokers {
+		b.Stop()
+	}
+	if s.stopExpiry != nil {
+		s.stopExpiry()
+	}
+	if s.ownsData {
+		os.RemoveAll(s.dataRoot)
+	}
+}

@@ -1,0 +1,212 @@
+// Package dataflow composes processing-layer jobs into dataflow graphs
+// (paper §3.2: "jobs can communicate with other jobs, forming a dataflow
+// processing graph; all jobs are decoupled by writing to and reading from
+// the messaging layer"). A Graph declares feeds and jobs; Build validates
+// the wiring (inputs exist, no undeclared feeds, acyclic job order for
+// readable startup), creates missing topics, and starts jobs in
+// topological order. Because every edge is a feed in the messaging layer,
+// stages never back-pressure one another.
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/processing"
+	"repro/internal/wire"
+)
+
+// Errors returned by graph validation.
+var (
+	// ErrUnknownFeed reports a job referencing an undeclared feed.
+	ErrUnknownFeed = errors.New("dataflow: unknown feed")
+	// ErrDuplicate reports a feed or job declared twice.
+	ErrDuplicate = errors.New("dataflow: duplicate declaration")
+	// ErrCycle reports a cyclic job graph. Cycles of jobs are legal in
+	// the runtime (feeds decouple them) but almost always a config bug,
+	// so Build rejects them unless AllowCycles is set.
+	ErrCycle = errors.New("dataflow: job graph has a cycle")
+)
+
+// Feed declares one topic in the graph.
+type Feed struct {
+	Name       string
+	Partitions int32
+	// Replication 0 uses the graph default.
+	Replication int16
+	// Compacted selects key-based compaction.
+	Compacted bool
+}
+
+// Node declares one job and its input/output feeds. Outputs are used for
+// validation and ordering only; tasks still emit through the Collector.
+type Node struct {
+	Job     processing.JobConfig
+	Outputs []string
+}
+
+// Graph is a declarative multi-job dataflow.
+type Graph struct {
+	// Feeds declares every topic the graph touches.
+	Feeds []Feed
+	// Nodes declares the jobs.
+	Nodes []Node
+	// DefaultReplication applies to feeds that leave Replication zero.
+	DefaultReplication int16
+	// AllowCycles permits cyclic job graphs (feeds make them safe).
+	AllowCycles bool
+}
+
+// Running is a started dataflow.
+type Running struct {
+	jobs []*processing.Job
+}
+
+// Jobs returns the started jobs in startup (topological) order.
+func (r *Running) Jobs() []*processing.Job { return r.jobs }
+
+// Stop stops all jobs in reverse topological order, so downstream
+// consumers drain before upstream producers stop feeding them.
+func (r *Running) Stop() error {
+	var first error
+	for i := len(r.jobs) - 1; i >= 0; i-- {
+		if err := r.jobs[i].Stop(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Build validates the graph, creates missing feeds, and starts every job
+// on the stack in topological order.
+func Build(s *core.Stack, g Graph) (*Running, error) {
+	order, err := g.validate()
+	if err != nil {
+		return nil, err
+	}
+	rep := g.DefaultReplication
+	if rep == 0 {
+		rep = 1
+	}
+	for _, f := range g.Feeds {
+		r := f.Replication
+		if r == 0 {
+			r = rep
+		}
+		parts := f.Partitions
+		if parts == 0 {
+			parts = 1
+		}
+		err := s.CreateTopic(wire.TopicSpec{
+			Name:              f.Name,
+			NumPartitions:     parts,
+			ReplicationFactor: r,
+			Compacted:         f.Compacted,
+		})
+		if err != nil && wire.Code(err) != wire.ErrTopicAlreadyExists {
+			return nil, fmt.Errorf("dataflow: feed %s: %w", f.Name, err)
+		}
+	}
+	running := &Running{}
+	for _, idx := range order {
+		job, err := s.RunJob(g.Nodes[idx].Job)
+		if err != nil {
+			running.Stop()
+			return nil, fmt.Errorf("dataflow: job %s: %w", g.Nodes[idx].Job.Name, err)
+		}
+		running.jobs = append(running.jobs, job)
+	}
+	return running, nil
+}
+
+// validate checks feed references and uniqueness, returning a topological
+// order of node indexes (upstream jobs first).
+func (g Graph) validate() ([]int, error) {
+	feeds := make(map[string]bool, len(g.Feeds))
+	for _, f := range g.Feeds {
+		if f.Name == "" {
+			return nil, fmt.Errorf("%w: feed with empty name", ErrUnknownFeed)
+		}
+		if feeds[f.Name] {
+			return nil, fmt.Errorf("%w: feed %s", ErrDuplicate, f.Name)
+		}
+		feeds[f.Name] = true
+	}
+	names := make(map[string]bool, len(g.Nodes))
+	producerOf := make(map[string][]int) // feed -> producing node indexes
+	for i, n := range g.Nodes {
+		if n.Job.Name == "" {
+			return nil, errors.New("dataflow: job with empty name")
+		}
+		if names[n.Job.Name] {
+			return nil, fmt.Errorf("%w: job %s", ErrDuplicate, n.Job.Name)
+		}
+		names[n.Job.Name] = true
+		for _, in := range n.Job.Inputs {
+			if !feeds[in] {
+				return nil, fmt.Errorf("%w: %s (input of %s)", ErrUnknownFeed, in, n.Job.Name)
+			}
+		}
+		for _, out := range n.Outputs {
+			if !feeds[out] {
+				return nil, fmt.Errorf("%w: %s (output of %s)", ErrUnknownFeed, out, n.Job.Name)
+			}
+			producerOf[out] = append(producerOf[out], i)
+		}
+	}
+	// Edges: producer -> consumer through shared feeds.
+	adj := make([][]int, len(g.Nodes))
+	indeg := make([]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		for _, in := range n.Job.Inputs {
+			for _, p := range producerOf[in] {
+				if p == i {
+					continue // self-loop through a feed: allowed
+				}
+				adj[p] = append(adj[p], i)
+				indeg[i]++
+			}
+		}
+	}
+	// Kahn's algorithm with deterministic (sorted) tie-breaking.
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Ints(ready)
+	var order []int
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, i)
+		next := ready[:len(ready):len(ready)]
+		for _, j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				next = append(next, j)
+			}
+		}
+		sort.Ints(next)
+		ready = next
+	}
+	if len(order) != len(g.Nodes) {
+		if !g.AllowCycles {
+			return nil, ErrCycle
+		}
+		// Append the cyclic remainder in declaration order.
+		in := make(map[int]bool, len(order))
+		for _, i := range order {
+			in[i] = true
+		}
+		for i := range g.Nodes {
+			if !in[i] {
+				order = append(order, i)
+			}
+		}
+	}
+	return order, nil
+}

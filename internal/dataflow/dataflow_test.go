@@ -1,0 +1,237 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/processing"
+)
+
+func startStack(t *testing.T) *core.Stack {
+	t.Helper()
+	s, err := core.Start(core.Config{Brokers: 1, SessionTimeout: 700 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+// forwardTask relays values to a fixed output, optionally transforming.
+func forwardTask(out string, transform func(string) string) processing.TaskFactory {
+	return func() processing.StreamTask {
+		return processing.TaskFunc(func(msg client.Message, _ *processing.TaskContext, c *processing.Collector) error {
+			v := string(msg.Value)
+			if transform != nil {
+				v = transform(v)
+			}
+			return c.Send(out, msg.Key, []byte(v))
+		})
+	}
+}
+
+func TestValidateRejectsUnknownFeeds(t *testing.T) {
+	g := Graph{
+		Feeds: []Feed{{Name: "a"}},
+		Nodes: []Node{{
+			Job:     processing.JobConfig{Name: "j", Inputs: []string{"missing"}},
+			Outputs: []string{"a"},
+		}},
+	}
+	if _, err := g.validate(); !errors.Is(err, ErrUnknownFeed) {
+		t.Fatalf("err = %v", err)
+	}
+	g2 := Graph{
+		Feeds: []Feed{{Name: "a"}},
+		Nodes: []Node{{
+			Job:     processing.JobConfig{Name: "j", Inputs: []string{"a"}},
+			Outputs: []string{"missing"},
+		}},
+	}
+	if _, err := g2.validate(); !errors.Is(err, ErrUnknownFeed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicates(t *testing.T) {
+	g := Graph{Feeds: []Feed{{Name: "a"}, {Name: "a"}}}
+	if _, err := g.validate(); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+	g2 := Graph{
+		Feeds: []Feed{{Name: "a"}},
+		Nodes: []Node{
+			{Job: processing.JobConfig{Name: "j", Inputs: []string{"a"}}},
+			{Job: processing.JobConfig{Name: "j", Inputs: []string{"a"}}},
+		},
+	}
+	if _, err := g2.validate(); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateTopologicalOrder(t *testing.T) {
+	// c consumes what b produces, b consumes what a produces; declared
+	// in reverse to prove sorting.
+	g := Graph{
+		Feeds: []Feed{{Name: "f0"}, {Name: "f1"}, {Name: "f2"}, {Name: "f3"}},
+		Nodes: []Node{
+			{Job: processing.JobConfig{Name: "c", Inputs: []string{"f2"}}, Outputs: []string{"f3"}},
+			{Job: processing.JobConfig{Name: "b", Inputs: []string{"f1"}}, Outputs: []string{"f2"}},
+			{Job: processing.JobConfig{Name: "a", Inputs: []string{"f0"}}, Outputs: []string{"f1"}},
+		},
+	}
+	order, err := g.validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(order))
+	for i, idx := range order {
+		names[i] = g.Nodes[idx].Job.Name
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Fatalf("order = %v", names)
+	}
+}
+
+func TestValidateRejectsCycles(t *testing.T) {
+	g := Graph{
+		Feeds: []Feed{{Name: "x"}, {Name: "y"}},
+		Nodes: []Node{
+			{Job: processing.JobConfig{Name: "p", Inputs: []string{"x"}}, Outputs: []string{"y"}},
+			{Job: processing.JobConfig{Name: "q", Inputs: []string{"y"}}, Outputs: []string{"x"}},
+		},
+	}
+	if _, err := g.validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v", err)
+	}
+	g.AllowCycles = true
+	order, err := g.validate()
+	if err != nil || len(order) != 2 {
+		t.Fatalf("cyclic order = %v, %v", order, err)
+	}
+}
+
+func TestSelfLoopAllowed(t *testing.T) {
+	// A job feeding its own input feed (e.g. retry queues) is legal.
+	g := Graph{
+		Feeds: []Feed{{Name: "loop"}},
+		Nodes: []Node{{
+			Job:     processing.JobConfig{Name: "again", Inputs: []string{"loop"}},
+			Outputs: []string{"loop"},
+		}},
+	}
+	if _, err := g.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRunsPipelineEndToEnd(t *testing.T) {
+	s := startStack(t)
+	g := Graph{
+		Feeds: []Feed{
+			{Name: "raw", Partitions: 2},
+			{Name: "upper", Partitions: 2},
+			{Name: "final", Partitions: 2},
+		},
+		Nodes: []Node{
+			{
+				Job: processing.JobConfig{
+					Name:     "stage2",
+					Inputs:   []string{"upper"},
+					Factory:  forwardTask("final", func(v string) string { return v + "!" }),
+					PollWait: 20 * time.Millisecond,
+				},
+				Outputs: []string{"final"},
+			},
+			{
+				Job: processing.JobConfig{
+					Name:     "stage1",
+					Inputs:   []string{"raw"},
+					Factory:  forwardTask("upper", strings.ToUpper),
+					PollWait: 20 * time.Millisecond,
+				},
+				Outputs: []string{"upper"},
+			},
+		},
+	}
+	run, err := Build(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop()
+	if len(run.Jobs()) != 2 || run.Jobs()[0].Name() != "stage1" {
+		t.Fatalf("startup order wrong: %v", jobNames(run))
+	}
+
+	p := s.NewProducer(client.ProducerConfig{})
+	defer p.Close()
+	for i := 0; i < 10; i++ {
+		if err := p.Send(client.Message{Topic: "raw", Value: []byte(fmt.Sprintf("ev%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+
+	cons := s.NewConsumer(client.ConsumerConfig{})
+	defer cons.Close()
+	cons.Assign("final", 0, client.StartEarliest)
+	cons.Assign("final", 1, client.StartEarliest)
+	seen := map[string]bool{}
+	deadline := time.Now().Add(20 * time.Second)
+	for len(seen) < 10 && time.Now().Before(deadline) {
+		msgs, err := cons.Poll(200 * time.Millisecond)
+		if err != nil {
+			continue
+		}
+		for _, m := range msgs {
+			seen[string(m.Value)] = true
+		}
+	}
+	for i := 0; i < 10; i++ {
+		want := fmt.Sprintf("EV%d!", i)
+		if !seen[want] {
+			t.Fatalf("missing %q in final feed; have %v", want, seen)
+		}
+	}
+}
+
+func TestBuildCreatesAndReusesFeeds(t *testing.T) {
+	s := startStack(t)
+	// Pre-create one feed; Build must tolerate it.
+	if err := s.CreateFeed("pre", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := Graph{
+		Feeds: []Feed{{Name: "pre"}, {Name: "made", Compacted: true}},
+		Nodes: []Node{{
+			Job: processing.JobConfig{
+				Name:    "noop",
+				Inputs:  []string{"pre"},
+				Factory: forwardTask("made", nil),
+			},
+			Outputs: []string{"made"},
+		}},
+	}
+	run, err := Build(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop()
+	if n, err := s.Client().PartitionCount("made"); err != nil || n != 1 {
+		t.Fatalf("made: %d, %v", n, err)
+	}
+}
+
+func jobNames(r *Running) []string {
+	out := make([]string, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		out = append(out, j.Name())
+	}
+	return out
+}

@@ -1,0 +1,453 @@
+// Package dfs is a miniature distributed file system standing in for
+// HDFS/GFS as the substrate of the baseline MR/DFS data integration stack
+// the paper argues against (§1, §2). It provides coarse-grained,
+// chunk-oriented file storage with namenode-style metadata and a cost
+// model that charges the latencies such a system pays in production:
+// per-operation metadata RPCs, per-chunk access setup, replication write
+// amplification, and bounded bandwidth. Chunks are real files on local
+// disk, so data paths are genuinely exercised; the cost model adds the
+// distributed-system latencies a local directory would otherwise hide.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by the file system.
+var (
+	// ErrNotFound reports a missing path.
+	ErrNotFound = errors.New("dfs: file not found")
+	// ErrExists reports a create of an existing path.
+	ErrExists = errors.New("dfs: file exists")
+	// ErrClosed reports use of a closed handle or file system.
+	ErrClosed = errors.New("dfs: closed")
+)
+
+// CostModel charges the latencies of a production DFS. Zero values cost
+// nothing, so tests can run the data path at memory speed.
+type CostModel struct {
+	// MetadataOp is the namenode round trip paid by open/create/list/
+	// delete/rename/stat.
+	MetadataOp time.Duration
+	// ChunkAccess is paid per chunk read or written (datanode dial,
+	// pipeline setup).
+	ChunkAccess time.Duration
+	// ReadBandwidth / WriteBandwidth cap throughput in bytes/second
+	// (0 = unlimited). Writes are amplified by the replication factor.
+	ReadBandwidth  int64
+	WriteBandwidth int64
+	// Sleep is injectable for tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// ProductionModel returns a cost model with HDFS-like magnitudes (a few
+// ms of metadata latency, ~1ms chunk setup, GbE-class bandwidth).
+func ProductionModel() CostModel {
+	return CostModel{
+		MetadataOp:     2 * time.Millisecond,
+		ChunkAccess:    time.Millisecond,
+		ReadBandwidth:  125 << 20, // ~1 Gb/s
+		WriteBandwidth: 125 << 20,
+	}
+}
+
+func (c CostModel) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// chargeMeta pays one metadata operation.
+func (c CostModel) chargeMeta() { c.sleep(c.MetadataOp) }
+
+// chargeRead pays for reading n bytes of one chunk.
+func (c CostModel) chargeRead(n int64) {
+	d := c.ChunkAccess
+	if c.ReadBandwidth > 0 {
+		d += time.Duration(n * int64(time.Second) / c.ReadBandwidth)
+	}
+	c.sleep(d)
+}
+
+// chargeWrite pays for writing n bytes of one chunk with replication.
+func (c CostModel) chargeWrite(n int64, replication int) {
+	d := c.ChunkAccess
+	if c.WriteBandwidth > 0 {
+		d += time.Duration(n * int64(replication) * int64(time.Second) / c.WriteBandwidth)
+	}
+	c.sleep(d)
+}
+
+// Config parameterises the file system.
+type Config struct {
+	// Dir is the local backing directory.
+	Dir string
+	// ChunkBytes is the chunk size (default 4 MiB).
+	ChunkBytes int64
+	// Replication is the simulated replica count (write amplification;
+	// default 3, as HDFS).
+	Replication int
+	// Cost charges distributed-system latencies.
+	Cost CostModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 4 << 20
+	}
+	if c.Replication == 0 {
+		c.Replication = 3
+	}
+	return c
+}
+
+// FileInfo describes one file.
+type FileInfo struct {
+	Path    string
+	Size    int64
+	Chunks  int
+	ModTime time.Time
+}
+
+// fileMeta is the namenode's record of one file.
+type fileMeta struct {
+	chunks  []string // backing chunk file names
+	size    int64
+	modTime time.Time
+}
+
+// FS is the file system: namenode metadata plus chunk storage.
+type FS struct {
+	cfg Config
+
+	mu        sync.Mutex
+	files     map[string]*fileMeta
+	nextChunk int64
+	closed    bool
+
+	stats Stats
+}
+
+// Stats counts file system activity.
+type Stats struct {
+	MetadataOps   int64
+	BytesRead     int64
+	BytesWritten  int64
+	ChunksRead    int64
+	ChunksWritten int64
+}
+
+// Open creates or opens a file system rooted at cfg.Dir.
+func Open(cfg Config) (*FS, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("dfs: Dir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "chunks"), 0o755); err != nil {
+		return nil, err
+	}
+	return &FS{cfg: cfg, files: make(map[string]*fileMeta)}, nil
+}
+
+// Stats returns activity counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// chunkPath renders a chunk's backing path.
+func (fs *FS) chunkPath(name string) string {
+	return filepath.Join(fs.cfg.Dir, "chunks", name)
+}
+
+// Create opens a new file for writing. The file becomes visible to
+// readers only on Close — the coarse-grained, whole-file semantics that
+// make a DFS unsuitable for record-at-a-time access (paper §1).
+func (fs *FS) Create(path string) (*Writer, error) {
+	fs.cfg.Cost.chargeMeta()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	fs.stats.MetadataOps++
+	if _, ok := fs.files[path]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	return &Writer{fs: fs, path: path}, nil
+}
+
+// WriteFile creates path with the given contents.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	w, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
+}
+
+// Open opens a file for reading.
+func (fs *FS) Open(path string) (*Reader, error) {
+	fs.cfg.Cost.chargeMeta()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	fs.stats.MetadataOps++
+	meta, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	chunks := append([]string(nil), meta.chunks...)
+	return &Reader{fs: fs, chunks: chunks, size: meta.size}, nil
+}
+
+// ReadFile returns a file's full contents.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	r, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	out := make([]byte, 0, r.size)
+	buf := make([]byte, fs.cfg.ChunkBytes)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			if errors.Is(err, errEOF) {
+				return out, nil
+			}
+			return out, err
+		}
+	}
+}
+
+// List returns files whose paths start with prefix, sorted.
+func (fs *FS) List(prefix string) []FileInfo {
+	fs.cfg.Cost.chargeMeta()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.MetadataOps++
+	var out []FileInfo
+	for path, meta := range fs.files {
+		if strings.HasPrefix(path, prefix) {
+			out = append(out, FileInfo{
+				Path:    path,
+				Size:    meta.size,
+				Chunks:  len(meta.chunks),
+				ModTime: meta.modTime,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Stat describes one file.
+func (fs *FS) Stat(path string) (FileInfo, error) {
+	fs.cfg.Cost.chargeMeta()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.MetadataOps++
+	meta, ok := fs.files[path]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return FileInfo{Path: path, Size: meta.size, Chunks: len(meta.chunks), ModTime: meta.modTime}, nil
+}
+
+// Delete removes a file and its chunks.
+func (fs *FS) Delete(path string) error {
+	fs.cfg.Cost.chargeMeta()
+	fs.mu.Lock()
+	meta, ok := fs.files[path]
+	if ok {
+		delete(fs.files, path)
+	}
+	fs.stats.MetadataOps++
+	fs.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	for _, c := range meta.chunks {
+		os.Remove(fs.chunkPath(c))
+	}
+	return nil
+}
+
+// DeletePrefix removes every file under prefix, returning the count.
+func (fs *FS) DeletePrefix(prefix string) int {
+	n := 0
+	for _, info := range fs.List(prefix) {
+		if fs.Delete(info.Path) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Rename atomically moves a file — the commit step of MR job output.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.cfg.Cost.chargeMeta()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.MetadataOps++
+	meta, ok := fs.files[oldPath]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, oldPath)
+	}
+	if _, ok := fs.files[newPath]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, newPath)
+	}
+	delete(fs.files, oldPath)
+	fs.files[newPath] = meta
+	return nil
+}
+
+// Close invalidates the file system handle (chunks remain on disk).
+func (fs *FS) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.closed = true
+	return nil
+}
+
+var errEOF = errors.New("dfs: EOF")
+
+// IsEOF reports whether err marks the end of a file.
+func IsEOF(err error) bool { return errors.Is(err, errEOF) }
+
+// Writer accumulates chunks; Close commits the file to the namenode.
+type Writer struct {
+	fs     *FS
+	path   string
+	buf    []byte
+	chunks []string
+	size   int64
+	done   bool
+}
+
+// Write buffers data, spilling full chunks to storage.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, ErrClosed
+	}
+	w.buf = append(w.buf, p...)
+	w.size += int64(len(p))
+	for int64(len(w.buf)) >= w.fs.cfg.ChunkBytes {
+		chunk := w.buf[:w.fs.cfg.ChunkBytes]
+		if err := w.spill(chunk); err != nil {
+			return 0, err
+		}
+		w.buf = w.buf[w.fs.cfg.ChunkBytes:]
+	}
+	return len(p), nil
+}
+
+// spill writes one chunk to backing storage, paying the write cost.
+func (w *Writer) spill(chunk []byte) error {
+	w.fs.mu.Lock()
+	w.fs.nextChunk++
+	name := fmt.Sprintf("c%012d", w.fs.nextChunk)
+	w.fs.stats.BytesWritten += int64(len(chunk))
+	w.fs.stats.ChunksWritten++
+	w.fs.mu.Unlock()
+	if err := os.WriteFile(w.fs.chunkPath(name), chunk, 0o644); err != nil {
+		return err
+	}
+	w.fs.cfg.Cost.chargeWrite(int64(len(chunk)), w.fs.cfg.Replication)
+	w.chunks = append(w.chunks, name)
+	return nil
+}
+
+// Close flushes the tail chunk and commits the file.
+func (w *Writer) Close() error {
+	if w.done {
+		return ErrClosed
+	}
+	w.done = true
+	if len(w.buf) > 0 {
+		if err := w.spill(w.buf); err != nil {
+			return err
+		}
+	}
+	w.fs.cfg.Cost.chargeMeta()
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.fs.stats.MetadataOps++
+	if _, ok := w.fs.files[w.path]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, w.path)
+	}
+	w.fs.files[w.path] = &fileMeta{chunks: w.chunks, size: w.size, modTime: time.Now()}
+	return nil
+}
+
+// Abort discards the file's chunks without committing.
+func (w *Writer) Abort() {
+	w.done = true
+	for _, c := range w.chunks {
+		os.Remove(w.fs.chunkPath(c))
+	}
+}
+
+// Reader streams a file chunk by chunk.
+type Reader struct {
+	fs     *FS
+	chunks []string
+	size   int64
+	idx    int
+	cur    []byte
+	done   bool
+}
+
+// Read fills p from the file, returning errEOF (test with IsEOF) at the
+// end.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, ErrClosed
+	}
+	for len(r.cur) == 0 {
+		if r.idx >= len(r.chunks) {
+			return 0, errEOF
+		}
+		data, err := os.ReadFile(r.fs.chunkPath(r.chunks[r.idx]))
+		if err != nil {
+			return 0, err
+		}
+		r.idx++
+		r.fs.cfg.Cost.chargeRead(int64(len(data)))
+		r.fs.mu.Lock()
+		r.fs.stats.BytesRead += int64(len(data))
+		r.fs.stats.ChunksRead++
+		r.fs.mu.Unlock()
+		r.cur = data
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+// Close releases the reader.
+func (r *Reader) Close() error {
+	r.done = true
+	return nil
+}

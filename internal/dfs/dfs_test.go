@@ -1,0 +1,207 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openFS(t *testing.T, cfg Config) *FS {
+	t.Helper()
+	cfg.Dir = t.TempDir()
+	fs, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := openFS(t, Config{ChunkBytes: 64})
+	data := bytes.Repeat([]byte("0123456789"), 50) // 500B -> 8 chunks
+	if err := fs.WriteFile("/data/input", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/data/input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(data))
+	}
+	info, err := fs.Stat("/data/input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 500 || info.Chunks != 8 {
+		t.Fatalf("stat = %+v", info)
+	}
+}
+
+func TestCreateExclusive(t *testing.T) {
+	fs := openFS(t, Config{})
+	if err := fs.WriteFile("/f", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f", []byte("b")); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+}
+
+func TestFileInvisibleUntilClose(t *testing.T) {
+	fs := openFS(t, Config{})
+	w, err := fs.Create("/pending")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("partial"))
+	if _, err := fs.Open("/pending"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("uncommitted file visible: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/pending"); err != nil {
+		t.Fatalf("committed file not visible: %v", err)
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	fs := openFS(t, Config{ChunkBytes: 4})
+	w, _ := fs.Create("/a")
+	w.Write([]byte("12345678")) // spills chunks
+	w.Abort()
+	if _, err := fs.Open("/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("aborted file visible: %v", err)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	fs := openFS(t, Config{})
+	fs.WriteFile("/logs/a", []byte("1"))
+	fs.WriteFile("/logs/b", []byte("2"))
+	fs.WriteFile("/other/c", []byte("3"))
+	got := fs.List("/logs/")
+	if len(got) != 2 || got[0].Path != "/logs/a" || got[1].Path != "/logs/b" {
+		t.Fatalf("List = %+v", got)
+	}
+	if err := fs.Delete("/logs/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("/logs/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if n := fs.DeletePrefix("/logs/"); n != 1 {
+		t.Fatalf("DeletePrefix = %d", n)
+	}
+	if len(fs.List("/")) != 1 {
+		t.Fatal("wrong survivors")
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := openFS(t, Config{})
+	fs.WriteFile("/tmp/x", []byte("data"))
+	if err := fs.Rename("/tmp/x", "/out/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/tmp/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("old path still visible")
+	}
+	got, err := fs.ReadFile("/out/x")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("renamed contents = %q %v", got, err)
+	}
+	fs.WriteFile("/tmp/y", []byte("other"))
+	if err := fs.Rename("/tmp/y", "/out/x"); !errors.Is(err, ErrExists) {
+		t.Fatalf("rename over existing: %v", err)
+	}
+	if err := fs.Rename("/missing", "/z"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rename missing: %v", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	fs := openFS(t, Config{ChunkBytes: 100})
+	fs.WriteFile("/f", bytes.Repeat([]byte("x"), 250))
+	fs.ReadFile("/f")
+	s := fs.Stats()
+	if s.BytesWritten != 250 || s.ChunksWritten != 3 {
+		t.Fatalf("write stats = %+v", s)
+	}
+	if s.BytesRead != 250 || s.ChunksRead != 3 {
+		t.Fatalf("read stats = %+v", s)
+	}
+	if s.MetadataOps == 0 {
+		t.Fatal("no metadata ops recorded")
+	}
+}
+
+func TestCostModelCharged(t *testing.T) {
+	var mu sync.Mutex
+	var slept time.Duration
+	cost := CostModel{
+		MetadataOp:  time.Millisecond,
+		ChunkAccess: time.Millisecond,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept += d
+			mu.Unlock()
+		},
+	}
+	fs := openFS(t, Config{ChunkBytes: 100, Cost: cost})
+	fs.WriteFile("/f", bytes.Repeat([]byte("x"), 250)) // create meta + 3 chunks + commit meta
+	mu.Lock()
+	got := slept
+	mu.Unlock()
+	want := 2*time.Millisecond + 3*time.Millisecond
+	if got != want {
+		t.Fatalf("charged %v, want %v", got, want)
+	}
+}
+
+func TestBandwidthCharge(t *testing.T) {
+	var mu sync.Mutex
+	var slept time.Duration
+	cost := CostModel{
+		WriteBandwidth: 1 << 20, // 1 MiB/s
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept += d
+			mu.Unlock()
+		},
+	}
+	fs := openFS(t, Config{ChunkBytes: 1 << 20, Replication: 2, Cost: cost})
+	fs.WriteFile("/f", bytes.Repeat([]byte("x"), 1<<19)) // 0.5 MiB * 2 replicas
+	mu.Lock()
+	got := slept
+	mu.Unlock()
+	if got != time.Second {
+		t.Fatalf("charged %v, want 1s (0.5MiB at 1MiB/s with 2 replicas)", got)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := openFS(t, Config{})
+	if err := fs.WriteFile("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty read = %d bytes, %v", len(got), err)
+	}
+}
+
+func TestClosedFS(t *testing.T) {
+	fs := openFS(t, Config{})
+	fs.Close()
+	if _, err := fs.Create("/x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("create on closed: %v", err)
+	}
+	if _, err := fs.Open("/x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("open on closed: %v", err)
+	}
+}

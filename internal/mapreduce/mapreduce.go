@@ -1,0 +1,348 @@
+// Package mapreduce implements the batch-oriented baseline data
+// integration stack of the paper (§1, §2): ETL pipelines as chained
+// MapReduce jobs over a distributed file system, with every stage's
+// intermediate results materialised back into the DFS. Its cost structure —
+// scheduler launch delay per stage, whole-file reads and writes, map/reduce
+// barriers — is exactly what gives the MR/DFS stack its high end-to-end
+// latency, which experiment E1 contrasts with Liquid's nearline path.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// KV is one key/value record in map input or output. Records are stored
+// in files as tab-separated lines.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// Mapper transforms one input record into zero or more intermediate
+// records via emit.
+type Mapper func(key, value string, emit func(k, v string)) error
+
+// Reducer folds all intermediate values of one key into zero or more
+// output records.
+type Reducer func(key string, values []string, emit func(k, v string)) error
+
+// IdentityMapper passes records through.
+func IdentityMapper(key, value string, emit func(k, v string)) error {
+	emit(key, value)
+	return nil
+}
+
+// IdentityReducer emits each value unchanged.
+func IdentityReducer(key string, values []string, emit func(k, v string)) error {
+	for _, v := range values {
+		emit(key, v)
+	}
+	return nil
+}
+
+// JobSpec declares one MR job.
+type JobSpec struct {
+	// Name prefixes intermediate paths.
+	Name string
+	// InputPrefix selects the DFS input files.
+	InputPrefix string
+	// OutputDir receives part-N output files.
+	OutputDir string
+	// Map and Reduce are the job's logic; nil selects identity.
+	Map    Mapper
+	Reduce Reducer
+	// NumReducers is the reduce-side parallelism (default 2).
+	NumReducers int
+}
+
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Map == nil {
+		s.Map = IdentityMapper
+	}
+	if s.Reduce == nil {
+		s.Reduce = IdentityReducer
+	}
+	if s.NumReducers == 0 {
+		s.NumReducers = 2
+	}
+	return s
+}
+
+// JobStats reports one job execution.
+type JobStats struct {
+	MapInputRecords     int
+	IntermediateRecords int
+	OutputRecords       int
+	MapDuration         time.Duration
+	ShuffleDuration     time.Duration
+	ReduceDuration      time.Duration
+	Total               time.Duration
+}
+
+// EngineConfig parameterises the MR engine.
+type EngineConfig struct {
+	// SchedulerDelay models cluster-scheduler latency paid at each job
+	// launch and each phase barrier (container allocation in YARN terms).
+	// Zero runs at memory speed for unit tests.
+	SchedulerDelay time.Duration
+	// MapParallelism bounds concurrent map tasks (default 4).
+	MapParallelism int
+	// Sleep is injectable for tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.MapParallelism == 0 {
+		c.MapParallelism = 4
+	}
+	return c
+}
+
+func (c EngineConfig) pause() {
+	if c.SchedulerDelay <= 0 {
+		return
+	}
+	if c.Sleep != nil {
+		c.Sleep(c.SchedulerDelay)
+		return
+	}
+	time.Sleep(c.SchedulerDelay)
+}
+
+// Engine executes MR jobs over a DFS.
+type Engine struct {
+	fs  *dfs.FS
+	cfg EngineConfig
+}
+
+// NewEngine binds an engine to a file system.
+func NewEngine(fs *dfs.FS, cfg EngineConfig) *Engine {
+	return &Engine{fs: fs, cfg: cfg.withDefaults()}
+}
+
+// EncodeLines renders records as file content.
+func EncodeLines(records []KV) []byte {
+	var b strings.Builder
+	for _, r := range records {
+		b.WriteString(r.Key)
+		b.WriteByte('\t')
+		b.WriteString(r.Value)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// DecodeLines parses file content into records. Malformed lines (no tab)
+// become records with an empty value.
+func DecodeLines(data []byte) []KV {
+	var out []KV
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, found := strings.Cut(line, "\t")
+		if !found {
+			out = append(out, KV{Key: line})
+			continue
+		}
+		out = append(out, KV{Key: k, Value: v})
+	}
+	return out
+}
+
+// Run executes one job: map over every input file (intermediates
+// materialised to the DFS, partitioned for the reducers), a barrier, then
+// reduce each partition into an output file.
+func (e *Engine) Run(spec JobSpec) (JobStats, error) {
+	spec = spec.withDefaults()
+	var stats JobStats
+	start := time.Now()
+	if spec.Name == "" || spec.OutputDir == "" {
+		return stats, errors.New("mapreduce: Name and OutputDir are required")
+	}
+	inputs := e.fs.List(spec.InputPrefix)
+	if len(inputs) == 0 {
+		return stats, fmt.Errorf("mapreduce: no input under %q", spec.InputPrefix)
+	}
+
+	// Job launch: scheduler allocates containers.
+	e.cfg.pause()
+
+	// ---- Map phase: parallel over input files.
+	mapStart := time.Now()
+	tmpDir := fmt.Sprintf("tmp/%s/", spec.Name)
+	type mapResult struct {
+		inRecords  int
+		outRecords int
+		err        error
+	}
+	sem := make(chan struct{}, e.cfg.MapParallelism)
+	results := make(chan mapResult, len(inputs))
+	for m, info := range inputs {
+		sem <- struct{}{}
+		go func(m int, path string) {
+			defer func() { <-sem }()
+			res := e.runMapTask(spec, tmpDir, m, path)
+			results <- res
+		}(m, info.Path)
+	}
+	for range inputs {
+		res := <-results
+		if res.err != nil {
+			e.fs.DeletePrefix(tmpDir)
+			return stats, res.err
+		}
+		stats.MapInputRecords += res.inRecords
+		stats.IntermediateRecords += res.outRecords
+	}
+	stats.MapDuration = time.Since(mapStart)
+
+	// ---- Barrier: reducers start only after every mapper finished.
+	e.cfg.pause()
+
+	// ---- Shuffle + reduce phase.
+	shuffleStart := time.Now()
+	var reduceDur time.Duration
+	for r := 0; r < spec.NumReducers; r++ {
+		groups, err := e.shuffle(tmpDir, len(inputs), r)
+		if err != nil {
+			e.fs.DeletePrefix(tmpDir)
+			return stats, err
+		}
+		rs := time.Now()
+		var out []KV
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		emit := func(k, v string) { out = append(out, KV{Key: k, Value: v}) }
+		for _, k := range keys {
+			if err := spec.Reduce(k, groups[k], emit); err != nil {
+				e.fs.DeletePrefix(tmpDir)
+				return stats, fmt.Errorf("mapreduce: reduce %q: %w", k, err)
+			}
+		}
+		reduceDur += time.Since(rs)
+		stats.OutputRecords += len(out)
+		// Write to a temporary name, then commit by rename — the
+		// standard output-committer protocol.
+		tmpOut := fmt.Sprintf("%s_tmp-part-%05d", spec.OutputDir, r)
+		finalOut := fmt.Sprintf("%s/part-%05d", spec.OutputDir, r)
+		if err := e.fs.WriteFile(tmpOut, EncodeLines(out)); err != nil {
+			e.fs.DeletePrefix(tmpDir)
+			return stats, err
+		}
+		if err := e.fs.Rename(tmpOut, finalOut); err != nil {
+			e.fs.DeletePrefix(tmpDir)
+			return stats, err
+		}
+	}
+	stats.ShuffleDuration = time.Since(shuffleStart) - reduceDur
+	stats.ReduceDuration = reduceDur
+
+	// Intermediates are garbage once the job commits.
+	e.fs.DeletePrefix(tmpDir)
+	stats.Total = time.Since(start)
+	return stats, nil
+}
+
+// runMapTask maps one input file, materialising one intermediate file per
+// reduce partition.
+func (e *Engine) runMapTask(spec JobSpec, tmpDir string, m int, path string) (res struct {
+	inRecords  int
+	outRecords int
+	err        error
+}) {
+	data, err := e.fs.ReadFile(path)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	records := DecodeLines(data)
+	res.inRecords = len(records)
+	parts := make([][]KV, spec.NumReducers)
+	emit := func(k, v string) {
+		h := fnv.New32a()
+		h.Write([]byte(k))
+		p := int(h.Sum32() % uint32(spec.NumReducers))
+		parts[p] = append(parts[p], KV{Key: k, Value: v})
+		res.outRecords++
+	}
+	for _, rec := range records {
+		if err := spec.Map(rec.Key, rec.Value, emit); err != nil {
+			res.err = fmt.Errorf("mapreduce: map %s: %w", path, err)
+			return res
+		}
+	}
+	// Materialise every partition — this DFS round trip per stage is the
+	// latency the paper's nearline path eliminates.
+	for p, recs := range parts {
+		name := fmt.Sprintf("%smap-%05d-part-%05d", tmpDir, m, p)
+		if err := e.fs.WriteFile(name, EncodeLines(recs)); err != nil {
+			res.err = err
+			return res
+		}
+	}
+	return res
+}
+
+// shuffle gathers one reducer's partition from every map task and groups
+// values by key.
+func (e *Engine) shuffle(tmpDir string, numMaps, r int) (map[string][]string, error) {
+	groups := make(map[string][]string)
+	for m := 0; m < numMaps; m++ {
+		name := fmt.Sprintf("%smap-%05d-part-%05d", tmpDir, m, r)
+		data, err := e.fs.ReadFile(name)
+		if err != nil {
+			if errors.Is(err, dfs.ErrNotFound) {
+				continue // mapper emitted nothing for this partition
+			}
+			return nil, err
+		}
+		for _, rec := range DecodeLines(data) {
+			groups[rec.Key] = append(groups[rec.Key], rec.Value)
+		}
+	}
+	return groups, nil
+}
+
+// Pipeline chains jobs: each stage's output directory is the next stage's
+// input prefix, re-materialised through the DFS every time.
+type Pipeline struct {
+	Stages []JobSpec
+}
+
+// RunPipeline executes the stages sequentially, returning per-stage stats.
+func (e *Engine) RunPipeline(p Pipeline) ([]JobStats, error) {
+	if len(p.Stages) == 0 {
+		return nil, errors.New("mapreduce: empty pipeline")
+	}
+	out := make([]JobStats, 0, len(p.Stages))
+	for i, spec := range p.Stages {
+		if i > 0 {
+			spec.InputPrefix = p.Stages[i-1].OutputDir + "/"
+		}
+		stats, err := e.Run(spec)
+		if err != nil {
+			return out, fmt.Errorf("mapreduce: stage %d (%s): %w", i, spec.Name, err)
+		}
+		out = append(out, stats)
+	}
+	return out, nil
+}
+
+// CleanOutputs removes the output directories of all stages, so a
+// pipeline can re-run from scratch (the paper's §2.1 re-execution model).
+func (e *Engine) CleanOutputs(p Pipeline) {
+	for _, spec := range p.Stages {
+		e.fs.DeletePrefix(spec.OutputDir + "/")
+	}
+}

@@ -1,0 +1,155 @@
+package processing_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/isolation"
+	"repro/internal/processing"
+)
+
+// burnTask spins for a fixed CPU time per message.
+type burnTask struct{ d time.Duration }
+
+func (b burnTask) Process(client.Message, *processing.TaskContext, *processing.Collector) error {
+	start := time.Now()
+	for time.Since(start) < b.d {
+	}
+	return nil
+}
+
+func TestGovernedJobIsThrottled(t *testing.T) {
+	s := startStack(t)
+	s.CreateFeed("burn", 1, 1)
+	gov := isolation.New(isolation.Config{CPUShare: 0.2, Burst: time.Millisecond})
+	job, err := s.RunJob(processing.JobConfig{
+		Name:     "burner",
+		Inputs:   []string{"burn"},
+		Factory:  func() processing.StreamTask { return burnTask{d: 2 * time.Millisecond} },
+		Governor: gov,
+		PollWait: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, s, "burn", 50, nil, func(i int) string { return "x" })
+	// 50 messages x 2ms CPU at a 20% share needs >= ~400ms wall fair
+	// share (50*2/0.2 = 500ms); unthrottled it would take ~100ms.
+	start := time.Now()
+	waitCounter(t, job.Metrics().Counter("burner.processed"), 50, 30*time.Second)
+	elapsed := time.Since(start)
+	if elapsed < 300*time.Millisecond {
+		t.Fatalf("governed job finished in %v; throttling ineffective", elapsed)
+	}
+	if gov.Usage().ThrottleCount == 0 {
+		t.Fatal("governor never throttled")
+	}
+}
+
+func TestCollectorSendToExplicitPartition(t *testing.T) {
+	s := startStack(t)
+	s.CreateFeed("rin", 1, 1)
+	s.CreateFeed("rout", 4, 1)
+	_, err := s.RunJob(processing.JobConfig{
+		Name:   "router",
+		Inputs: []string{"rin"},
+		Factory: func() processing.StreamTask {
+			return processing.TaskFunc(func(msg client.Message, _ *processing.TaskContext, out *processing.Collector) error {
+				// Route everything to partition 3 regardless of key.
+				return out.SendTo("rout", 3, msg.Key, msg.Value)
+			})
+		},
+		PollWait: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, s, "rin", 12, func(i int) string { return fmt.Sprintf("k%d", i) }, func(i int) string { return "v" })
+	msgs := drain(t, s, "rout", 4, 12, 15*time.Second)
+	for _, m := range msgs {
+		if m.Partition != 3 {
+			t.Fatalf("message on partition %d, want 3", m.Partition)
+		}
+	}
+}
+
+func TestJobStartLatestSkipsHistory(t *testing.T) {
+	s := startStack(t)
+	s.CreateFeed("hist", 1, 1)
+	s.CreateFeed("hist-out", 1, 1)
+	// History the job must not process.
+	produceN(t, s, "hist", 25, nil, func(i int) string { return fmt.Sprintf("old-%d", i) })
+
+	job, err := s.RunJob(processing.JobConfig{
+		Name:      "fresh",
+		Inputs:    []string{"hist"},
+		StartFrom: client.StartLatest,
+		Factory: func() processing.StreamTask {
+			return processing.TaskFunc(func(msg client.Message, _ *processing.TaskContext, out *processing.Collector) error {
+				return out.Send("hist-out", msg.Key, msg.Value)
+			})
+		},
+		PollWait: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the task a moment to assign at the log end, then produce new.
+	time.Sleep(300 * time.Millisecond)
+	produceN(t, s, "hist", 5, nil, func(i int) string { return fmt.Sprintf("new-%d", i) })
+	msgs := drain(t, s, "hist-out", 1, 5, 15*time.Second)
+	for _, m := range msgs {
+		if string(m.Value[:3]) != "new" {
+			t.Fatalf("StartLatest job processed history: %q", m.Value)
+		}
+	}
+	if got := job.Metrics().Counter("fresh.processed").Value(); got > 5 {
+		t.Fatalf("processed %d, want <= 5", got)
+	}
+}
+
+func TestTwoStoresPerJob(t *testing.T) {
+	s := startStack(t)
+	s.CreateFeed("multi", 1, 1)
+	job, err := s.RunJob(processing.JobConfig{
+		Name:   "twostores",
+		Inputs: []string{"multi"},
+		Stores: []processing.StoreSpec{{Name: "a"}, {Name: "b", Persistent: true}},
+		Factory: func() processing.StreamTask {
+			return processing.TaskFunc(func(msg client.Message, ctx *processing.TaskContext, _ *processing.Collector) error {
+				if err := ctx.Store("a").Put(msg.Value, []byte("1")); err != nil {
+					return err
+				}
+				return ctx.Store("b").Put(msg.Value, []byte("2"))
+			})
+		},
+		CheckpointInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	produceN(t, s, "multi", 10, nil, func(i int) string { return fmt.Sprintf("k%d", i) })
+	waitCounter(t, job.Metrics().Counter("twostores.processed"), 10, 10*time.Second)
+	job.Stop()
+	// Both changelogs exist and carry the state.
+	for _, store := range []string{"a", "b"} {
+		state := changelogState(t, s, "twostores-"+store+"-changelog", 1)
+		if len(state) != 10 {
+			t.Fatalf("store %s changelog has %d keys", store, len(state))
+		}
+	}
+}
+
+func TestUnknownStorePanicsWithClearMessage(t *testing.T) {
+	ctx := &processing.TaskContext{Job: "j"}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for unknown store")
+		}
+	}()
+	// TaskContext with no stores: Store must panic (programming error).
+	_ = ctx.Store("nope")
+}

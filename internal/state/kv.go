@@ -1,0 +1,508 @@
+package state
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// KVConfig parameterises the persistent store.
+type KVConfig struct {
+	// MemtableEntries is the flush threshold: once the memtable holds
+	// this many entries it is written out as a sorted run.
+	MemtableEntries int
+	// MaxRuns triggers a full merge once exceeded.
+	MaxRuns int
+	// SyncWAL fsyncs the write-ahead log on every write (durable but
+	// slow); off by default, matching the processing layer's stance that
+	// the changelog — not local disk — is the recovery source of truth.
+	SyncWAL bool
+}
+
+func (c KVConfig) withDefaults() KVConfig {
+	if c.MemtableEntries == 0 {
+		c.MemtableEntries = 16 * 1024
+	}
+	if c.MaxRuns == 0 {
+		c.MaxRuns = 4
+	}
+	return c
+}
+
+// KV is a persistent log-structured store: writes land in a WAL-backed
+// memtable, which flushes to immutable sorted runs; reads consult the
+// memtable then runs newest-first; a background-free merge compacts runs
+// when they pile up. It stands in for RocksDB as the off-heap local state
+// of the processing layer (paper §4.4).
+type KV struct {
+	dir string
+	cfg KVConfig
+
+	mu       sync.RWMutex
+	mem      map[string]memEntry
+	runs     []*run // oldest first
+	wal      *wal
+	nextRun  int
+	closed   bool
+	liveKeys int
+}
+
+type memEntry struct {
+	value     []byte
+	tombstone bool
+}
+
+// OpenKV opens or creates a persistent store in dir, replaying the WAL.
+func OpenKV(dir string, cfg KVConfig) (*KV, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	kv := &KV{dir: dir, cfg: cfg, mem: make(map[string]memEntry)}
+
+	// Load runs in file order (ascending run number = oldest first).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var runNums []int
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, runSuffix) {
+			if n, err := strconv.Atoi(strings.TrimSuffix(name, runSuffix)); err == nil {
+				runNums = append(runNums, n)
+			}
+		}
+	}
+	sort.Ints(runNums)
+	for _, n := range runNums {
+		r, err := openRun(runPath(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		kv.runs = append(kv.runs, r)
+		if n >= kv.nextRun {
+			kv.nextRun = n + 1
+		}
+	}
+
+	w, err := openWAL(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		return nil, err
+	}
+	kv.wal = w
+	err = w.replay(func(op byte, key, value []byte) {
+		if op == walOpPut {
+			kv.mem[string(key)] = memEntry{value: value}
+		} else {
+			kv.mem[string(key)] = memEntry{tombstone: true}
+		}
+	})
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	kv.recountLive()
+	return kv, nil
+}
+
+// recountLive recomputes the live key count (open-time only).
+func (kv *KV) recountLive() {
+	seen := make(map[string]bool)
+	n := 0
+	if kv.cfg.MaxRuns > 0 {
+		for key, e := range kv.mem {
+			seen[key] = true
+			if !e.tombstone {
+				n++
+			}
+		}
+		for i := len(kv.runs) - 1; i >= 0; i-- {
+			for _, e := range kv.runs[i].entries {
+				k := string(e.key)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if e.value != nil {
+					n++
+				}
+			}
+		}
+	}
+	kv.liveKeys = n
+}
+
+// Get implements Store.
+func (kv *KV) Get(key []byte) ([]byte, bool, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if kv.closed {
+		return nil, false, ErrClosed
+	}
+	if e, ok := kv.mem[string(key)]; ok {
+		if e.tombstone {
+			return nil, false, nil
+		}
+		return append([]byte(nil), e.value...), true, nil
+	}
+	for i := len(kv.runs) - 1; i >= 0; i-- {
+		if v, ok := kv.runs[i].get(key); ok {
+			if v == nil {
+				return nil, false, nil // tombstone
+			}
+			return append([]byte(nil), v...), true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Put implements Store.
+func (kv *KV) Put(key, value []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	if err := kv.wal.appendRecord(walOpPut, key, value); err != nil {
+		return err
+	}
+	if kv.cfg.SyncWAL {
+		if err := kv.wal.sync(); err != nil {
+			return err
+		}
+	}
+	prev, existed := kv.lookupLocked(key)
+	if !existed || prev == nil {
+		kv.liveKeys++
+	}
+	kv.mem[string(key)] = memEntry{value: append([]byte(nil), value...)}
+	return kv.maybeFlushLocked()
+}
+
+// Delete implements Store.
+func (kv *KV) Delete(key []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	if err := kv.wal.appendRecord(walOpDelete, key, nil); err != nil {
+		return err
+	}
+	if kv.cfg.SyncWAL {
+		if err := kv.wal.sync(); err != nil {
+			return err
+		}
+	}
+	if prev, existed := kv.lookupLocked(key); existed && prev != nil {
+		kv.liveKeys--
+	}
+	kv.mem[string(key)] = memEntry{tombstone: true}
+	return kv.maybeFlushLocked()
+}
+
+// lookupLocked resolves a key through memtable and runs; value nil means
+// tombstone or absent.
+func (kv *KV) lookupLocked(key []byte) ([]byte, bool) {
+	if e, ok := kv.mem[string(key)]; ok {
+		if e.tombstone {
+			return nil, true
+		}
+		return e.value, true
+	}
+	for i := len(kv.runs) - 1; i >= 0; i-- {
+		if v, ok := kv.runs[i].get(key); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// maybeFlushLocked flushes the memtable to a run and merges runs when they
+// pile up.
+func (kv *KV) maybeFlushLocked() error {
+	if len(kv.mem) < kv.cfg.MemtableEntries {
+		return nil
+	}
+	if err := kv.flushLocked(); err != nil {
+		return err
+	}
+	if len(kv.runs) > kv.cfg.MaxRuns {
+		return kv.mergeLocked()
+	}
+	return nil
+}
+
+// flushLocked writes the memtable as a new sorted run and resets the WAL.
+func (kv *KV) flushLocked() error {
+	if len(kv.mem) == 0 {
+		return nil
+	}
+	entries := make([]entry, 0, len(kv.mem))
+	for k, e := range kv.mem {
+		if e.tombstone {
+			entries = append(entries, entry{key: []byte(k), value: nil})
+		} else {
+			entries = append(entries, entry{key: []byte(k), value: e.value})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return compareEntries(entries[i], entries[j]) < 0 })
+	r, err := writeRun(runPath(kv.dir, kv.nextRun), entries)
+	if err != nil {
+		return err
+	}
+	kv.nextRun++
+	kv.runs = append(kv.runs, r)
+	kv.mem = make(map[string]memEntry)
+	return kv.wal.reset()
+}
+
+// mergeLocked merges all runs into one, dropping shadowed entries and —
+// since nothing older remains — tombstones.
+func (kv *KV) mergeLocked() error {
+	latest := make(map[string][]byte) // nil value = tombstone
+	var order []string
+	for _, r := range kv.runs { // oldest -> newest: later wins
+		for _, e := range r.entries {
+			k := string(e.key)
+			if _, seen := latest[k]; !seen {
+				order = append(order, k)
+			}
+			latest[k] = e.value
+		}
+	}
+	sort.Strings(order)
+	merged := make([]entry, 0, len(order))
+	for _, k := range order {
+		if v := latest[k]; v != nil {
+			merged = append(merged, entry{key: []byte(k), value: v})
+		}
+	}
+	r, err := writeRun(runPath(kv.dir, kv.nextRun), merged)
+	if err != nil {
+		return err
+	}
+	kv.nextRun++
+	old := kv.runs
+	kv.runs = []*run{r}
+	for _, o := range old {
+		o.remove()
+	}
+	return nil
+}
+
+// Range implements Store.
+func (kv *KV) Range(from, to []byte, fn func(key, value []byte) bool) error {
+	kv.mu.RLock()
+	if kv.closed {
+		kv.mu.RUnlock()
+		return ErrClosed
+	}
+	// Build a merged snapshot view (newest wins).
+	latest := make(map[string][]byte)
+	for _, r := range kv.runs {
+		for _, e := range r.entries {
+			latest[string(e.key)] = e.value
+		}
+	}
+	for k, e := range kv.mem {
+		if e.tombstone {
+			latest[k] = nil
+		} else {
+			latest[k] = e.value
+		}
+	}
+	keys := make([]string, 0, len(latest))
+	for k, v := range latest {
+		if v == nil {
+			continue
+		}
+		if from != nil && k < string(from) {
+			continue
+		}
+		if to != nil && k >= string(to) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type kvPair struct{ k, v []byte }
+	snapshot := make([]kvPair, 0, len(keys))
+	for _, k := range keys {
+		snapshot = append(snapshot, kvPair{k: []byte(k), v: append([]byte(nil), latest[k]...)})
+	}
+	kv.mu.RUnlock()
+	for _, e := range snapshot {
+		if !fn(e.k, e.v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len implements Store.
+func (kv *KV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.liveKeys
+}
+
+// Flush forces the memtable to disk; primarily for tests and shutdown.
+func (kv *KV) Flush() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	return kv.flushLocked()
+}
+
+// RunCount reports how many sorted runs exist (introspection for tests).
+func (kv *KV) RunCount() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.runs)
+}
+
+// Close flushes and closes the store.
+func (kv *KV) Close() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return nil
+	}
+	kv.closed = true
+	var first error
+	if err := kv.wal.sync(); err != nil {
+		first = err
+	}
+	if err := kv.wal.close(); err != nil && first == nil {
+		first = err
+	}
+	for _, r := range kv.runs {
+		r.release()
+	}
+	return first
+}
+
+// ---------------------------------------------------------------- runs
+
+const runSuffix = ".run"
+
+func runPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d%s", n, runSuffix))
+}
+
+// run is one immutable sorted file, fully resident in memory. Format:
+//
+//	count   uint32
+//	crc     uint32  // over all entry bytes
+//	entries { keyLen uint32, key, valLen uint32 (0xFFFFFFFF = tombstone), value }*
+type run struct {
+	path    string
+	entries []entry
+}
+
+// writeRun persists sorted entries as a run file.
+func writeRun(path string, entries []entry) (*run, error) {
+	var body []byte
+	for _, e := range entries {
+		body = binary.BigEndian.AppendUint32(body, uint32(len(e.key)))
+		body = append(body, e.key...)
+		if e.value == nil {
+			body = binary.BigEndian.AppendUint32(body, 0xFFFFFFFF)
+		} else {
+			body = binary.BigEndian.AppendUint32(body, uint32(len(e.value)))
+			body = append(body, e.value...)
+		}
+	}
+	buf := make([]byte, 0, 8+len(body))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(body, walTable))
+	buf = append(buf, body...)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	return &run{path: path, entries: entries}, nil
+}
+
+// openRun loads a run file, validating its checksum.
+func openRun(path string) (*run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("state: run %s truncated", path)
+	}
+	count := int(binary.BigEndian.Uint32(data))
+	wantCRC := binary.BigEndian.Uint32(data[4:])
+	body := data[8:]
+	if crc32.Checksum(body, walTable) != wantCRC {
+		return nil, fmt.Errorf("state: run %s corrupt", path)
+	}
+	entries := make([]entry, 0, count)
+	pos := 0
+	for i := 0; i < count; i++ {
+		if pos+4 > len(body) {
+			return nil, fmt.Errorf("state: run %s short", path)
+		}
+		kl := int(binary.BigEndian.Uint32(body[pos:]))
+		pos += 4
+		if pos+kl+4 > len(body) {
+			return nil, fmt.Errorf("state: run %s short", path)
+		}
+		key := append([]byte(nil), body[pos:pos+kl]...)
+		pos += kl
+		vl := binary.BigEndian.Uint32(body[pos:])
+		pos += 4
+		var value []byte
+		if vl != 0xFFFFFFFF {
+			if pos+int(vl) > len(body) {
+				return nil, fmt.Errorf("state: run %s short", path)
+			}
+			value = append([]byte(nil), body[pos:pos+int(vl)]...)
+			pos += int(vl)
+		}
+		entries = append(entries, entry{key: key, value: value})
+	}
+	return &run{path: path, entries: entries}, nil
+}
+
+// get binary-searches the run. ok distinguishes "present (maybe
+// tombstone)" from "absent".
+func (r *run) get(key []byte) ([]byte, bool) {
+	i := sort.Search(len(r.entries), func(i int) bool {
+		return compareEntries(r.entries[i], entry{key: key}) >= 0
+	})
+	if i < len(r.entries) && string(r.entries[i].key) == string(key) {
+		return r.entries[i].value, true
+	}
+	return nil, false
+}
+
+// remove deletes the run file.
+func (r *run) remove() {
+	os.Remove(r.path)
+	r.entries = nil
+}
+
+// release drops in-memory entries without deleting the file.
+func (r *run) release() { r.entries = nil }

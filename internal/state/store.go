@@ -1,0 +1,141 @@
+// Package state provides the local state stores of the processing layer
+// (paper §3.2 "stateful processing", §4.4): tasks keep state as arbitrary
+// keyed data accessed locally for efficiency. Two implementations exist —
+// an in-memory map store, and a persistent log-structured store (memtable +
+// write-ahead log + sorted runs) standing in for RocksDB. Fault tolerance
+// comes from the changelog mechanism in the processing layer, which
+// replays keyed updates from the messaging layer.
+package state
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("state: store closed")
+
+// Store is keyed local state. Implementations are safe for concurrent use.
+type Store interface {
+	// Get returns the value for key, with found=false for absent keys.
+	Get(key []byte) (value []byte, found bool, err error)
+	// Put stores a value.
+	Put(key, value []byte) error
+	// Delete removes a key; deleting an absent key is a no-op.
+	Delete(key []byte) error
+	// Range calls fn over keys in [from, to) in ascending order; nil
+	// bounds are open. fn returning false stops the scan.
+	Range(from, to []byte, fn func(key, value []byte) bool) error
+	// Len returns the number of live keys.
+	Len() int
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore is a sorted in-memory Store. The zero value is not usable; use
+// NewMem.
+type MemStore struct {
+	mu     sync.RWMutex
+	m      map[string][]byte
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore {
+	return &MemStore{m: make(map[string][]byte)}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := s.m[string(key)]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.m[string(key)] = append([]byte(nil), value...)
+	return nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	delete(s.m, string(key))
+	return nil
+}
+
+// Range implements Store.
+func (s *MemStore) Range(from, to []byte, fn func(key, value []byte) bool) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		if from != nil && k < string(from) {
+			continue
+		}
+		if to != nil && k >= string(to) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type kv struct{ k, v []byte }
+	snapshot := make([]kv, 0, len(keys))
+	for _, k := range keys {
+		snapshot = append(snapshot, kv{k: []byte(k), v: append([]byte(nil), s.m[k]...)})
+	}
+	s.mu.RUnlock()
+	for _, e := range snapshot {
+		if !fn(e.k, e.v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.m = nil
+	return nil
+}
+
+// entry is one key/value pair in a run; tombstones carry a nil value.
+type entry struct {
+	key   []byte
+	value []byte // nil = tombstone
+}
+
+// compareEntries orders entries by key.
+func compareEntries(a, b entry) int { return bytes.Compare(a.key, b.key) }

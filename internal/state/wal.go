@@ -1,0 +1,166 @@
+package state
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Write-ahead log for the persistent store's memtable. Each record is:
+//
+//	crc     uint32  // CRC32-C over everything after this field
+//	op      uint8   // 0 = put, 1 = delete
+//	keyLen  uint32
+//	key     bytes
+//	valLen  uint32  // present only for put
+//	value   bytes
+//
+// A torn tail (crash mid-write) is detected by CRC or short read and
+// truncated on replay, like the commit log's recovery path.
+
+const (
+	walOpPut    = 0
+	walOpDelete = 1
+)
+
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+// wal is an append-only intent log.
+type wal struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+// openWAL opens or creates the WAL file.
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("state: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, path: path, size: st.Size()}, nil
+}
+
+// appendRecord writes one operation.
+func (w *wal) appendRecord(op byte, key, value []byte) error {
+	body := make([]byte, 0, 1+4+len(key)+4+len(value))
+	body = append(body, op)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(key)))
+	body = append(body, key...)
+	if op == walOpPut {
+		body = binary.BigEndian.AppendUint32(body, uint32(len(value)))
+		body = append(body, value...)
+	}
+	buf := make([]byte, 0, 4+len(body))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(body, walTable))
+	buf = append(buf, body...)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("state: wal append: %w", err)
+	}
+	w.size += int64(len(buf))
+	return nil
+}
+
+// replay streams valid records to fn, truncating a torn tail in place.
+func (w *wal) replay(fn func(op byte, key, value []byte)) error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := io.ReadAll(w.f)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	valid := 0
+	for pos < len(data) {
+		rec, n, ok := parseWALRecord(data[pos:])
+		if !ok {
+			break
+		}
+		fn(rec.op, rec.key, rec.value)
+		pos += n
+		valid = pos
+	}
+	if valid < len(data) {
+		if err := w.f.Truncate(int64(valid)); err != nil {
+			return err
+		}
+		w.size = int64(valid)
+	}
+	_, err = w.f.Seek(w.size, io.SeekStart)
+	return err
+}
+
+type walRecord struct {
+	op         byte
+	key, value []byte
+}
+
+// parseWALRecord decodes one record, reporting ok=false for short or
+// corrupt data.
+func parseWALRecord(b []byte) (walRecord, int, bool) {
+	if len(b) < 4+1+4 {
+		return walRecord{}, 0, false
+	}
+	wantCRC := binary.BigEndian.Uint32(b)
+	pos := 4
+	op := b[pos]
+	if op != walOpPut && op != walOpDelete {
+		return walRecord{}, 0, false
+	}
+	pos++
+	keyLen := int(binary.BigEndian.Uint32(b[pos:]))
+	pos += 4
+	if keyLen < 0 || pos+keyLen > len(b) {
+		return walRecord{}, 0, false
+	}
+	key := b[pos : pos+keyLen]
+	pos += keyLen
+	var value []byte
+	if op == walOpPut {
+		if pos+4 > len(b) {
+			return walRecord{}, 0, false
+		}
+		valLen := int(binary.BigEndian.Uint32(b[pos:]))
+		pos += 4
+		if valLen < 0 || pos+valLen > len(b) {
+			return walRecord{}, 0, false
+		}
+		value = b[pos : pos+valLen]
+		pos += valLen
+	}
+	if crc32.Checksum(b[4:pos], walTable) != wantCRC {
+		return walRecord{}, 0, false
+	}
+	out := walRecord{op: op}
+	out.key = append([]byte(nil), key...)
+	if op == walOpPut {
+		out.value = append([]byte(nil), value...)
+	}
+	return out, pos, true
+}
+
+// reset truncates the WAL to empty (after a memtable flush).
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = 0
+	return nil
+}
+
+// sync fsyncs the WAL.
+func (w *wal) sync() error { return w.f.Sync() }
+
+// close closes the file.
+func (w *wal) close() error { return w.f.Close() }

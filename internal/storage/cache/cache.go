@@ -1,0 +1,238 @@
+// Package cache models OS file-system page caching for the messaging
+// layer's "anti-caching" behaviour (paper §4.1): freshly appended log pages
+// stay RAM-resident and are flushed/evicted as they age, so reads near the
+// head of the log are memory-speed while cold historical reads pay a disk
+// penalty. The model tracks page residency with an LRU, distinguishes dirty
+// (not yet flushed) pages that cannot be evicted until the flush-behind
+// delay elapses, and reports a simulated disk penalty per missed page so
+// experiments are deterministic on any machine.
+package cache
+
+import (
+	"sync"
+	"time"
+)
+
+// Config parameterises the page-cache model.
+type Config struct {
+	// PageSize is the tracking granularity in bytes.
+	PageSize int64
+	// CapacityBytes bounds resident data; beyond it, LRU eviction runs.
+	CapacityBytes int64
+	// DiskPenaltyPerPage is the simulated extra latency for reading one
+	// non-resident page from disk.
+	DiskPenaltyPerPage time.Duration
+	// FlushDelay is the flush-behind window: a dirty page becomes clean
+	// (evictable) this long after it was written, mimicking the
+	// configurable OS write-back timeout the paper relies on.
+	FlushDelay time.Duration
+	// Now is an injectable clock for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.CapacityBytes == 0 {
+		c.CapacityBytes = 64 << 20
+	}
+	if c.DiskPenaltyPerPage == 0 {
+		c.DiskPenaltyPerPage = 50 * time.Microsecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// pageKey identifies one page of one file (segment).
+type pageKey struct {
+	file int64
+	page int64
+}
+
+// page is an LRU node.
+type page struct {
+	key        pageKey
+	dirtyUntil time.Time
+	prev, next *page
+}
+
+// Stats are cumulative counters for the cache model.
+type Stats struct {
+	Hits             int64
+	Misses           int64
+	Evictions        int64
+	ForcedWritebacks int64 // dirty pages evicted before their flush delay
+	ResidentPages    int64
+	ResidentBytes    int64
+}
+
+// Cache is the page-residency model. All methods are safe for concurrent
+// use.
+type Cache struct {
+	cfg Config
+
+	mu    sync.Mutex
+	pages map[pageKey]*page
+	head  *page // most recently used
+	tail  *page // least recently used
+	stats Stats
+}
+
+// New returns a cache model with the given configuration.
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	return &Cache{cfg: cfg, pages: make(map[pageKey]*page)}
+}
+
+// capacityPages returns the page capacity.
+func (c *Cache) capacityPages() int64 {
+	n := c.cfg.CapacityBytes / c.cfg.PageSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c *Cache) unlink(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		c.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		c.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+func (c *Cache) pushFront(p *page) {
+	p.next = c.head
+	p.prev = nil
+	if c.head != nil {
+		c.head.prev = p
+	}
+	c.head = p
+	if c.tail == nil {
+		c.tail = p
+	}
+}
+
+// touch inserts or refreshes a page, returning whether it was resident.
+func (c *Cache) touch(k pageKey, dirtyUntil time.Time) bool {
+	if p, ok := c.pages[k]; ok {
+		c.unlink(p)
+		c.pushFront(p)
+		if dirtyUntil.After(p.dirtyUntil) {
+			p.dirtyUntil = dirtyUntil
+		}
+		return true
+	}
+	p := &page{key: k, dirtyUntil: dirtyUntil}
+	c.pages[k] = p
+	c.pushFront(p)
+	c.evictLocked()
+	return false
+}
+
+// evictLocked removes LRU pages until within capacity, preferring clean
+// pages; a dirty LRU page is force-written-back when nothing clean remains
+// behind it.
+func (c *Cache) evictLocked() {
+	now := c.cfg.Now()
+	capacity := c.capacityPages()
+	for int64(len(c.pages)) > capacity {
+		// Walk from the tail looking for a clean page, never evicting the
+		// most-recently-used page (the one just touched).
+		victim := c.tail
+		for victim != nil && victim != c.head && victim.dirtyUntil.After(now) {
+			victim = victim.prev
+		}
+		forced := false
+		if victim == nil || victim == c.head {
+			victim = c.tail // everything dirty: force writeback of LRU
+			forced = true
+		}
+		if victim == nil || victim == c.head {
+			return
+		}
+		c.unlink(victim)
+		delete(c.pages, victim.key)
+		c.stats.Evictions++
+		if forced {
+			c.stats.ForcedWritebacks++
+		}
+	}
+}
+
+// pageRange converts a byte range to inclusive page indexes.
+func (c *Cache) pageRange(off, n int64) (int64, int64) {
+	if n <= 0 {
+		n = 1
+	}
+	first := off / c.cfg.PageSize
+	last := (off + n - 1) / c.cfg.PageSize
+	return first, last
+}
+
+// OnWrite marks the written byte range resident and dirty. Appends keep the
+// head of the log in RAM by default — the anti-caching property.
+func (c *Cache) OnWrite(file, off, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dirtyUntil := c.cfg.Now().Add(c.cfg.FlushDelay)
+	first, last := c.pageRange(off, n)
+	for p := first; p <= last; p++ {
+		c.touch(pageKey{file, p}, dirtyUntil)
+	}
+}
+
+// OnRead accounts a read of the byte range, returning the simulated disk
+// penalty for non-resident pages. Read pages become resident (the OS loads
+// and then prefetches them).
+func (c *Cache) OnRead(file, off, n int64) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first, last := c.pageRange(off, n)
+	var misses int64
+	for p := first; p <= last; p++ {
+		if c.touch(pageKey{file, p}, time.Time{}) {
+			c.stats.Hits++
+		} else {
+			c.stats.Misses++
+			misses++
+		}
+	}
+	return time.Duration(misses) * c.cfg.DiskPenaltyPerPage
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.ResidentPages = int64(len(c.pages))
+	s.ResidentBytes = s.ResidentPages * c.cfg.PageSize
+	return s
+}
+
+// HitRatio returns hits / (hits+misses), or 0 when no reads happened.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Reset clears counters but keeps residency state, so experiments can warm
+// the cache and then measure.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}

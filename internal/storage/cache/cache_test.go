@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+// fixedClock is an adjustable test clock.
+type fixedClock struct{ t time.Time }
+
+func (c *fixedClock) now() time.Time { return c.t }
+
+func newTestCache(capacity int64) (*Cache, *fixedClock) {
+	clk := &fixedClock{t: time.Unix(0, 0)}
+	c := New(Config{
+		PageSize:           100,
+		CapacityBytes:      capacity,
+		DiskPenaltyPerPage: time.Millisecond,
+		FlushDelay:         time.Second,
+		Now:                clk.now,
+	})
+	return c, clk
+}
+
+func TestWriteThenReadHits(t *testing.T) {
+	c, _ := newTestCache(1000) // 10 pages
+	c.OnWrite(0, 0, 300)       // pages 0,1,2
+	penalty := c.OnRead(0, 0, 300)
+	if penalty != 0 {
+		t.Fatalf("penalty = %v, want 0 for resident pages", penalty)
+	}
+	s := c.Stats()
+	if s.Hits != 3 || s.Misses != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestColdReadPaysPenalty(t *testing.T) {
+	c, _ := newTestCache(1000)
+	penalty := c.OnRead(0, 0, 250) // pages 0,1,2 never written
+	if penalty != 3*time.Millisecond {
+		t.Fatalf("penalty = %v, want 3ms", penalty)
+	}
+	// Second read of the same range is now resident.
+	if p := c.OnRead(0, 0, 250); p != 0 {
+		t.Fatalf("second read penalty = %v, want 0", p)
+	}
+}
+
+func TestLRUEvictionOldFirst(t *testing.T) {
+	c, clk := newTestCache(500) // 5 pages
+	clk.t = clk.t.Add(10 * time.Second)
+	// Write 10 pages; dirty pages flush after 1s, so advance the clock to
+	// make them all clean and evictable.
+	for i := int64(0); i < 10; i++ {
+		c.OnWrite(0, i*100, 100)
+		clk.t = clk.t.Add(2 * time.Second)
+	}
+	s := c.Stats()
+	if s.ResidentPages != 5 {
+		t.Fatalf("resident = %d, want 5", s.ResidentPages)
+	}
+	// The head of the log (most recent pages 5..9) is resident.
+	if p := c.OnRead(0, 900, 100); p != 0 {
+		t.Fatalf("head read penalty = %v, want 0 (anti-caching)", p)
+	}
+	// The cold tail (pages 0..4) was evicted.
+	if p := c.OnRead(0, 0, 100); p == 0 {
+		t.Fatal("cold tail read should pay a disk penalty")
+	}
+}
+
+func TestDirtyPagesResistEviction(t *testing.T) {
+	c, clk := newTestCache(300) // 3 pages
+	// Write 3 pages at t=0; all dirty until t=1s.
+	c.OnWrite(0, 0, 300)
+	// A read of 2 new pages at t=0 must evict, but pages 0-2 are dirty:
+	// eviction falls back to forced writeback.
+	_ = c.OnRead(1, 0, 200)
+	s := c.Stats()
+	if s.ForcedWritebacks == 0 {
+		t.Fatalf("expected forced writebacks, stats %+v", s)
+	}
+	// After the flush delay, eviction is clean.
+	clk.t = clk.t.Add(2 * time.Second)
+	_ = c.OnRead(2, 0, 200)
+	s2 := c.Stats()
+	if s2.ForcedWritebacks != s.ForcedWritebacks {
+		t.Fatalf("clean pages should evict without writeback: %+v", s2)
+	}
+}
+
+func TestSequentialScanLargerThanCache(t *testing.T) {
+	c, clk := newTestCache(500)
+	clk.t = clk.t.Add(time.Hour)
+	// Cold sequential scan over 100 pages: every page misses exactly once.
+	for i := int64(0); i < 100; i++ {
+		c.OnRead(0, i*100, 100)
+	}
+	s := c.Stats()
+	if s.Misses != 100 || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want 100 misses", s)
+	}
+	if s.ResidentPages != 5 {
+		t.Fatalf("resident = %d, want capacity 5", s.ResidentPages)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty stats should have ratio 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if got := s.HitRatio(); got != 0.75 {
+		t.Fatalf("ratio = %v, want 0.75", got)
+	}
+}
+
+func TestResetKeepsResidency(t *testing.T) {
+	c, _ := newTestCache(1000)
+	c.OnWrite(0, 0, 500)
+	c.Reset()
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("counters not reset: %+v", s)
+	}
+	if s.ResidentPages != 5 {
+		t.Fatalf("residency lost on reset: %+v", s)
+	}
+	if p := c.OnRead(0, 0, 500); p != 0 {
+		t.Fatal("previously written pages should still be resident")
+	}
+}
+
+func TestPageRangeInclusive(t *testing.T) {
+	c, _ := newTestCache(10000)
+	// A 1-byte read straddling nothing: exactly one page touched.
+	c.OnRead(0, 150, 1)
+	if s := c.Stats(); s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss", s)
+	}
+	// A read straddling a page boundary touches two pages.
+	c.OnRead(0, 295, 10)
+	if s := c.Stats(); s.Misses != 3 {
+		t.Fatalf("stats = %+v, want 3 misses total", s)
+	}
+}
+
+func TestZeroLengthAccessTouchesOnePage(t *testing.T) {
+	c, _ := newTestCache(10000)
+	c.OnRead(0, 0, 0)
+	if s := c.Stats(); s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDistinctFilesDistinctPages(t *testing.T) {
+	c, _ := newTestCache(10000)
+	c.OnWrite(1, 0, 100)
+	if p := c.OnRead(2, 0, 100); p == 0 {
+		t.Fatal("file 2 page 0 should not be resident from file 1 write")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := New(Config{})
+	c.OnWrite(0, 0, 4096)
+	if p := c.OnRead(0, 0, 4096); p != 0 {
+		t.Fatalf("default config read-after-write penalty = %v", p)
+	}
+}

@@ -1,0 +1,170 @@
+// Package compact implements key-based log compaction (paper §4.1): the
+// inactive segments of a log are rewritten keeping only the most recent
+// record for each key, preserving surviving records' original offsets.
+// Compaction shrinks changelogs that back processing-layer state, which both
+// reduces storage and speeds up state recovery after failures.
+package compact
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/storage/log"
+	"repro/internal/storage/record"
+)
+
+// Stats summarises one compaction pass.
+type Stats struct {
+	SegmentsScanned int
+	RecordsBefore   int
+	RecordsAfter    int
+	BytesBefore     int64
+	BytesAfter      int64
+}
+
+// Ratio returns BytesAfter / BytesBefore, or 1 when nothing was scanned.
+func (s Stats) Ratio() float64 {
+	if s.BytesBefore == 0 {
+		return 1
+	}
+	return float64(s.BytesAfter) / float64(s.BytesBefore)
+}
+
+// Compact performs one compaction pass over l. Records without keys are
+// always retained (compaction is meaningful only for keyed data). The most
+// recent record for each key — judged over the entire log, including the
+// active segment — survives; older versions in inactive segments are
+// dropped. Tombstones (nil values) that are the latest for their key are
+// retained so that replicating consumers observe the deletion.
+func Compact(l *log.Log) (Stats, error) {
+	var stats Stats
+	segs := l.Segments()
+	if len(segs) < 2 {
+		return stats, nil // only the active segment: nothing compactable
+	}
+	inactive := segs[:len(segs)-1]
+
+	// Pass 1: newest offset per key across the whole log.
+	latest := make(map[string]int64)
+	for _, si := range segs {
+		data, err := l.ReadSegment(si.BaseOffset)
+		if err != nil {
+			return stats, err
+		}
+		err = record.ScanRecords(data, func(r record.Record) error {
+			if r.Key != nil {
+				latest[string(r.Key)] = r.Offset
+			}
+			return nil
+		})
+		if err != nil {
+			return stats, fmt.Errorf("compact: scan segment %d: %w", si.BaseOffset, err)
+		}
+	}
+
+	// Pass 2: rewrite inactive segments keeping only surviving records.
+	segmentBytes := l.Config().SegmentBytes
+	var (
+		oldBases    []int64
+		newSegments [][]byte
+		current     []byte
+		batchBuf    []record.Record
+	)
+	flushBatch := func() {
+		if len(batchBuf) == 0 {
+			return
+		}
+		enc := record.EncodeBatchKeepOffsets(batchBuf)
+		if int64(len(current)+len(enc)) > segmentBytes && len(current) > 0 {
+			newSegments = append(newSegments, current)
+			current = nil
+		}
+		current = append(current, enc...)
+		batchBuf = batchBuf[:0]
+	}
+	for _, si := range inactive {
+		stats.SegmentsScanned++
+		stats.BytesBefore += si.Size
+		oldBases = append(oldBases, si.BaseOffset)
+		data, err := l.ReadSegment(si.BaseOffset)
+		if err != nil {
+			return stats, err
+		}
+		err = record.ScanRecords(data, func(r record.Record) error {
+			stats.RecordsBefore++
+			keep := r.Key == nil || latest[string(r.Key)] == r.Offset
+			if keep {
+				stats.RecordsAfter++
+				batchBuf = append(batchBuf, r)
+				if len(batchBuf) >= 512 {
+					flushBatch()
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return stats, fmt.Errorf("compact: rewrite segment %d: %w", si.BaseOffset, err)
+		}
+		flushBatch()
+	}
+	if len(current) > 0 {
+		newSegments = append(newSegments, current)
+	}
+	for _, s := range newSegments {
+		stats.BytesAfter += int64(len(s))
+	}
+	if err := l.ReplaceSegments(oldBases, newSegments); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// Cleaner periodically compacts a set of logs in the background, the way
+// the paper describes asynchronous scanning of the log (§4.1).
+type Cleaner struct {
+	interval time.Duration
+	logs     func() []*log.Log
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCleaner creates a cleaner that compacts every log returned by logs()
+// each interval. Start must be called to begin cleaning.
+func NewCleaner(interval time.Duration, logs func() []*log.Log) *Cleaner {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	return &Cleaner{
+		interval: interval,
+		logs:     logs,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background cleaning loop.
+func (c *Cleaner) Start() {
+	go func() {
+		defer close(c.done)
+		ticker := time.NewTicker(c.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-ticker.C:
+				for _, l := range c.logs() {
+					if l.Config().Compacted {
+						_, _ = Compact(l) // best effort; next tick retries
+					}
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the cleaner and waits for the loop to exit.
+func (c *Cleaner) Stop() {
+	close(c.stop)
+	<-c.done
+}

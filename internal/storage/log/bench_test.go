@@ -1,0 +1,103 @@
+package log
+
+import (
+	"testing"
+
+	"repro/internal/storage/record"
+)
+
+func benchLog(b *testing.B) *Log {
+	b.Helper()
+	l, err := Open(b.TempDir(), Config{SegmentBytes: 64 << 20, RetentionMs: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	return l
+}
+
+func BenchmarkAppend64x512(b *testing.B) {
+	l := benchLog(b)
+	value := make([]byte, 512)
+	recs := make([]record.Record, 64)
+	b.ReportAllocs()
+	b.SetBytes(64 * 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range recs {
+			recs[j] = record.Record{Timestamp: 1, Value: value}
+		}
+		if _, err := l.Append(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialRead(b *testing.B) {
+	l := benchLog(b)
+	value := make([]byte, 512)
+	recs := make([]record.Record, 64)
+	for j := range recs {
+		recs[j] = record.Record{Timestamp: 1, Value: value}
+	}
+	for i := 0; i < 256; i++ {
+		if _, err := l.Append(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	end := l.NextOffset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		off := int64(0)
+		for off < end {
+			data, err := l.Read(off, 1<<20)
+			if err != nil || len(data) == 0 {
+				break
+			}
+			total += int64(len(data))
+			info, err := record.PeekBatchInfo(data[len(data)-lastBatch(data):])
+			if err != nil {
+				b.Fatal(err)
+			}
+			off = info.LastOffset + 1
+		}
+	}
+	b.SetBytes(total / int64(b.N))
+}
+
+// lastBatch returns the length of the final complete batch in data.
+func lastBatch(data []byte) int {
+	pos, last := 0, 0
+	for pos < len(data) {
+		n, err := record.PeekBatchLen(data[pos:])
+		if err != nil {
+			break
+		}
+		last = n
+		pos += n
+	}
+	return last
+}
+
+func BenchmarkRandomRead(b *testing.B) {
+	l := benchLog(b)
+	value := make([]byte, 512)
+	recs := make([]record.Record, 64)
+	for j := range recs {
+		recs[j] = record.Record{Timestamp: 1, Value: value}
+	}
+	for i := 0; i < 256; i++ {
+		l.Append(recs)
+	}
+	end := l.NextOffset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * 7919) % end
+		if _, err := l.Read(off, 64<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

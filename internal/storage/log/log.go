@@ -1,0 +1,604 @@
+package log
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/storage/record"
+)
+
+// Config controls a partition log. The zero value selects defaults suitable
+// for tests; production-style deployments override segment and retention
+// settings per topic (paper §4.1 "log retention").
+type Config struct {
+	// SegmentBytes is the roll size for segment files.
+	SegmentBytes int64
+	// IndexIntervalBytes is the spacing of sparse index entries.
+	IndexIntervalBytes int64
+	// RetentionMs bounds data age; segments whose newest record is older
+	// are deleted. -1 disables time retention.
+	RetentionMs int64
+	// RetentionBytes bounds total log size; oldest segments are deleted
+	// while the log exceeds it. -1 disables size retention.
+	RetentionBytes int64
+	// FlushMessages forces an fsync every N appended batches; 0 leaves
+	// flushing to the OS (the paper's default behaviour, §4.1).
+	FlushMessages int64
+	// MaxBatchBytes splits large appends into multiple batches of at
+	// most this encoded size, so batches stay well below the segment
+	// size and segments can roll (a single record larger than the limit
+	// still becomes one oversized batch).
+	MaxBatchBytes int64
+	// Compacted marks the log for key-based compaction instead of
+	// deletion-based retention.
+	Compacted bool
+	// Tracker optionally observes segment I/O for page-cache modelling.
+	Tracker PageTracker
+}
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultSegmentBytes       = 32 << 20 // 32 MiB
+	DefaultIndexIntervalBytes = 4096
+	DefaultRetentionMs        = 7 * 24 * 3600 * 1000 // one week
+	DefaultRetentionBytes     = int64(-1)
+	DefaultMaxBatchBytes      = 32 << 10 // 32 KiB
+)
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = DefaultSegmentBytes
+	}
+	if c.IndexIntervalBytes == 0 {
+		c.IndexIntervalBytes = DefaultIndexIntervalBytes
+	}
+	if c.RetentionMs == 0 {
+		c.RetentionMs = DefaultRetentionMs
+	}
+	if c.RetentionBytes == 0 {
+		c.RetentionBytes = DefaultRetentionBytes
+	}
+	if c.MaxBatchBytes == 0 {
+		c.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	// Batches must stay well below the segment size or segments never
+	// roll (and retention/compaction never find inactive segments).
+	if quarter := c.SegmentBytes / 4; c.MaxBatchBytes > quarter {
+		c.MaxBatchBytes = quarter
+		if c.MaxBatchBytes < 1024 {
+			c.MaxBatchBytes = 1024
+		}
+	}
+	return c
+}
+
+// Log is a single partition's commit log: an ordered list of segments, the
+// last of which is active for appends. All methods are safe for concurrent
+// use.
+type Log struct {
+	dir string
+	cfg Config
+
+	mu          sync.RWMutex
+	segments    []*segment // ascending base offset; last is active
+	startOffset int64      // first retained offset
+	closed      bool
+
+	appendsSinceFlush int64
+}
+
+// Open opens or creates the log in dir.
+func Open(dir string, cfg Config) (*Log, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("log: mkdir: %w", err)
+	}
+	l := &Log{dir: dir, cfg: cfg}
+
+	bases, err := listSegmentBases(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, base := range bases {
+		s, err := openSegment(dir, base, cfg.IndexIntervalBytes)
+		if err != nil {
+			return nil, err
+		}
+		l.segments = append(l.segments, s)
+	}
+	if len(l.segments) == 0 {
+		s, err := createSegment(dir, 0)
+		if err != nil {
+			return nil, err
+		}
+		l.segments = []*segment{s}
+	}
+	l.startOffset = l.segments[0].baseOffset
+	// Look for a persisted start offset (advanced by retention past
+	// segment bases when compaction ran).
+	if so, err := readStartOffset(dir); err == nil && so > l.startOffset {
+		l.startOffset = so
+	}
+	return l, nil
+}
+
+// listSegmentBases returns sorted segment base offsets found in dir.
+func listSegmentBases(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("log: readdir: %w", err)
+	}
+	var bases []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		base, err := strconv.ParseInt(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}
+
+const startOffsetFile = "start-offset"
+
+func readStartOffset(dir string) (int64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, startOffsetFile))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64)
+}
+
+func writeStartOffset(dir string, v int64) error {
+	return os.WriteFile(filepath.Join(dir, startOffsetFile), []byte(strconv.FormatInt(v, 10)), 0o644)
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Config returns the effective configuration.
+func (l *Log) Config() Config { return l.cfg }
+
+// NextOffset returns the offset the next appended record will receive (the
+// log end offset).
+func (l *Log) NextOffset() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.active().nextOffset
+}
+
+// StartOffset returns the first retained offset.
+func (l *Log) StartOffset() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.startOffset
+}
+
+// Size returns the total byte size of all segments.
+func (l *Log) Size() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var n int64
+	for _, s := range l.segments {
+		n += s.size
+	}
+	return n
+}
+
+// SegmentCount returns the number of segment files.
+func (l *Log) SegmentCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.segments)
+}
+
+func (l *Log) active() *segment { return l.segments[len(l.segments)-1] }
+
+// Append assigns consecutive offsets to records, stamps zero timestamps
+// with now (log-append time), encodes them as batches of at most
+// MaxBatchBytes, and appends them. It returns the base offset assigned to
+// the first record.
+func (l *Log) Append(records []record.Record) (int64, error) {
+	if len(records) == 0 {
+		return 0, fmt.Errorf("log: empty append")
+	}
+	now := time.Now().UnixMilli()
+	for i := range records {
+		if records[i].Timestamp == 0 {
+			records[i].Timestamp = now
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	base := l.active().nextOffset
+	next := base
+	for start := 0; start < len(records); {
+		end := start + 1
+		size := estimateRecordSize(&records[start])
+		for end < len(records) {
+			n := estimateRecordSize(&records[end])
+			if size+n > l.cfg.MaxBatchBytes {
+				break
+			}
+			size += n
+			end++
+		}
+		batch := record.EncodeBatch(next, records[start:end])
+		if err := l.appendLocked(batch); err != nil {
+			return 0, err
+		}
+		next += int64(end - start)
+		start = end
+	}
+	return base, nil
+}
+
+// estimateRecordSize approximates a record's encoded footprint.
+func estimateRecordSize(r *record.Record) int64 {
+	n := int64(len(r.Key) + len(r.Value) + 64)
+	for i := range r.Headers {
+		n += int64(len(r.Headers[i].Key) + len(r.Headers[i].Value) + 8)
+	}
+	return n
+}
+
+// AppendBatch appends an already-encoded batch, preserving its offsets.
+// The batch base offset must be at or beyond the current log end offset;
+// gaps are allowed (they arise when replicating a compacted log). This is
+// the path replica fetchers use.
+func (l *Log) AppendBatch(batch []byte) error {
+	info, err := record.PeekBatchInfo(batch)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if info.BaseOffset < l.active().nextOffset {
+		return fmt.Errorf("%w: batch base %d below log end %d", ErrNonMonotonic, info.BaseOffset, l.active().nextOffset)
+	}
+	return l.appendLocked(batch)
+}
+
+// appendLocked rolls the active segment if needed and writes the batch.
+func (l *Log) appendLocked(batch []byte) error {
+	info, err := record.PeekBatchInfo(batch)
+	if err != nil {
+		return err
+	}
+	a := l.active()
+	if a.size > 0 && a.size+int64(len(batch)) > l.cfg.SegmentBytes {
+		if err := a.flush(); err != nil {
+			return err
+		}
+		ns, err := createSegment(l.dir, a.nextOffset)
+		if err != nil {
+			return err
+		}
+		l.segments = append(l.segments, ns)
+		a = ns
+	}
+	if err := a.append(batch, info, l.cfg.IndexIntervalBytes, l.cfg.Tracker); err != nil {
+		return err
+	}
+	l.appendsSinceFlush++
+	if l.cfg.FlushMessages > 0 && l.appendsSinceFlush >= l.cfg.FlushMessages {
+		l.appendsSinceFlush = 0
+		return a.flush()
+	}
+	return nil
+}
+
+// Read returns up to maxBytes of whole batches starting at offset. Reading
+// at the log end offset returns (nil, nil). Reads below the start offset or
+// beyond the end offset return ErrOffsetOutOfRange.
+func (l *Log) Read(offset int64, maxBytes int) ([]byte, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	end := l.active().nextOffset
+	if offset == end {
+		return nil, nil
+	}
+	if offset < l.startOffset || offset > end {
+		return nil, fmt.Errorf("%w: offset %d not in [%d, %d]", ErrOffsetOutOfRange, offset, l.startOffset, end)
+	}
+	// Find the segment containing offset: the last segment whose base is
+	// <= offset. If its data ends before the offset (compaction gaps),
+	// fall through to the next segment.
+	idx := sort.Search(len(l.segments), func(i int) bool {
+		return l.segments[i].baseOffset > offset
+	}) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	for ; idx < len(l.segments); idx++ {
+		data, err := l.segments[idx].read(offset, maxBytes, l.cfg.Tracker)
+		if err != nil {
+			return nil, err
+		}
+		if data != nil {
+			return data, nil
+		}
+	}
+	return nil, nil
+}
+
+// OffsetForTimestamp returns the offset of the first record whose timestamp
+// is at or after ts, or the log end offset if no such record exists.
+func (l *Log) OffsetForTimestamp(ts int64) (int64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	for _, s := range l.segments {
+		if s.maxTS < ts || s.size == 0 {
+			continue
+		}
+		// Scan this segment's records for the first qualifying one.
+		data := make([]byte, s.size)
+		if _, err := s.file.ReadAt(data, 0); err != nil {
+			return 0, err
+		}
+		found := int64(-1)
+		err := record.ScanRecords(data, func(r record.Record) error {
+			if r.Timestamp >= ts && found == -1 {
+				found = r.Offset
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		if found >= 0 {
+			if found < l.startOffset {
+				return l.startOffset, nil
+			}
+			return found, nil
+		}
+	}
+	return l.active().nextOffset, nil
+}
+
+// Truncate removes all records at offsets >= offset. Used by followers to
+// reconcile divergent suffixes after leader changes.
+func (l *Log) Truncate(offset int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if offset >= l.active().nextOffset {
+		return nil
+	}
+	// Drop whole segments whose base is at or beyond the cut.
+	for len(l.segments) > 1 && l.segments[len(l.segments)-1].baseOffset >= offset {
+		last := l.segments[len(l.segments)-1]
+		if err := last.remove(); err != nil {
+			return err
+		}
+		l.segments = l.segments[:len(l.segments)-1]
+	}
+	a := l.active()
+	if a.baseOffset >= offset && len(l.segments) == 1 {
+		// Truncating the only segment to empty.
+		return a.truncateTo(offset, l.cfg.IndexIntervalBytes)
+	}
+	return a.truncateTo(offset, l.cfg.IndexIntervalBytes)
+}
+
+// EnforceRetention applies time and size retention, deleting whole inactive
+// segments. It returns the number of segments deleted. now is injectable
+// for tests.
+func (l *Log) EnforceRetention(now time.Time) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.cfg.Compacted {
+		return 0, nil // compacted logs retain by key, not by age/size
+	}
+	deleted := 0
+	nowMs := now.UnixMilli()
+	for len(l.segments) > 1 {
+		oldest := l.segments[0]
+		expired := l.cfg.RetentionMs > 0 && oldest.maxTS > 0 &&
+			nowMs-oldest.maxTS > l.cfg.RetentionMs
+		var total int64
+		for _, s := range l.segments {
+			total += s.size
+		}
+		oversize := l.cfg.RetentionBytes > 0 && total > l.cfg.RetentionBytes
+		if !expired && !oversize {
+			break
+		}
+		if err := oldest.remove(); err != nil {
+			return deleted, err
+		}
+		l.segments = l.segments[1:]
+		l.startOffset = l.segments[0].baseOffset
+		deleted++
+	}
+	if deleted > 0 {
+		if err := writeStartOffset(l.dir, l.startOffset); err != nil {
+			return deleted, err
+		}
+	}
+	return deleted, nil
+}
+
+// Flush fsyncs the active segment.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.active().flush()
+}
+
+// Close flushes and closes all segments.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var first error
+	for _, s := range l.segments {
+		if err := s.flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SegmentInfo describes one segment for introspection and compaction.
+type SegmentInfo struct {
+	BaseOffset int64
+	NextOffset int64
+	Size       int64
+	MaxTS      int64
+	Active     bool
+}
+
+// Segments returns a snapshot of segment metadata.
+func (l *Log) Segments() []SegmentInfo {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]SegmentInfo, len(l.segments))
+	for i, s := range l.segments {
+		out[i] = SegmentInfo{
+			BaseOffset: s.baseOffset,
+			NextOffset: s.nextOffset,
+			Size:       s.size,
+			MaxTS:      s.maxTS,
+			Active:     i == len(l.segments)-1,
+		}
+	}
+	return out
+}
+
+// ReadSegment returns the raw bytes of the segment with the given base
+// offset. Compaction uses it to rewrite inactive segments.
+func (l *Log) ReadSegment(baseOffset int64) ([]byte, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, s := range l.segments {
+		if s.baseOffset == baseOffset {
+			data := make([]byte, s.size)
+			if s.size == 0 {
+				return data, nil
+			}
+			if _, err := s.file.ReadAt(data, 0); err != nil {
+				return nil, err
+			}
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("log: no segment with base %d", baseOffset)
+}
+
+// ReplaceSegments atomically swaps the inactive segments whose base offsets
+// are listed in oldBases for new segments built from the batches in
+// newSegments (a list of encoded batch sequences, one per new segment, with
+// ascending preserved offsets). The active segment is never replaced. This
+// is the commit step of log compaction (paper §4.1).
+func (l *Log) ReplaceSegments(oldBases []int64, newSegments [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if len(oldBases) == 0 {
+		return nil
+	}
+	oldSet := make(map[int64]bool, len(oldBases))
+	for _, b := range oldBases {
+		oldSet[b] = true
+	}
+	if oldSet[l.active().baseOffset] {
+		return fmt.Errorf("log: cannot replace active segment")
+	}
+	// Build replacement segment files under temporary names first.
+	var newSegs []*segment
+	cleanup := func() {
+		for _, s := range newSegs {
+			s.remove()
+		}
+	}
+	for _, data := range newSegments {
+		if len(data) == 0 {
+			continue
+		}
+		base, err := record.PeekBaseOffset(data)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		tmp := filepath.Join(l.dir, fmt.Sprintf("%020d.cleaned", base))
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			cleanup()
+			return err
+		}
+		f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		s := &segment{baseOffset: base, path: tmp, file: f}
+		if err := s.recover(l.cfg.IndexIntervalBytes); err != nil {
+			cleanup()
+			return err
+		}
+		newSegs = append(newSegs, s)
+	}
+	// Remove the old segments and splice in the new ones.
+	var kept []*segment
+	for _, s := range l.segments {
+		if oldSet[s.baseOffset] {
+			if err := s.remove(); err != nil {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	// Rename cleaned files to their canonical names.
+	for _, s := range newSegs {
+		canonical := segmentPath(l.dir, s.baseOffset)
+		if err := os.Rename(s.path, canonical); err != nil {
+			return err
+		}
+		s.path = canonical
+	}
+	l.segments = append(newSegs, kept...)
+	sort.Slice(l.segments, func(i, j int) bool {
+		return l.segments[i].baseOffset < l.segments[j].baseOffset
+	})
+	return nil
+}

@@ -1,0 +1,66 @@
+package record
+
+import (
+	"fmt"
+	"testing"
+)
+
+// makeRecords builds n records with small keys and payload-byte values.
+func makeRecords(n, valueBytes int) []Record {
+	value := make([]byte, valueBytes)
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Timestamp: int64(1000 + i),
+			Key:       []byte(fmt.Sprintf("key-%d", i%64)),
+			Value:     value,
+		}
+	}
+	return recs
+}
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	recs := makeRecords(64, 512)
+	b.ReportAllocs()
+	b.SetBytes(64 * 512)
+	for i := 0; i < b.N; i++ {
+		EncodeBatch(0, recs)
+	}
+}
+
+func BenchmarkDecodeBatch(b *testing.B) {
+	buf := EncodeBatch(0, makeRecords(64, 512))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeBatch(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeekBatchInfo(b *testing.B) {
+	buf := EncodeBatch(0, makeRecords(64, 512))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PeekBatchInfo(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanRecords(b *testing.B) {
+	buf := EncodeBatch(0, makeRecords(64, 512))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		n := 0
+		ScanRecords(buf, func(Record) error {
+			n++
+			return nil
+		})
+		if n != 64 {
+			b.Fatal("wrong count")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package record
+
+import "encoding/binary"
+
+// BatchInfo summarises a batch header without decoding its records. The log
+// uses it on the append and recovery paths where full decoding would waste
+// cycles.
+type BatchInfo struct {
+	BaseOffset   int64
+	LastOffset   int64
+	MaxTimestamp int64
+	RecordCount  int
+	Length       int // total encoded length in bytes
+}
+
+// HeaderLen is the fixed size of a batch header; PeekBatchInfo needs only
+// this many bytes.
+const HeaderLen = batchHeaderLen
+
+// PeekBatchInfo reads the batch header at the start of buf. Only the header
+// needs to be present — the batch body may extend beyond buf. It validates
+// length-field sanity but not the CRC; use DecodeBatch for full validation.
+func PeekBatchInfo(buf []byte) (BatchInfo, error) {
+	if len(buf) < batchHeaderLen {
+		return BatchInfo{}, ErrShort
+	}
+	total := int(int32(binary.BigEndian.Uint32(buf[8:]))) + 12
+	if total < batchHeaderLen {
+		return BatchInfo{}, ErrCorrupt
+	}
+	base := int64(binary.BigEndian.Uint64(buf[0:]))
+	lastDelta := int32(binary.BigEndian.Uint32(buf[18:]))
+	maxTS := int64(binary.BigEndian.Uint64(buf[30:]))
+	count := int(int32(binary.BigEndian.Uint32(buf[38:])))
+	if lastDelta < 0 || count < 0 {
+		return BatchInfo{}, ErrCorrupt
+	}
+	return BatchInfo{
+		BaseOffset:   base,
+		LastOffset:   base + int64(lastDelta),
+		MaxTimestamp: maxTS,
+		RecordCount:  count,
+		Length:       total,
+	}, nil
+}
+
+// EncodeBatchKeepOffsets serialises records preserving each record's
+// existing absolute offset (records must be in strictly increasing offset
+// order). The batch's base offset is the first record's offset. Offset gaps
+// are allowed: this is how log compaction rewrites segments while keeping
+// surviving records addressable at their original offsets (paper §4.1).
+func EncodeBatchKeepOffsets(records []Record) []byte {
+	if len(records) == 0 {
+		panic("record: EncodeBatchKeepOffsets called with no records")
+	}
+	base := records[0].Offset
+	size := batchHeaderLen
+	for i := range records {
+		size += recordSize(&records[i])
+	}
+	buf := make([]byte, size)
+
+	baseTS := records[0].Timestamp
+	var maxTS int64
+	for i := range records {
+		if records[i].Timestamp > maxTS {
+			maxTS = records[i].Timestamp
+		}
+	}
+	last := records[len(records)-1].Offset
+
+	binary.BigEndian.PutUint64(buf[0:], uint64(base))
+	binary.BigEndian.PutUint32(buf[8:], uint32(size-12))
+	binary.BigEndian.PutUint16(buf[16:], 0)
+	binary.BigEndian.PutUint32(buf[18:], uint32(last-base))
+	binary.BigEndian.PutUint64(buf[22:], uint64(baseTS))
+	binary.BigEndian.PutUint64(buf[30:], uint64(maxTS))
+	binary.BigEndian.PutUint32(buf[38:], uint32(len(records)))
+
+	pos := batchHeaderLen
+	for i := range records {
+		pos = encodeRecord(buf, pos, int32(records[i].Offset-base), &records[i], baseTS)
+	}
+	crc := checksum(buf[crcDataOffset:])
+	binary.BigEndian.PutUint32(buf[crcOffset:], crc)
+	return buf
+}

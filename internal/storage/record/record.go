@@ -1,0 +1,345 @@
+// Package record defines the on-disk and on-wire representation of messages
+// in the messaging layer: individual records (key, value, headers, timestamp)
+// grouped into record batches that carry a base offset and a CRC32-C
+// checksum. Batches are the unit of appending to a commit log, of
+// replication, and of fetch responses, mirroring the design of the log-based
+// messaging layer in the paper (§3.1).
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Errors returned when decoding batches.
+var (
+	// ErrCorrupt indicates that a batch failed its CRC check or had an
+	// inconsistent length field.
+	ErrCorrupt = errors.New("record: corrupt batch")
+	// ErrShort indicates that the buffer ends before a complete batch.
+	ErrShort = errors.New("record: short buffer")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum computes the CRC32-C over a batch's checksummed region.
+func checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// Header is an application-defined key/value annotation on a record. The
+// processing layer uses headers to carry lineage information on derived
+// feeds (paper §3).
+type Header struct {
+	Key   string
+	Value []byte
+}
+
+// Record is a single message. Offset and Timestamp are assigned by the
+// broker on append (log-append time) unless the producer supplied a
+// timestamp.
+type Record struct {
+	Offset    int64 // absolute offset within the partition
+	Timestamp int64 // milliseconds since the Unix epoch
+	Key       []byte
+	Value     []byte
+	Headers   []Header
+}
+
+// Batch is an ordered group of records sharing a contiguous offset range.
+type Batch struct {
+	BaseOffset int64
+	Records    []Record
+}
+
+// LastOffset returns the offset of the final record in the batch.
+// It panics on an empty batch, which is never produced by EncodeBatch.
+func (b *Batch) LastOffset() int64 {
+	return b.Records[len(b.Records)-1].Offset
+}
+
+// MaxTimestamp returns the largest record timestamp in the batch, or 0 for
+// an empty batch.
+func (b *Batch) MaxTimestamp() int64 {
+	var max int64
+	for i := range b.Records {
+		if b.Records[i].Timestamp > max {
+			max = b.Records[i].Timestamp
+		}
+	}
+	return max
+}
+
+// Batch binary layout (all integers big-endian):
+//
+//	baseOffset      int64
+//	batchLength     int32   // bytes following this field
+//	crc             uint32  // CRC32-C of everything after this field
+//	attributes      int16   // reserved
+//	lastOffsetDelta int32
+//	baseTimestamp   int64
+//	maxTimestamp    int64
+//	recordCount     int32
+//	records         ...
+//
+// Record layout:
+//
+//	offsetDelta     int32
+//	timestampDelta  int64
+//	keyLen          int32   // -1 encodes a nil key
+//	key             bytes
+//	valueLen        int32   // -1 encodes a nil value
+//	value           bytes
+//	headerCount     int32
+//	headers         { keyLen int32, key, valueLen int32, value }*
+const (
+	batchHeaderLen = 8 + 4 + 4 + 2 + 4 + 8 + 8 + 4
+	// crcOffset is the byte position of the CRC field within a batch.
+	crcOffset = 8 + 4
+	// crcDataOffset is where the checksummed region begins.
+	crcDataOffset = crcOffset + 4
+)
+
+// EncodeBatch serialises records as a single batch starting at baseOffset.
+// Record offsets in the input are ignored; records are assigned consecutive
+// offsets baseOffset, baseOffset+1, ... Timestamps are taken from the input
+// records. EncodeBatch panics if records is empty: callers batch at least
+// one record by construction.
+func EncodeBatch(baseOffset int64, records []Record) []byte {
+	if len(records) == 0 {
+		panic("record: EncodeBatch called with no records")
+	}
+	size := batchHeaderLen
+	for i := range records {
+		size += recordSize(&records[i])
+	}
+	buf := make([]byte, size)
+
+	baseTS := records[0].Timestamp
+	var maxTS int64
+	for i := range records {
+		if records[i].Timestamp > maxTS {
+			maxTS = records[i].Timestamp
+		}
+	}
+
+	binary.BigEndian.PutUint64(buf[0:], uint64(baseOffset))
+	binary.BigEndian.PutUint32(buf[8:], uint32(size-12)) // bytes after batchLength
+	// crc filled in last
+	binary.BigEndian.PutUint16(buf[16:], 0) // attributes
+	binary.BigEndian.PutUint32(buf[18:], uint32(len(records)-1))
+	binary.BigEndian.PutUint64(buf[22:], uint64(baseTS))
+	binary.BigEndian.PutUint64(buf[30:], uint64(maxTS))
+	binary.BigEndian.PutUint32(buf[38:], uint32(len(records)))
+
+	pos := batchHeaderLen
+	for i := range records {
+		pos = encodeRecord(buf, pos, int32(i), &records[i], baseTS)
+	}
+	crc := crc32.Checksum(buf[crcDataOffset:], castagnoli)
+	binary.BigEndian.PutUint32(buf[crcOffset:], crc)
+	return buf
+}
+
+func recordSize(r *Record) int {
+	size := 4 + 8 + 4 + len(r.Key) + 4 + len(r.Value) + 4
+	for i := range r.Headers {
+		size += 4 + len(r.Headers[i].Key) + 4 + len(r.Headers[i].Value)
+	}
+	return size
+}
+
+func encodeRecord(buf []byte, pos int, offsetDelta int32, r *Record, baseTS int64) int {
+	binary.BigEndian.PutUint32(buf[pos:], uint32(offsetDelta))
+	pos += 4
+	binary.BigEndian.PutUint64(buf[pos:], uint64(r.Timestamp-baseTS))
+	pos += 8
+	pos = putBytes(buf, pos, r.Key)
+	pos = putBytes(buf, pos, r.Value)
+	binary.BigEndian.PutUint32(buf[pos:], uint32(len(r.Headers)))
+	pos += 4
+	for i := range r.Headers {
+		pos = putBytes(buf, pos, []byte(r.Headers[i].Key))
+		pos = putBytes(buf, pos, r.Headers[i].Value)
+	}
+	return pos
+}
+
+func putBytes(buf []byte, pos int, b []byte) int {
+	if b == nil {
+		binary.BigEndian.PutUint32(buf[pos:], 0xFFFFFFFF)
+		return pos + 4
+	}
+	binary.BigEndian.PutUint32(buf[pos:], uint32(len(b)))
+	pos += 4
+	copy(buf[pos:], b)
+	return pos + len(b)
+}
+
+// PeekBatchLen reports the total encoded length of the batch at the start of
+// buf, without validating its contents. It returns ErrShort if buf does not
+// contain a complete batch header + body.
+func PeekBatchLen(buf []byte) (int, error) {
+	if len(buf) < 12 {
+		return 0, ErrShort
+	}
+	n := int(int32(binary.BigEndian.Uint32(buf[8:]))) + 12
+	if n < batchHeaderLen {
+		return 0, ErrCorrupt
+	}
+	if len(buf) < n {
+		return 0, ErrShort
+	}
+	return n, nil
+}
+
+// PeekBaseOffset returns the base offset of the batch at the start of buf.
+func PeekBaseOffset(buf []byte) (int64, error) {
+	if len(buf) < 8 {
+		return 0, ErrShort
+	}
+	return int64(binary.BigEndian.Uint64(buf)), nil
+}
+
+// DecodeBatch decodes and CRC-verifies the batch at the start of buf,
+// returning the batch and the number of bytes consumed.
+func DecodeBatch(buf []byte) (Batch, int, error) {
+	total, err := PeekBatchLen(buf)
+	if err != nil {
+		return Batch{}, 0, err
+	}
+	b := buf[:total]
+	wantCRC := binary.BigEndian.Uint32(b[crcOffset:])
+	if crc32.Checksum(b[crcDataOffset:], castagnoli) != wantCRC {
+		return Batch{}, 0, ErrCorrupt
+	}
+	baseOffset := int64(binary.BigEndian.Uint64(b[0:]))
+	baseTS := int64(binary.BigEndian.Uint64(b[22:]))
+	count := int(int32(binary.BigEndian.Uint32(b[38:])))
+	if count < 0 {
+		return Batch{}, 0, ErrCorrupt
+	}
+
+	records := make([]Record, 0, count)
+	pos := batchHeaderLen
+	for i := 0; i < count; i++ {
+		var r Record
+		pos, err = decodeRecord(b, pos, baseOffset, baseTS, &r)
+		if err != nil {
+			return Batch{}, 0, err
+		}
+		records = append(records, r)
+	}
+	return Batch{BaseOffset: baseOffset, Records: records}, total, nil
+}
+
+func decodeRecord(b []byte, pos int, baseOffset, baseTS int64, r *Record) (int, error) {
+	if pos+12 > len(b) {
+		return 0, ErrCorrupt
+	}
+	offsetDelta := int32(binary.BigEndian.Uint32(b[pos:]))
+	pos += 4
+	tsDelta := int64(binary.BigEndian.Uint64(b[pos:]))
+	pos += 8
+	var err error
+	r.Offset = baseOffset + int64(offsetDelta)
+	r.Timestamp = baseTS + tsDelta
+	r.Key, pos, err = getBytes(b, pos)
+	if err != nil {
+		return 0, err
+	}
+	r.Value, pos, err = getBytes(b, pos)
+	if err != nil {
+		return 0, err
+	}
+	if pos+4 > len(b) {
+		return 0, ErrCorrupt
+	}
+	hc := int(int32(binary.BigEndian.Uint32(b[pos:])))
+	pos += 4
+	if hc < 0 || hc > len(b) {
+		return 0, ErrCorrupt
+	}
+	if hc > 0 {
+		r.Headers = make([]Header, hc)
+		for i := 0; i < hc; i++ {
+			var k, v []byte
+			k, pos, err = getBytes(b, pos)
+			if err != nil {
+				return 0, err
+			}
+			v, pos, err = getBytes(b, pos)
+			if err != nil {
+				return 0, err
+			}
+			r.Headers[i] = Header{Key: string(k), Value: v}
+		}
+	}
+	return pos, nil
+}
+
+func getBytes(b []byte, pos int) ([]byte, int, error) {
+	if pos+4 > len(b) {
+		return nil, 0, ErrCorrupt
+	}
+	n := int32(binary.BigEndian.Uint32(b[pos:]))
+	pos += 4
+	if n == -1 {
+		return nil, pos, nil
+	}
+	if n < 0 || pos+int(n) > len(b) {
+		return nil, 0, ErrCorrupt
+	}
+	out := make([]byte, n)
+	copy(out, b[pos:pos+int(n)])
+	return out, pos + int(n), nil
+}
+
+// Scan iterates over consecutive batches in buf, invoking fn for each. It
+// stops early if fn returns an error (which is then returned) and tolerates
+// a trailing partial batch, which is common when a fetch response was cut at
+// a byte limit.
+func Scan(buf []byte, fn func(Batch) error) error {
+	for len(buf) > 0 {
+		b, n, err := DecodeBatch(buf)
+		if err == ErrShort {
+			return nil // trailing partial batch: normal at fetch boundaries
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// ScanRecords iterates over every record in every complete batch in buf.
+func ScanRecords(buf []byte, fn func(Record) error) error {
+	return Scan(buf, func(b Batch) error {
+		for i := range b.Records {
+			if err := fn(b.Records[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// CountRecords returns the number of records across all complete batches in
+// buf, without allocating decoded records for the caller.
+func CountRecords(buf []byte) (int, error) {
+	n := 0
+	err := Scan(buf, func(b Batch) error {
+		n += len(b.Records)
+		return nil
+	})
+	return n, err
+}
+
+// String implements fmt.Stringer for debugging.
+func (r Record) String() string {
+	return fmt.Sprintf("Record{off=%d ts=%d key=%q value=%dB}", r.Offset, r.Timestamp, r.Key, len(r.Value))
+}

@@ -1,0 +1,281 @@
+package record
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Timestamp: 1000, Key: []byte("k1"), Value: []byte("v1")},
+		{Timestamp: 1005, Key: nil, Value: []byte("no key")},
+		{Timestamp: 990, Key: []byte("k2"), Value: nil}, // tombstone
+		{Timestamp: 1010, Key: []byte("k3"), Value: []byte("v3"),
+			Headers: []Header{{Key: "lineage", Value: []byte("job-7")}, {Key: "v", Value: nil}}},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	buf := EncodeBatch(42, sampleRecords())
+	b, n, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(buf))
+	}
+	if b.BaseOffset != 42 {
+		t.Fatalf("BaseOffset = %d, want 42", b.BaseOffset)
+	}
+	if len(b.Records) != 4 {
+		t.Fatalf("got %d records, want 4", len(b.Records))
+	}
+	for i, r := range b.Records {
+		if r.Offset != 42+int64(i) {
+			t.Errorf("record %d offset = %d, want %d", i, r.Offset, 42+i)
+		}
+	}
+	want := sampleRecords()
+	for i := range want {
+		got := b.Records[i]
+		if !bytes.Equal(got.Key, want[i].Key) || !bytes.Equal(got.Value, want[i].Value) {
+			t.Errorf("record %d = %v, want key=%q value=%q", i, got, want[i].Key, want[i].Value)
+		}
+		if got.Timestamp != want[i].Timestamp {
+			t.Errorf("record %d timestamp = %d, want %d", i, got.Timestamp, want[i].Timestamp)
+		}
+	}
+	// Headers survive.
+	h := b.Records[3].Headers
+	if len(h) != 2 || h[0].Key != "lineage" || string(h[0].Value) != "job-7" {
+		t.Fatalf("headers = %v", h)
+	}
+}
+
+func TestNilVsEmptyPreserved(t *testing.T) {
+	recs := []Record{
+		{Key: nil, Value: []byte{}},
+		{Key: []byte{}, Value: nil},
+	}
+	buf := EncodeBatch(0, recs)
+	b, _, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if b.Records[0].Key != nil {
+		t.Error("nil key decoded as non-nil")
+	}
+	if b.Records[0].Value == nil {
+		t.Error("empty value decoded as nil")
+	}
+	if b.Records[1].Value != nil {
+		t.Error("nil value (tombstone) decoded as non-nil")
+	}
+	if b.Records[1].Key == nil {
+		t.Error("empty key decoded as nil")
+	}
+}
+
+func TestCRCDetectsCorruption(t *testing.T) {
+	buf := EncodeBatch(0, sampleRecords())
+	for _, pos := range []int{crcDataOffset, len(buf) / 2, len(buf) - 1} {
+		cp := append([]byte(nil), buf...)
+		cp[pos] ^= 0xFF
+		if _, _, err := DecodeBatch(cp); err != ErrCorrupt {
+			t.Errorf("flip at %d: err = %v, want ErrCorrupt", pos, err)
+		}
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	buf := EncodeBatch(0, sampleRecords())
+	for _, n := range []int{0, 4, 11, len(buf) - 1} {
+		if _, _, err := DecodeBatch(buf[:n]); err != ErrShort {
+			t.Errorf("len %d: err = %v, want ErrShort", n, err)
+		}
+	}
+}
+
+func TestPeekBatchInfo(t *testing.T) {
+	recs := sampleRecords()
+	buf := EncodeBatch(100, recs)
+	info, err := PeekBatchInfo(buf)
+	if err != nil {
+		t.Fatalf("PeekBatchInfo: %v", err)
+	}
+	if info.BaseOffset != 100 || info.LastOffset != 103 {
+		t.Fatalf("offsets = [%d, %d], want [100, 103]", info.BaseOffset, info.LastOffset)
+	}
+	if info.RecordCount != 4 {
+		t.Fatalf("RecordCount = %d, want 4", info.RecordCount)
+	}
+	if info.MaxTimestamp != 1010 {
+		t.Fatalf("MaxTimestamp = %d, want 1010", info.MaxTimestamp)
+	}
+	if info.Length != len(buf) {
+		t.Fatalf("Length = %d, want %d", info.Length, len(buf))
+	}
+}
+
+func TestScanMultipleBatches(t *testing.T) {
+	var buf []byte
+	buf = append(buf, EncodeBatch(0, sampleRecords())...)
+	buf = append(buf, EncodeBatch(4, sampleRecords()[:2])...)
+	var bases []int64
+	err := Scan(buf, func(b Batch) error {
+		bases = append(bases, b.BaseOffset)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if !reflect.DeepEqual(bases, []int64{0, 4}) {
+		t.Fatalf("bases = %v, want [0 4]", bases)
+	}
+	n, err := CountRecords(buf)
+	if err != nil || n != 6 {
+		t.Fatalf("CountRecords = %d, %v; want 6, nil", n, err)
+	}
+}
+
+func TestScanToleratesTrailingPartial(t *testing.T) {
+	full := EncodeBatch(0, sampleRecords())
+	buf := append(append([]byte(nil), full...), full[:10]...)
+	count := 0
+	err := Scan(buf, func(b Batch) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if count != 1 {
+		t.Fatalf("scanned %d batches, want 1", count)
+	}
+}
+
+func TestEncodeBatchKeepOffsets(t *testing.T) {
+	recs := []Record{
+		{Offset: 10, Timestamp: 5, Key: []byte("a"), Value: []byte("1")},
+		{Offset: 17, Timestamp: 9, Key: []byte("b"), Value: []byte("2")}, // gap
+		{Offset: 30, Timestamp: 7, Key: []byte("c"), Value: []byte("3")},
+	}
+	buf := EncodeBatchKeepOffsets(recs)
+	info, err := PeekBatchInfo(buf)
+	if err != nil {
+		t.Fatalf("PeekBatchInfo: %v", err)
+	}
+	if info.BaseOffset != 10 || info.LastOffset != 30 {
+		t.Fatalf("offsets = [%d, %d], want [10, 30]", info.BaseOffset, info.LastOffset)
+	}
+	b, _, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	got := []int64{b.Records[0].Offset, b.Records[1].Offset, b.Records[2].Offset}
+	if !reflect.DeepEqual(got, []int64{10, 17, 30}) {
+		t.Fatalf("offsets = %v, want [10 17 30]", got)
+	}
+	if b.Records[1].Timestamp != 9 {
+		t.Fatalf("timestamp = %d, want 9", b.Records[1].Timestamp)
+	}
+}
+
+func TestBatchHelpers(t *testing.T) {
+	b, _, err := DecodeBatch(EncodeBatch(5, sampleRecords()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.LastOffset(); got != 8 {
+		t.Fatalf("LastOffset = %d, want 8", got)
+	}
+	if got := b.MaxTimestamp(); got != 1010 {
+		t.Fatalf("MaxTimestamp = %d, want 1010", got)
+	}
+}
+
+// TestQuickRoundTrip is a property test: any generated batch round-trips
+// exactly through encode/decode.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(base int64, keys [][]byte, values [][]byte, tss []int64) bool {
+		if base < 0 {
+			base = -base
+		}
+		n := len(keys)
+		if len(values) < n {
+			n = len(values)
+		}
+		if len(tss) < n {
+			n = len(tss)
+		}
+		if n == 0 {
+			return true
+		}
+		if n > 64 {
+			n = 64
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			ts := tss[i]
+			if ts < 0 {
+				ts = -ts
+			}
+			recs[i] = Record{Timestamp: ts % (1 << 40), Key: keys[i], Value: values[i]}
+		}
+		buf := EncodeBatch(base%(1<<40), recs)
+		b, consumed, err := DecodeBatch(buf)
+		if err != nil || consumed != len(buf) || len(b.Records) != n {
+			return false
+		}
+		for i := range recs {
+			if !bytes.Equal(b.Records[i].Key, recs[i].Key) ||
+				!bytes.Equal(b.Records[i].Value, recs[i].Value) ||
+				b.Records[i].Timestamp != recs[i].Timestamp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCorruptionNeverPanics fuzzes random corruption. Flips within the
+// CRC-protected region (attributes onward) must be detected; flips in the
+// base-offset/length prefix are deliberately outside CRC coverage (the
+// broker rewrites base offsets without recomputing checksums, as in Kafka's
+// format) and only need to decode without panicking.
+func TestQuickCorruptionNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := EncodeBatch(0, sampleRecords())
+	orig, _, _ := DecodeBatch(base)
+	for i := 0; i < 500; i++ {
+		cp := append([]byte(nil), base...)
+		pos := rng.Intn(len(cp))
+		cp[pos] ^= byte(1 + rng.Intn(255))
+		b, _, err := DecodeBatch(cp) // must not panic
+		if err == nil && pos >= crcDataOffset {
+			t.Fatalf("in-CRC corruption at %d accepted: %+v", pos, b)
+		}
+		if err == nil && pos < 12 {
+			// Unprotected prefix: offsets may shift but record payloads
+			// must be intact (CRC still covers them).
+			for j := range orig.Records {
+				if !bytes.Equal(b.Records[j].Value, orig.Records[j].Value) {
+					t.Fatalf("payload changed by prefix flip at %d", pos)
+				}
+			}
+		}
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Offset: 3, Timestamp: 9, Key: []byte("k"), Value: []byte("vv")}
+	if got := r.String(); got != `Record{off=3 ts=9 key="k" value=2B}` {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,109 @@
+package wire
+
+import "fmt"
+
+// ErrorCode is a protocol-level error carried in responses. Codes travel on
+// the wire as int16 values; Err converts a code back into a Go error on the
+// client side.
+type ErrorCode int16
+
+// Protocol error codes.
+const (
+	ErrNone                    ErrorCode = 0
+	ErrUnknown                 ErrorCode = 1
+	ErrCorruptMessage          ErrorCode = 2
+	ErrUnknownTopicOrPartition ErrorCode = 3
+	ErrLeaderNotAvailable      ErrorCode = 4
+	ErrNotLeaderForPartition   ErrorCode = 5
+	ErrRequestTimedOut         ErrorCode = 6
+	ErrOffsetOutOfRange        ErrorCode = 7
+	ErrCoordinatorNotAvailable ErrorCode = 8
+	ErrNotCoordinator          ErrorCode = 9
+	ErrIllegalGeneration       ErrorCode = 10
+	ErrUnknownMemberID         ErrorCode = 11
+	ErrRebalanceInProgress     ErrorCode = 12
+	ErrInvalidTopic            ErrorCode = 13
+	ErrTopicAlreadyExists      ErrorCode = 14
+	ErrNotEnoughReplicas       ErrorCode = 15
+	ErrInvalidRequest          ErrorCode = 16
+	ErrUnsupportedAPI          ErrorCode = 17
+	ErrBrokerNotAvailable      ErrorCode = 18
+	ErrMessageTooLarge         ErrorCode = 19
+	ErrStaleLeaderEpoch        ErrorCode = 20
+)
+
+var errorNames = map[ErrorCode]string{
+	ErrNone:                    "none",
+	ErrUnknown:                 "unknown error",
+	ErrCorruptMessage:          "corrupt message",
+	ErrUnknownTopicOrPartition: "unknown topic or partition",
+	ErrLeaderNotAvailable:      "leader not available",
+	ErrNotLeaderForPartition:   "not leader for partition",
+	ErrRequestTimedOut:         "request timed out",
+	ErrOffsetOutOfRange:        "offset out of range",
+	ErrCoordinatorNotAvailable: "group coordinator not available",
+	ErrNotCoordinator:          "not coordinator for group",
+	ErrIllegalGeneration:       "illegal group generation",
+	ErrUnknownMemberID:         "unknown member id",
+	ErrRebalanceInProgress:     "group rebalance in progress",
+	ErrInvalidTopic:            "invalid topic",
+	ErrTopicAlreadyExists:      "topic already exists",
+	ErrNotEnoughReplicas:       "not enough in-sync replicas",
+	ErrInvalidRequest:          "invalid request",
+	ErrUnsupportedAPI:          "unsupported api",
+	ErrBrokerNotAvailable:      "broker not available",
+	ErrMessageTooLarge:         "message too large",
+	ErrStaleLeaderEpoch:        "stale leader epoch",
+}
+
+// String returns a human-readable name for the code.
+func (e ErrorCode) String() string {
+	if s, ok := errorNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("error code %d", int16(e))
+}
+
+// protocolError wraps an ErrorCode as a Go error.
+type protocolError struct{ code ErrorCode }
+
+func (p *protocolError) Error() string {
+	return "liquid: " + p.code.String()
+}
+
+// Code extracts the protocol code from an error produced by ErrorCode.Err,
+// returning ErrNone for nil and ErrUnknown for foreign errors.
+func Code(err error) ErrorCode {
+	if err == nil {
+		return ErrNone
+	}
+	if pe, ok := err.(*protocolError); ok {
+		return pe.code
+	}
+	return ErrUnknown
+}
+
+// Err converts the code to a Go error (nil for ErrNone). Errors for the same
+// code compare equal via Code.
+func (e ErrorCode) Err() error {
+	if e == ErrNone {
+		return nil
+	}
+	return &protocolError{code: e}
+}
+
+// Retriable reports whether a request failing with this code may succeed on
+// retry after refreshing metadata (leadership moved, coordinator moved,
+// transient unavailability). Clients use it to drive their retry loops.
+func (e ErrorCode) Retriable() bool {
+	switch e {
+	case ErrLeaderNotAvailable, ErrNotLeaderForPartition, ErrRequestTimedOut,
+		ErrCoordinatorNotAvailable, ErrNotCoordinator, ErrRebalanceInProgress,
+		ErrBrokerNotAvailable, ErrNotEnoughReplicas, ErrStaleLeaderEpoch,
+		// Topic metadata propagates to brokers asynchronously after
+		// creation, so a brief unknown-topic window is normal.
+		ErrUnknownTopicOrPartition:
+		return true
+	}
+	return false
+}

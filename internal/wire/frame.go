@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single protocol frame. Frames beyond this are
+// rejected to protect brokers from corrupt length prefixes.
+const MaxFrameSize = 64 << 20 // 64 MiB
+
+// WriteFrame writes a length-prefixed frame containing payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(payload), MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrameSize)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeRequest serialises a request header + body into one payload.
+func EncodeRequest(hdr *RequestHeader, body Message) []byte {
+	var w Writer
+	hdr.Encode(&w)
+	body.Encode(&w)
+	return w.Bytes()
+}
+
+// EncodeResponse serialises a correlation id + body into one payload.
+func EncodeResponse(correlationID int32, body Message) []byte {
+	var w Writer
+	w.Int32(correlationID)
+	body.Encode(&w)
+	return w.Bytes()
+}
+
+// DecodeRequest splits a request payload into its header and body reader.
+func DecodeRequest(payload []byte) (RequestHeader, *Reader, error) {
+	r := NewReader(payload)
+	var hdr RequestHeader
+	hdr.Decode(r)
+	if err := r.Err(); err != nil {
+		return RequestHeader{}, nil, err
+	}
+	return hdr, r, nil
+}
+
+// DecodeResponse splits a response payload into its correlation id and body
+// reader.
+func DecodeResponse(payload []byte) (int32, *Reader, error) {
+	r := NewReader(payload)
+	id := r.Int32()
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	return id, r, nil
+}
+
+// NewRequestBody returns a zero value of the request type for an API key,
+// used by the broker's dispatch loop.
+func NewRequestBody(api APIKey) (Message, bool) {
+	switch api {
+	case APIProduce:
+		return &ProduceRequest{}, true
+	case APIFetch:
+		return &FetchRequest{}, true
+	case APIListOffsets:
+		return &ListOffsetsRequest{}, true
+	case APIMetadata:
+		return &MetadataRequest{}, true
+	case APICreateTopics:
+		return &CreateTopicsRequest{}, true
+	case APIDeleteTopics:
+		return &DeleteTopicsRequest{}, true
+	case APIOffsetCommit:
+		return &OffsetCommitRequest{}, true
+	case APIOffsetFetch:
+		return &OffsetFetchRequest{}, true
+	case APIFindCoordinator:
+		return &FindCoordinatorRequest{}, true
+	case APIJoinGroup:
+		return &JoinGroupRequest{}, true
+	case APIHeartbeat:
+		return &HeartbeatRequest{}, true
+	case APILeaveGroup:
+		return &LeaveGroupRequest{}, true
+	case APISyncGroup:
+		return &SyncGroupRequest{}, true
+	case APIOffsetQuery:
+		return &OffsetQueryRequest{}, true
+	}
+	return nil, false
+}

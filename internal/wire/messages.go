@@ -1,0 +1,1149 @@
+package wire
+
+// APIKey identifies a request type.
+type APIKey int16
+
+// Request API keys. The numbering loosely follows the Kafka protocol for
+// familiarity; OffsetQuery is Liquid-specific (metadata-based access to the
+// offset manager, paper §4.2).
+const (
+	APIProduce         APIKey = 0
+	APIFetch           APIKey = 1
+	APIListOffsets     APIKey = 2
+	APIMetadata        APIKey = 3
+	APICreateTopics    APIKey = 4
+	APIDeleteTopics    APIKey = 5
+	APIOffsetCommit    APIKey = 8
+	APIOffsetFetch     APIKey = 9
+	APIFindCoordinator APIKey = 10
+	APIJoinGroup       APIKey = 11
+	APIHeartbeat       APIKey = 12
+	APILeaveGroup      APIKey = 13
+	APISyncGroup       APIKey = 14
+	APIOffsetQuery     APIKey = 40
+)
+
+// Message is any protocol body that can encode and decode itself.
+type Message interface {
+	Encode(w *Writer)
+	Decode(r *Reader)
+}
+
+// Special timestamp values for ListOffsets.
+const (
+	// TimestampEarliest asks for the log start offset.
+	TimestampEarliest int64 = -2
+	// TimestampLatest asks for the log end offset (next offset to be
+	// assigned, also called the high watermark from a consumer's view).
+	TimestampLatest int64 = -1
+)
+
+// RequestHeader precedes every request body in a frame.
+type RequestHeader struct {
+	API           APIKey
+	CorrelationID int32
+	ClientID      string
+}
+
+// Encode writes the header.
+func (h *RequestHeader) Encode(w *Writer) {
+	w.Int16(int16(h.API))
+	w.Int32(h.CorrelationID)
+	w.String(h.ClientID)
+}
+
+// Decode reads the header.
+func (h *RequestHeader) Decode(r *Reader) {
+	h.API = APIKey(r.Int16())
+	h.CorrelationID = r.Int32()
+	h.ClientID = r.String()
+}
+
+// ---------------------------------------------------------------- Produce
+
+// ProduceRequest appends record batches to partitions.
+// RequiredAcks follows the durability trade-off of the paper (§4.3):
+// 0 = fire-and-forget, 1 = leader ack, -1 = all in-sync replicas.
+type ProduceRequest struct {
+	RequiredAcks int16
+	TimeoutMs    int32
+	Topics       []ProduceTopic
+}
+
+// ProduceTopic carries the partitions of one topic in a ProduceRequest.
+type ProduceTopic struct {
+	Name       string
+	Partitions []ProducePartition
+}
+
+// ProducePartition carries one partition's encoded record batches.
+type ProducePartition struct {
+	Partition int32
+	Records   []byte
+}
+
+// Encode implements Message.
+func (m *ProduceRequest) Encode(w *Writer) {
+	w.Int16(m.RequiredAcks)
+	w.Int32(m.TimeoutMs)
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			p := &t.Partitions[j]
+			w.Int32(p.Partition)
+			w.Bytes32(p.Records)
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *ProduceRequest) Decode(r *Reader) {
+	m.RequiredAcks = r.Int16()
+	m.TimeoutMs = r.Int32()
+	n := r.ArrayLen()
+	m.Topics = make([]ProduceTopic, 0, n)
+	for i := 0; i < n; i++ {
+		var t ProduceTopic
+		t.Name = r.String()
+		pn := r.ArrayLen()
+		t.Partitions = make([]ProducePartition, 0, pn)
+		for j := 0; j < pn; j++ {
+			var p ProducePartition
+			p.Partition = r.Int32()
+			p.Records = r.Bytes32()
+			t.Partitions = append(t.Partitions, p)
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// ProduceResponse reports per-partition append results.
+type ProduceResponse struct {
+	Topics []ProduceRespTopic
+}
+
+// ProduceRespTopic groups per-partition results for one topic.
+type ProduceRespTopic struct {
+	Name       string
+	Partitions []ProduceRespPartition
+}
+
+// ProduceRespPartition is the result of appending to one partition.
+type ProduceRespPartition struct {
+	Partition     int32
+	Err           ErrorCode
+	BaseOffset    int64
+	HighWatermark int64
+}
+
+// Encode implements Message.
+func (m *ProduceResponse) Encode(w *Writer) {
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			p := &t.Partitions[j]
+			w.Int32(p.Partition)
+			w.Int16(int16(p.Err))
+			w.Int64(p.BaseOffset)
+			w.Int64(p.HighWatermark)
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *ProduceResponse) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Topics = make([]ProduceRespTopic, 0, n)
+	for i := 0; i < n; i++ {
+		var t ProduceRespTopic
+		t.Name = r.String()
+		pn := r.ArrayLen()
+		t.Partitions = make([]ProduceRespPartition, 0, pn)
+		for j := 0; j < pn; j++ {
+			var p ProduceRespPartition
+			p.Partition = r.Int32()
+			p.Err = ErrorCode(r.Int16())
+			p.BaseOffset = r.Int64()
+			p.HighWatermark = r.Int64()
+			t.Partitions = append(t.Partitions, p)
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// ------------------------------------------------------------------ Fetch
+
+// FetchRequest pulls record batches from partitions. Consumers use
+// ReplicaID -1; follower brokers use their own broker id, which entitles
+// them to read beyond the high watermark and drives ISR tracking (§4.3).
+type FetchRequest struct {
+	ReplicaID int32
+	MaxWaitMs int32
+	MinBytes  int32
+	MaxBytes  int32
+	Topics    []FetchTopic
+}
+
+// FetchTopic carries the partitions of one topic in a FetchRequest.
+type FetchTopic struct {
+	Name       string
+	Partitions []FetchPartition
+}
+
+// FetchPartition requests data from one partition starting at Offset.
+type FetchPartition struct {
+	Partition int32
+	Offset    int64
+	MaxBytes  int32
+}
+
+// Encode implements Message.
+func (m *FetchRequest) Encode(w *Writer) {
+	w.Int32(m.ReplicaID)
+	w.Int32(m.MaxWaitMs)
+	w.Int32(m.MinBytes)
+	w.Int32(m.MaxBytes)
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			p := &t.Partitions[j]
+			w.Int32(p.Partition)
+			w.Int64(p.Offset)
+			w.Int32(p.MaxBytes)
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *FetchRequest) Decode(r *Reader) {
+	m.ReplicaID = r.Int32()
+	m.MaxWaitMs = r.Int32()
+	m.MinBytes = r.Int32()
+	m.MaxBytes = r.Int32()
+	n := r.ArrayLen()
+	m.Topics = make([]FetchTopic, 0, n)
+	for i := 0; i < n; i++ {
+		var t FetchTopic
+		t.Name = r.String()
+		pn := r.ArrayLen()
+		t.Partitions = make([]FetchPartition, 0, pn)
+		for j := 0; j < pn; j++ {
+			var p FetchPartition
+			p.Partition = r.Int32()
+			p.Offset = r.Int64()
+			p.MaxBytes = r.Int32()
+			t.Partitions = append(t.Partitions, p)
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// FetchResponse returns record batches per partition.
+type FetchResponse struct {
+	Topics []FetchRespTopic
+}
+
+// FetchRespTopic groups per-partition fetch results for one topic.
+type FetchRespTopic struct {
+	Name       string
+	Partitions []FetchRespPartition
+}
+
+// FetchRespPartition is the fetch result for one partition.
+type FetchRespPartition struct {
+	Partition      int32
+	Err            ErrorCode
+	HighWatermark  int64
+	LogStartOffset int64
+	Records        []byte
+}
+
+// Encode implements Message.
+func (m *FetchResponse) Encode(w *Writer) {
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			p := &t.Partitions[j]
+			w.Int32(p.Partition)
+			w.Int16(int16(p.Err))
+			w.Int64(p.HighWatermark)
+			w.Int64(p.LogStartOffset)
+			w.Bytes32(p.Records)
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *FetchResponse) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Topics = make([]FetchRespTopic, 0, n)
+	for i := 0; i < n; i++ {
+		var t FetchRespTopic
+		t.Name = r.String()
+		pn := r.ArrayLen()
+		t.Partitions = make([]FetchRespPartition, 0, pn)
+		for j := 0; j < pn; j++ {
+			var p FetchRespPartition
+			p.Partition = r.Int32()
+			p.Err = ErrorCode(r.Int16())
+			p.HighWatermark = r.Int64()
+			p.LogStartOffset = r.Int64()
+			p.Records = r.Bytes32()
+			t.Partitions = append(t.Partitions, p)
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// ----------------------------------------------------------- ListOffsets
+
+// ListOffsetsRequest resolves timestamps to offsets, supporting the
+// rewindability property (§3.1): earliest, latest, or first offset at/after
+// a given timestamp.
+type ListOffsetsRequest struct {
+	Topics []ListOffsetsTopic
+}
+
+// ListOffsetsTopic carries per-partition timestamp queries for one topic.
+type ListOffsetsTopic struct {
+	Name       string
+	Partitions []ListOffsetsPartition
+}
+
+// ListOffsetsPartition queries one partition at a timestamp (or the special
+// TimestampEarliest / TimestampLatest values).
+type ListOffsetsPartition struct {
+	Partition int32
+	Timestamp int64
+}
+
+// Encode implements Message.
+func (m *ListOffsetsRequest) Encode(w *Writer) {
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			w.Int32(t.Partitions[j].Partition)
+			w.Int64(t.Partitions[j].Timestamp)
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *ListOffsetsRequest) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Topics = make([]ListOffsetsTopic, 0, n)
+	for i := 0; i < n; i++ {
+		var t ListOffsetsTopic
+		t.Name = r.String()
+		pn := r.ArrayLen()
+		t.Partitions = make([]ListOffsetsPartition, 0, pn)
+		for j := 0; j < pn; j++ {
+			t.Partitions = append(t.Partitions, ListOffsetsPartition{
+				Partition: r.Int32(),
+				Timestamp: r.Int64(),
+			})
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// ListOffsetsResponse returns resolved offsets.
+type ListOffsetsResponse struct {
+	Topics []ListOffsetsRespTopic
+}
+
+// ListOffsetsRespTopic groups per-partition results for one topic.
+type ListOffsetsRespTopic struct {
+	Name       string
+	Partitions []ListOffsetsRespPartition
+}
+
+// ListOffsetsRespPartition is the resolved offset for one partition.
+type ListOffsetsRespPartition struct {
+	Partition int32
+	Err       ErrorCode
+	Timestamp int64
+	Offset    int64
+}
+
+// Encode implements Message.
+func (m *ListOffsetsResponse) Encode(w *Writer) {
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			p := &t.Partitions[j]
+			w.Int32(p.Partition)
+			w.Int16(int16(p.Err))
+			w.Int64(p.Timestamp)
+			w.Int64(p.Offset)
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *ListOffsetsResponse) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Topics = make([]ListOffsetsRespTopic, 0, n)
+	for i := 0; i < n; i++ {
+		var t ListOffsetsRespTopic
+		t.Name = r.String()
+		pn := r.ArrayLen()
+		t.Partitions = make([]ListOffsetsRespPartition, 0, pn)
+		for j := 0; j < pn; j++ {
+			var p ListOffsetsRespPartition
+			p.Partition = r.Int32()
+			p.Err = ErrorCode(r.Int16())
+			p.Timestamp = r.Int64()
+			p.Offset = r.Int64()
+			t.Partitions = append(t.Partitions, p)
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// -------------------------------------------------------------- Metadata
+
+// MetadataRequest asks for cluster metadata; an empty Topics slice means
+// all topics.
+type MetadataRequest struct {
+	Topics []string
+}
+
+// Encode implements Message.
+func (m *MetadataRequest) Encode(w *Writer) { w.StringArray(m.Topics) }
+
+// Decode implements Message.
+func (m *MetadataRequest) Decode(r *Reader) { m.Topics = r.StringArray() }
+
+// BrokerMeta describes one live broker.
+type BrokerMeta struct {
+	ID   int32
+	Host string
+	Port int32
+}
+
+// PartitionMeta describes current leadership for one partition.
+type PartitionMeta struct {
+	Err         ErrorCode
+	ID          int32
+	Leader      int32
+	LeaderEpoch int32
+	Replicas    []int32
+	ISR         []int32
+}
+
+// TopicMeta describes one topic.
+type TopicMeta struct {
+	Err        ErrorCode
+	Name       string
+	Compacted  bool
+	Partitions []PartitionMeta
+}
+
+// MetadataResponse returns the cluster view: live brokers, the controller,
+// and topic/partition leadership.
+type MetadataResponse struct {
+	Brokers      []BrokerMeta
+	ControllerID int32
+	Topics       []TopicMeta
+}
+
+// Encode implements Message.
+func (m *MetadataResponse) Encode(w *Writer) {
+	w.ArrayLen(len(m.Brokers))
+	for i := range m.Brokers {
+		w.Int32(m.Brokers[i].ID)
+		w.String(m.Brokers[i].Host)
+		w.Int32(m.Brokers[i].Port)
+	}
+	w.Int32(m.ControllerID)
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.Int16(int16(t.Err))
+		w.String(t.Name)
+		w.Bool(t.Compacted)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			p := &t.Partitions[j]
+			w.Int16(int16(p.Err))
+			w.Int32(p.ID)
+			w.Int32(p.Leader)
+			w.Int32(p.LeaderEpoch)
+			w.Int32Array(p.Replicas)
+			w.Int32Array(p.ISR)
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *MetadataResponse) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Brokers = make([]BrokerMeta, 0, n)
+	for i := 0; i < n; i++ {
+		m.Brokers = append(m.Brokers, BrokerMeta{
+			ID:   r.Int32(),
+			Host: r.String(),
+			Port: r.Int32(),
+		})
+	}
+	m.ControllerID = r.Int32()
+	tn := r.ArrayLen()
+	m.Topics = make([]TopicMeta, 0, tn)
+	for i := 0; i < tn; i++ {
+		var t TopicMeta
+		t.Err = ErrorCode(r.Int16())
+		t.Name = r.String()
+		t.Compacted = r.Bool()
+		pn := r.ArrayLen()
+		t.Partitions = make([]PartitionMeta, 0, pn)
+		for j := 0; j < pn; j++ {
+			var p PartitionMeta
+			p.Err = ErrorCode(r.Int16())
+			p.ID = r.Int32()
+			p.Leader = r.Int32()
+			p.LeaderEpoch = r.Int32()
+			p.Replicas = r.Int32Array()
+			p.ISR = r.Int32Array()
+			t.Partitions = append(t.Partitions, p)
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// ---------------------------------------------------- Create/DeleteTopics
+
+// TopicSpec configures a new topic. Zero values select broker defaults.
+type TopicSpec struct {
+	Name              string
+	NumPartitions     int32
+	ReplicationFactor int16
+	RetentionMs       int64 // 0 = broker default, -1 = unlimited
+	RetentionBytes    int64 // 0 = broker default, -1 = unlimited
+	SegmentBytes      int32 // 0 = broker default
+	Compacted         bool
+}
+
+// CreateTopicsRequest creates one or more topics cluster-wide.
+type CreateTopicsRequest struct {
+	Topics []TopicSpec
+}
+
+// Encode implements Message.
+func (m *CreateTopicsRequest) Encode(w *Writer) {
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.Int32(t.NumPartitions)
+		w.Int16(t.ReplicationFactor)
+		w.Int64(t.RetentionMs)
+		w.Int64(t.RetentionBytes)
+		w.Int32(t.SegmentBytes)
+		w.Bool(t.Compacted)
+	}
+}
+
+// Decode implements Message.
+func (m *CreateTopicsRequest) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Topics = make([]TopicSpec, 0, n)
+	for i := 0; i < n; i++ {
+		var t TopicSpec
+		t.Name = r.String()
+		t.NumPartitions = r.Int32()
+		t.ReplicationFactor = r.Int16()
+		t.RetentionMs = r.Int64()
+		t.RetentionBytes = r.Int64()
+		t.SegmentBytes = r.Int32()
+		t.Compacted = r.Bool()
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// TopicResult is the per-topic outcome of a create or delete request.
+type TopicResult struct {
+	Name string
+	Err  ErrorCode
+}
+
+// CreateTopicsResponse reports per-topic results.
+type CreateTopicsResponse struct {
+	Results []TopicResult
+}
+
+// Encode implements Message.
+func (m *CreateTopicsResponse) Encode(w *Writer) {
+	w.ArrayLen(len(m.Results))
+	for i := range m.Results {
+		w.String(m.Results[i].Name)
+		w.Int16(int16(m.Results[i].Err))
+	}
+}
+
+// Decode implements Message.
+func (m *CreateTopicsResponse) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Results = make([]TopicResult, 0, n)
+	for i := 0; i < n; i++ {
+		m.Results = append(m.Results, TopicResult{Name: r.String(), Err: ErrorCode(r.Int16())})
+	}
+}
+
+// DeleteTopicsRequest removes topics cluster-wide.
+type DeleteTopicsRequest struct {
+	Names []string
+}
+
+// Encode implements Message.
+func (m *DeleteTopicsRequest) Encode(w *Writer) { w.StringArray(m.Names) }
+
+// Decode implements Message.
+func (m *DeleteTopicsRequest) Decode(r *Reader) { m.Names = r.StringArray() }
+
+// DeleteTopicsResponse reports per-topic results.
+type DeleteTopicsResponse struct {
+	Results []TopicResult
+}
+
+// Encode implements Message.
+func (m *DeleteTopicsResponse) Encode(w *Writer) {
+	w.ArrayLen(len(m.Results))
+	for i := range m.Results {
+		w.String(m.Results[i].Name)
+		w.Int16(int16(m.Results[i].Err))
+	}
+}
+
+// Decode implements Message.
+func (m *DeleteTopicsResponse) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Results = make([]TopicResult, 0, n)
+	for i := 0; i < n; i++ {
+		m.Results = append(m.Results, TopicResult{Name: r.String(), Err: ErrorCode(r.Int16())})
+	}
+}
+
+// ---------------------------------------------------------- Offset APIs
+
+// OffsetCommitRequest checkpoints consumed offsets with optional metadata
+// annotations (the offset manager of paper §3.1/§4.2). Metadata is an
+// opaque string; Liquid clients store annotation maps in it.
+type OffsetCommitRequest struct {
+	Group      string
+	Generation int32
+	MemberID   string
+	Topics     []OffsetCommitTopic
+}
+
+// OffsetCommitTopic carries per-partition commits for one topic.
+type OffsetCommitTopic struct {
+	Name       string
+	Partitions []OffsetCommitPartition
+}
+
+// OffsetCommitPartition commits one partition's offset and annotations.
+type OffsetCommitPartition struct {
+	Partition int32
+	Offset    int64
+	Metadata  string
+}
+
+// Encode implements Message.
+func (m *OffsetCommitRequest) Encode(w *Writer) {
+	w.String(m.Group)
+	w.Int32(m.Generation)
+	w.String(m.MemberID)
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			p := &t.Partitions[j]
+			w.Int32(p.Partition)
+			w.Int64(p.Offset)
+			w.String(p.Metadata)
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *OffsetCommitRequest) Decode(r *Reader) {
+	m.Group = r.String()
+	m.Generation = r.Int32()
+	m.MemberID = r.String()
+	n := r.ArrayLen()
+	m.Topics = make([]OffsetCommitTopic, 0, n)
+	for i := 0; i < n; i++ {
+		var t OffsetCommitTopic
+		t.Name = r.String()
+		pn := r.ArrayLen()
+		t.Partitions = make([]OffsetCommitPartition, 0, pn)
+		for j := 0; j < pn; j++ {
+			t.Partitions = append(t.Partitions, OffsetCommitPartition{
+				Partition: r.Int32(),
+				Offset:    r.Int64(),
+				Metadata:  r.String(),
+			})
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// OffsetCommitResponse reports per-partition commit results.
+type OffsetCommitResponse struct {
+	Topics []OffsetCommitRespTopic
+}
+
+// OffsetCommitRespTopic groups results for one topic.
+type OffsetCommitRespTopic struct {
+	Name       string
+	Partitions []OffsetCommitRespPartition
+}
+
+// OffsetCommitRespPartition is the commit result for one partition.
+type OffsetCommitRespPartition struct {
+	Partition int32
+	Err       ErrorCode
+}
+
+// Encode implements Message.
+func (m *OffsetCommitResponse) Encode(w *Writer) {
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			w.Int32(t.Partitions[j].Partition)
+			w.Int16(int16(t.Partitions[j].Err))
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *OffsetCommitResponse) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Topics = make([]OffsetCommitRespTopic, 0, n)
+	for i := 0; i < n; i++ {
+		var t OffsetCommitRespTopic
+		t.Name = r.String()
+		pn := r.ArrayLen()
+		t.Partitions = make([]OffsetCommitRespPartition, 0, pn)
+		for j := 0; j < pn; j++ {
+			t.Partitions = append(t.Partitions, OffsetCommitRespPartition{
+				Partition: r.Int32(),
+				Err:       ErrorCode(r.Int16()),
+			})
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// OffsetFetchRequest reads back the latest committed offsets for a group.
+type OffsetFetchRequest struct {
+	Group  string
+	Topics []OffsetFetchTopic
+}
+
+// OffsetFetchTopic names the partitions to fetch for one topic.
+type OffsetFetchTopic struct {
+	Name       string
+	Partitions []int32
+}
+
+// Encode implements Message.
+func (m *OffsetFetchRequest) Encode(w *Writer) {
+	w.String(m.Group)
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		w.String(m.Topics[i].Name)
+		w.Int32Array(m.Topics[i].Partitions)
+	}
+}
+
+// Decode implements Message.
+func (m *OffsetFetchRequest) Decode(r *Reader) {
+	m.Group = r.String()
+	n := r.ArrayLen()
+	m.Topics = make([]OffsetFetchTopic, 0, n)
+	for i := 0; i < n; i++ {
+		m.Topics = append(m.Topics, OffsetFetchTopic{
+			Name:       r.String(),
+			Partitions: r.Int32Array(),
+		})
+	}
+}
+
+// OffsetFetchResponse returns the latest committed offsets. Offset -1 means
+// no commit exists for that partition.
+type OffsetFetchResponse struct {
+	Topics []OffsetFetchRespTopic
+}
+
+// OffsetFetchRespTopic groups results for one topic.
+type OffsetFetchRespTopic struct {
+	Name       string
+	Partitions []OffsetFetchRespPartition
+}
+
+// OffsetFetchRespPartition is a committed offset with its annotations.
+type OffsetFetchRespPartition struct {
+	Partition int32
+	Err       ErrorCode
+	Offset    int64
+	Metadata  string
+}
+
+// Encode implements Message.
+func (m *OffsetFetchResponse) Encode(w *Writer) {
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			p := &t.Partitions[j]
+			w.Int32(p.Partition)
+			w.Int16(int16(p.Err))
+			w.Int64(p.Offset)
+			w.String(p.Metadata)
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *OffsetFetchResponse) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Topics = make([]OffsetFetchRespTopic, 0, n)
+	for i := 0; i < n; i++ {
+		var t OffsetFetchRespTopic
+		t.Name = r.String()
+		pn := r.ArrayLen()
+		t.Partitions = make([]OffsetFetchRespPartition, 0, pn)
+		for j := 0; j < pn; j++ {
+			var p OffsetFetchRespPartition
+			p.Partition = r.Int32()
+			p.Err = ErrorCode(r.Int16())
+			p.Offset = r.Int64()
+			p.Metadata = r.String()
+			t.Partitions = append(t.Partitions, p)
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}
+
+// OffsetQueryRequest performs metadata-based access (paper §4.2): find the
+// most recent checkpoint for (Group, Topic, Partition) whose annotation
+// AnnotationKey equals AnnotationValue, or — when AnnotationKey is
+// "@timestamp" — the last checkpoint taken at or before the millisecond
+// timestamp in AnnotationValue.
+type OffsetQueryRequest struct {
+	Group           string
+	Topic           string
+	Partition       int32
+	AnnotationKey   string
+	AnnotationValue string
+}
+
+// Encode implements Message.
+func (m *OffsetQueryRequest) Encode(w *Writer) {
+	w.String(m.Group)
+	w.String(m.Topic)
+	w.Int32(m.Partition)
+	w.String(m.AnnotationKey)
+	w.String(m.AnnotationValue)
+}
+
+// Decode implements Message.
+func (m *OffsetQueryRequest) Decode(r *Reader) {
+	m.Group = r.String()
+	m.Topic = r.String()
+	m.Partition = r.Int32()
+	m.AnnotationKey = r.String()
+	m.AnnotationValue = r.String()
+}
+
+// OffsetQueryResponse returns the matched checkpoint, if any.
+type OffsetQueryResponse struct {
+	Err      ErrorCode
+	Found    bool
+	Offset   int64
+	Metadata string
+}
+
+// Encode implements Message.
+func (m *OffsetQueryResponse) Encode(w *Writer) {
+	w.Int16(int16(m.Err))
+	w.Bool(m.Found)
+	w.Int64(m.Offset)
+	w.String(m.Metadata)
+}
+
+// Decode implements Message.
+func (m *OffsetQueryResponse) Decode(r *Reader) {
+	m.Err = ErrorCode(r.Int16())
+	m.Found = r.Bool()
+	m.Offset = r.Int64()
+	m.Metadata = r.String()
+}
+
+// --------------------------------------------------------- Group APIs
+
+// FindCoordinatorRequest locates the broker coordinating a consumer group.
+type FindCoordinatorRequest struct {
+	Key string // group id
+}
+
+// Encode implements Message.
+func (m *FindCoordinatorRequest) Encode(w *Writer) { w.String(m.Key) }
+
+// Decode implements Message.
+func (m *FindCoordinatorRequest) Decode(r *Reader) { m.Key = r.String() }
+
+// FindCoordinatorResponse names the coordinating broker.
+type FindCoordinatorResponse struct {
+	Err    ErrorCode
+	NodeID int32
+	Host   string
+	Port   int32
+}
+
+// Encode implements Message.
+func (m *FindCoordinatorResponse) Encode(w *Writer) {
+	w.Int16(int16(m.Err))
+	w.Int32(m.NodeID)
+	w.String(m.Host)
+	w.Int32(m.Port)
+}
+
+// Decode implements Message.
+func (m *FindCoordinatorResponse) Decode(r *Reader) {
+	m.Err = ErrorCode(r.Int16())
+	m.NodeID = r.Int32()
+	m.Host = r.String()
+	m.Port = r.Int32()
+}
+
+// JoinGroupRequest enters a consumer group, triggering a rebalance. The
+// first joiner becomes the group leader and later computes the partition
+// assignment client-side (§3.1 consumer groups).
+type JoinGroupRequest struct {
+	Group              string
+	SessionTimeoutMs   int32
+	RebalanceTimeoutMs int32
+	MemberID           string // empty on first join
+	Protocol           string // assignment strategy name, e.g. "range"
+	Metadata           []byte // subscribed topics, encoded by the client
+}
+
+// Encode implements Message.
+func (m *JoinGroupRequest) Encode(w *Writer) {
+	w.String(m.Group)
+	w.Int32(m.SessionTimeoutMs)
+	w.Int32(m.RebalanceTimeoutMs)
+	w.String(m.MemberID)
+	w.String(m.Protocol)
+	w.Bytes32(m.Metadata)
+}
+
+// Decode implements Message.
+func (m *JoinGroupRequest) Decode(r *Reader) {
+	m.Group = r.String()
+	m.SessionTimeoutMs = r.Int32()
+	m.RebalanceTimeoutMs = r.Int32()
+	m.MemberID = r.String()
+	m.Protocol = r.String()
+	m.Metadata = r.Bytes32()
+}
+
+// GroupMember is a member's id and subscription metadata, sent to the group
+// leader so it can compute an assignment.
+type GroupMember struct {
+	MemberID string
+	Metadata []byte
+}
+
+// JoinGroupResponse reports the new generation. Only the leader receives
+// the full member list.
+type JoinGroupResponse struct {
+	Err        ErrorCode
+	Generation int32
+	Protocol   string
+	LeaderID   string
+	MemberID   string
+	Members    []GroupMember
+}
+
+// Encode implements Message.
+func (m *JoinGroupResponse) Encode(w *Writer) {
+	w.Int16(int16(m.Err))
+	w.Int32(m.Generation)
+	w.String(m.Protocol)
+	w.String(m.LeaderID)
+	w.String(m.MemberID)
+	w.ArrayLen(len(m.Members))
+	for i := range m.Members {
+		w.String(m.Members[i].MemberID)
+		w.Bytes32(m.Members[i].Metadata)
+	}
+}
+
+// Decode implements Message.
+func (m *JoinGroupResponse) Decode(r *Reader) {
+	m.Err = ErrorCode(r.Int16())
+	m.Generation = r.Int32()
+	m.Protocol = r.String()
+	m.LeaderID = r.String()
+	m.MemberID = r.String()
+	n := r.ArrayLen()
+	m.Members = make([]GroupMember, 0, n)
+	for i := 0; i < n; i++ {
+		m.Members = append(m.Members, GroupMember{
+			MemberID: r.String(),
+			Metadata: r.Bytes32(),
+		})
+	}
+}
+
+// GroupAssignment carries one member's partition assignment from the group
+// leader to the coordinator.
+type GroupAssignment struct {
+	MemberID   string
+	Assignment []byte
+}
+
+// SyncGroupRequest distributes assignments: the leader includes all
+// members' assignments; followers send none and receive theirs.
+type SyncGroupRequest struct {
+	Group       string
+	Generation  int32
+	MemberID    string
+	Assignments []GroupAssignment
+}
+
+// Encode implements Message.
+func (m *SyncGroupRequest) Encode(w *Writer) {
+	w.String(m.Group)
+	w.Int32(m.Generation)
+	w.String(m.MemberID)
+	w.ArrayLen(len(m.Assignments))
+	for i := range m.Assignments {
+		w.String(m.Assignments[i].MemberID)
+		w.Bytes32(m.Assignments[i].Assignment)
+	}
+}
+
+// Decode implements Message.
+func (m *SyncGroupRequest) Decode(r *Reader) {
+	m.Group = r.String()
+	m.Generation = r.Int32()
+	m.MemberID = r.String()
+	n := r.ArrayLen()
+	m.Assignments = make([]GroupAssignment, 0, n)
+	for i := 0; i < n; i++ {
+		m.Assignments = append(m.Assignments, GroupAssignment{
+			MemberID:   r.String(),
+			Assignment: r.Bytes32(),
+		})
+	}
+}
+
+// SyncGroupResponse returns this member's assignment.
+type SyncGroupResponse struct {
+	Err        ErrorCode
+	Assignment []byte
+}
+
+// Encode implements Message.
+func (m *SyncGroupResponse) Encode(w *Writer) {
+	w.Int16(int16(m.Err))
+	w.Bytes32(m.Assignment)
+}
+
+// Decode implements Message.
+func (m *SyncGroupResponse) Decode(r *Reader) {
+	m.Err = ErrorCode(r.Int16())
+	m.Assignment = r.Bytes32()
+}
+
+// HeartbeatRequest keeps a group member alive between polls.
+type HeartbeatRequest struct {
+	Group      string
+	Generation int32
+	MemberID   string
+}
+
+// Encode implements Message.
+func (m *HeartbeatRequest) Encode(w *Writer) {
+	w.String(m.Group)
+	w.Int32(m.Generation)
+	w.String(m.MemberID)
+}
+
+// Decode implements Message.
+func (m *HeartbeatRequest) Decode(r *Reader) {
+	m.Group = r.String()
+	m.Generation = r.Int32()
+	m.MemberID = r.String()
+}
+
+// HeartbeatResponse carries the liveness verdict; ErrRebalanceInProgress
+// instructs the member to rejoin.
+type HeartbeatResponse struct {
+	Err ErrorCode
+}
+
+// Encode implements Message.
+func (m *HeartbeatResponse) Encode(w *Writer) { w.Int16(int16(m.Err)) }
+
+// Decode implements Message.
+func (m *HeartbeatResponse) Decode(r *Reader) { m.Err = ErrorCode(r.Int16()) }
+
+// LeaveGroupRequest removes a member, triggering an immediate rebalance.
+type LeaveGroupRequest struct {
+	Group    string
+	MemberID string
+}
+
+// Encode implements Message.
+func (m *LeaveGroupRequest) Encode(w *Writer) {
+	w.String(m.Group)
+	w.String(m.MemberID)
+}
+
+// Decode implements Message.
+func (m *LeaveGroupRequest) Decode(r *Reader) {
+	m.Group = r.String()
+	m.MemberID = r.String()
+}
+
+// LeaveGroupResponse acknowledges departure.
+type LeaveGroupResponse struct {
+	Err ErrorCode
+}
+
+// Encode implements Message.
+func (m *LeaveGroupResponse) Encode(w *Writer) { w.Int16(int16(m.Err)) }
+
+// Decode implements Message.
+func (m *LeaveGroupResponse) Decode(r *Reader) { m.Err = ErrorCode(r.Int16()) }

@@ -1,0 +1,396 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecPrimitivesRoundTrip(t *testing.T) {
+	var w Writer
+	w.Int8(-3)
+	w.Bool(true)
+	w.Int16(-1234)
+	w.Int32(1 << 30)
+	w.Int64(-(1 << 60))
+	w.String("héllo")
+	w.Bytes32([]byte{1, 2, 3})
+	w.Bytes32(nil)
+	w.StringArray([]string{"a", "", "c"})
+	w.Int32Array([]int32{7, -8})
+
+	r := NewReader(w.Bytes())
+	if got := r.Int8(); got != -3 {
+		t.Fatalf("Int8 = %d", got)
+	}
+	if !r.Bool() {
+		t.Fatal("Bool = false")
+	}
+	if got := r.Int16(); got != -1234 {
+		t.Fatalf("Int16 = %d", got)
+	}
+	if got := r.Int32(); got != 1<<30 {
+		t.Fatalf("Int32 = %d", got)
+	}
+	if got := r.Int64(); got != -(1 << 60) {
+		t.Fatalf("Int64 = %d", got)
+	}
+	if got := r.String(); got != "héllo" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.Bytes32(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes32 = %v", got)
+	}
+	if got := r.Bytes32(); got != nil {
+		t.Fatalf("nil Bytes32 = %v", got)
+	}
+	if got := r.StringArray(); !reflect.DeepEqual(got, []string{"a", "", "c"}) {
+		t.Fatalf("StringArray = %v", got)
+	}
+	if got := r.Int32Array(); !reflect.DeepEqual(got, []int32{7, -8}) {
+		t.Fatalf("Int32Array = %v", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{0x00}) // too short for Int32
+	_ = r.Int32()
+	if r.Err() == nil {
+		t.Fatal("expected error after short read")
+	}
+	// All further reads return zero values without panicking.
+	if r.Int64() != 0 || r.String() != "" || r.Bytes32() != nil {
+		t.Fatal("post-error reads should return zero values")
+	}
+}
+
+func TestReaderTrailingBytes(t *testing.T) {
+	var w Writer
+	w.Int32(1)
+	w.Int32(2)
+	r := NewReader(w.Bytes())
+	_ = r.Int32()
+	if err := r.Done(); err == nil {
+		t.Fatal("Done should report trailing bytes")
+	}
+}
+
+func TestCorruptArrayLenRejected(t *testing.T) {
+	var w Writer
+	w.Int32(1 << 30) // absurd count with no payload
+	r := NewReader(w.Bytes())
+	n := r.ArrayLen()
+	if n != 0 || r.Err() == nil {
+		t.Fatalf("ArrayLen = %d, err = %v; want 0 and error", n, r.Err())
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frame")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame = %q", got)
+	}
+}
+
+func TestFrameTooLargeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB length prefix
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// roundTrip encodes a message and decodes it into out, failing on error.
+func roundTrip(t *testing.T, in, out Message) {
+	t.Helper()
+	var w Writer
+	in.Encode(&w)
+	r := NewReader(w.Bytes())
+	out.Decode(r)
+	if err := r.Done(); err != nil {
+		t.Fatalf("decode %T: %v", in, err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	roundTrip(t, &ProduceRequest{
+		RequiredAcks: -1,
+		TimeoutMs:    5000,
+		Topics: []ProduceTopic{{
+			Name: "events",
+			Partitions: []ProducePartition{
+				{Partition: 0, Records: []byte("batchbytes")},
+				{Partition: 3, Records: nil},
+			},
+		}},
+	}, &ProduceRequest{})
+
+	roundTrip(t, &ProduceResponse{
+		Topics: []ProduceRespTopic{{
+			Name: "events",
+			Partitions: []ProduceRespPartition{
+				{Partition: 0, Err: ErrNone, BaseOffset: 17, HighWatermark: 20},
+				{Partition: 1, Err: ErrNotLeaderForPartition, BaseOffset: -1},
+			},
+		}},
+	}, &ProduceResponse{})
+
+	roundTrip(t, &FetchRequest{
+		ReplicaID: -1, MaxWaitMs: 100, MinBytes: 1, MaxBytes: 1 << 20,
+		Topics: []FetchTopic{{
+			Name:       "events",
+			Partitions: []FetchPartition{{Partition: 2, Offset: 99, MaxBytes: 4096}},
+		}},
+	}, &FetchRequest{})
+
+	roundTrip(t, &FetchResponse{
+		Topics: []FetchRespTopic{{
+			Name: "events",
+			Partitions: []FetchRespPartition{{
+				Partition: 2, Err: ErrNone, HighWatermark: 120,
+				LogStartOffset: 5, Records: []byte{1, 2, 3},
+			}},
+		}},
+	}, &FetchResponse{})
+
+	roundTrip(t, &ListOffsetsRequest{
+		Topics: []ListOffsetsTopic{{
+			Name:       "t",
+			Partitions: []ListOffsetsPartition{{Partition: 0, Timestamp: TimestampLatest}},
+		}},
+	}, &ListOffsetsRequest{})
+
+	roundTrip(t, &ListOffsetsResponse{
+		Topics: []ListOffsetsRespTopic{{
+			Name:       "t",
+			Partitions: []ListOffsetsRespPartition{{Partition: 0, Timestamp: 88, Offset: 3}},
+		}},
+	}, &ListOffsetsResponse{})
+
+	roundTrip(t, &MetadataRequest{Topics: []string{"a", "b"}}, &MetadataRequest{})
+
+	roundTrip(t, &MetadataResponse{
+		Brokers:      []BrokerMeta{{ID: 1, Host: "localhost", Port: 9092}},
+		ControllerID: 1,
+		Topics: []TopicMeta{{
+			Err: ErrNone, Name: "a", Compacted: true,
+			Partitions: []PartitionMeta{{
+				ID: 0, Leader: 1, LeaderEpoch: 4,
+				Replicas: []int32{1, 2, 3}, ISR: []int32{1, 2},
+			}},
+		}},
+	}, &MetadataResponse{})
+
+	roundTrip(t, &CreateTopicsRequest{
+		Topics: []TopicSpec{{
+			Name: "new", NumPartitions: 8, ReplicationFactor: 3,
+			RetentionMs: 3600_000, RetentionBytes: -1, SegmentBytes: 1 << 20, Compacted: true,
+		}},
+	}, &CreateTopicsRequest{})
+
+	roundTrip(t, &CreateTopicsResponse{
+		Results: []TopicResult{{Name: "new", Err: ErrTopicAlreadyExists}},
+	}, &CreateTopicsResponse{})
+
+	roundTrip(t, &DeleteTopicsRequest{Names: []string{"old"}}, &DeleteTopicsRequest{})
+	roundTrip(t, &DeleteTopicsResponse{
+		Results: []TopicResult{{Name: "old", Err: ErrNone}},
+	}, &DeleteTopicsResponse{})
+
+	roundTrip(t, &OffsetCommitRequest{
+		Group: "g", Generation: 2, MemberID: "m-1",
+		Topics: []OffsetCommitTopic{{
+			Name: "t",
+			Partitions: []OffsetCommitPartition{
+				{Partition: 0, Offset: 42, Metadata: `{"version":"v2"}`},
+			},
+		}},
+	}, &OffsetCommitRequest{})
+
+	roundTrip(t, &OffsetCommitResponse{
+		Topics: []OffsetCommitRespTopic{{
+			Name:       "t",
+			Partitions: []OffsetCommitRespPartition{{Partition: 0, Err: ErrNone}},
+		}},
+	}, &OffsetCommitResponse{})
+
+	roundTrip(t, &OffsetFetchRequest{
+		Group:  "g",
+		Topics: []OffsetFetchTopic{{Name: "t", Partitions: []int32{0, 1}}},
+	}, &OffsetFetchRequest{})
+
+	roundTrip(t, &OffsetFetchResponse{
+		Topics: []OffsetFetchRespTopic{{
+			Name: "t",
+			Partitions: []OffsetFetchRespPartition{
+				{Partition: 0, Offset: 42, Metadata: "m"},
+				{Partition: 1, Offset: -1},
+			},
+		}},
+	}, &OffsetFetchResponse{})
+
+	roundTrip(t, &OffsetQueryRequest{
+		Group: "g", Topic: "t", Partition: 1,
+		AnnotationKey: "version", AnnotationValue: "v1",
+	}, &OffsetQueryRequest{})
+
+	roundTrip(t, &OffsetQueryResponse{
+		Found: true, Offset: 31, Metadata: `{"version":"v1"}`,
+	}, &OffsetQueryResponse{})
+
+	roundTrip(t, &FindCoordinatorRequest{Key: "g"}, &FindCoordinatorRequest{})
+	roundTrip(t, &FindCoordinatorResponse{NodeID: 2, Host: "h", Port: 1}, &FindCoordinatorResponse{})
+
+	roundTrip(t, &JoinGroupRequest{
+		Group: "g", SessionTimeoutMs: 10000, RebalanceTimeoutMs: 30000,
+		MemberID: "", Protocol: "range", Metadata: []byte("topics"),
+	}, &JoinGroupRequest{})
+
+	roundTrip(t, &JoinGroupResponse{
+		Generation: 1, Protocol: "range", LeaderID: "m-1", MemberID: "m-1",
+		Members: []GroupMember{{MemberID: "m-1", Metadata: []byte("topics")}},
+	}, &JoinGroupResponse{})
+
+	roundTrip(t, &SyncGroupRequest{
+		Group: "g", Generation: 1, MemberID: "m-1",
+		Assignments: []GroupAssignment{{MemberID: "m-1", Assignment: []byte("t:0,1")}},
+	}, &SyncGroupRequest{})
+
+	roundTrip(t, &SyncGroupResponse{Assignment: []byte("t:0,1")}, &SyncGroupResponse{})
+	roundTrip(t, &HeartbeatRequest{Group: "g", Generation: 1, MemberID: "m"}, &HeartbeatRequest{})
+	roundTrip(t, &HeartbeatResponse{Err: ErrRebalanceInProgress}, &HeartbeatResponse{})
+	roundTrip(t, &LeaveGroupRequest{Group: "g", MemberID: "m"}, &LeaveGroupRequest{})
+	roundTrip(t, &LeaveGroupResponse{}, &LeaveGroupResponse{})
+}
+
+func TestRequestEnvelope(t *testing.T) {
+	hdr := RequestHeader{API: APIProduce, CorrelationID: 7, ClientID: "test"}
+	body := &MetadataRequest{Topics: []string{"x"}}
+	payload := EncodeRequest(&hdr, body)
+	gotHdr, r, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if gotHdr != hdr {
+		t.Fatalf("header = %+v, want %+v", gotHdr, hdr)
+	}
+	var gotBody MetadataRequest
+	gotBody.Decode(r)
+	if err := r.Done(); err != nil {
+		t.Fatalf("body decode: %v", err)
+	}
+	if !reflect.DeepEqual(&gotBody, body) {
+		t.Fatalf("body = %+v", gotBody)
+	}
+}
+
+func TestResponseEnvelope(t *testing.T) {
+	payload := EncodeResponse(99, &HeartbeatResponse{Err: ErrNone})
+	id, r, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if id != 99 {
+		t.Fatalf("correlation id = %d", id)
+	}
+	var resp HeartbeatResponse
+	resp.Decode(r)
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRequestBodyCoversAllAPIs(t *testing.T) {
+	for _, api := range []APIKey{
+		APIProduce, APIFetch, APIListOffsets, APIMetadata, APICreateTopics,
+		APIDeleteTopics, APIOffsetCommit, APIOffsetFetch, APIFindCoordinator,
+		APIJoinGroup, APIHeartbeat, APILeaveGroup, APISyncGroup, APIOffsetQuery,
+	} {
+		if _, ok := NewRequestBody(api); !ok {
+			t.Errorf("NewRequestBody(%d) not implemented", api)
+		}
+	}
+	if _, ok := NewRequestBody(APIKey(99)); ok {
+		t.Error("unknown API key should not resolve")
+	}
+}
+
+func TestErrorCodes(t *testing.T) {
+	if ErrNone.Err() != nil {
+		t.Fatal("ErrNone.Err() should be nil")
+	}
+	err := ErrNotLeaderForPartition.Err()
+	if err == nil || Code(err) != ErrNotLeaderForPartition {
+		t.Fatalf("code round trip failed: %v", err)
+	}
+	if Code(nil) != ErrNone {
+		t.Fatal("Code(nil) != ErrNone")
+	}
+	if !ErrNotLeaderForPartition.Retriable() {
+		t.Fatal("NotLeader should be retriable")
+	}
+	if ErrOffsetOutOfRange.Retriable() {
+		t.Fatal("OffsetOutOfRange should not be retriable")
+	}
+	if ErrorCode(999).String() == "" {
+		t.Fatal("unknown code should still render")
+	}
+}
+
+// TestQuickStringRoundTrip property-checks string codec over arbitrary
+// content including NULs and invalid UTF-8.
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 1<<15-1 {
+			s = s[:1<<15-1]
+		}
+		var w Writer
+		w.String(s)
+		r := NewReader(w.Bytes())
+		got := r.String()
+		return got == s && r.Done() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickProduceRequestRoundTrip property-checks a nested message type.
+func TestQuickProduceRequestRoundTrip(t *testing.T) {
+	f := func(acks int16, topic string, part int32, records []byte) bool {
+		in := &ProduceRequest{
+			RequiredAcks: acks,
+			Topics: []ProduceTopic{{
+				Name:       topic,
+				Partitions: []ProducePartition{{Partition: part, Records: records}},
+			}},
+		}
+		if len(topic) > 1000 {
+			return true
+		}
+		var w Writer
+		in.Encode(&w)
+		out := &ProduceRequest{}
+		r := NewReader(w.Bytes())
+		out.Decode(r)
+		return r.Done() == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package liquid is a from-scratch Go implementation of Liquid, the
+// nearline data integration stack described in "Liquid: Unifying Nearline
+// and Offline Big Data Integration" (Castro Fernandez et al., CIDR 2015).
+//
+// Liquid has two cooperating layers:
+//
+//   - a messaging layer — a distributed, highly available topic-based
+//     publish/subscribe system built on partitioned, replicated,
+//     append-only commit logs, with offset-based pull consumption,
+//     consumer groups, per-topic retention, key-based log compaction, and
+//     an offset manager that stores checkpoints with arbitrary metadata
+//     annotations for rewindability;
+//
+//   - a processing layer — stateful stream processing jobs (one task per
+//     input partition) with explicit local state backed by changelog
+//     feeds, periodic annotated checkpoints enabling incremental
+//     processing, windowed computation, and per-job resource isolation
+//     ("ETL-as-a-service").
+//
+// # Quickstart
+//
+//	stack, err := liquid.Start(liquid.Config{Brokers: 1})
+//	if err != nil { log.Fatal(err) }
+//	defer stack.Shutdown()
+//
+//	stack.CreateFeed("events", 4, 1)
+//	p := stack.NewProducer(liquid.ProducerConfig{})
+//	p.SendSync(liquid.Message{Topic: "events", Key: []byte("user-1"), Value: []byte("hello")})
+//
+//	c := stack.NewConsumer(liquid.ConsumerConfig{})
+//	c.Assign("events", 0, liquid.StartEarliest)
+//	msgs, _ := c.Poll(time.Second)
+//
+// Stateful jobs implement StreamTask and are launched with Stack.RunJob;
+// see the examples directory for full applications (site-speed monitoring,
+// call-graph assembly, data cleaning with rewind, operational analytics).
+package liquid
+
+import (
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/isolation"
+	"repro/internal/processing"
+	"repro/internal/state"
+	"repro/internal/storage/record"
+	"repro/internal/wire"
+)
+
+// Stack is a running Liquid deployment: coordination service, brokers and
+// job runtime.
+type Stack = core.Stack
+
+// Config sizes a Liquid stack.
+type Config = core.Config
+
+// Start boots a Liquid stack.
+func Start(cfg Config) (*Stack, error) { return core.Start(cfg) }
+
+// Messaging-layer client types.
+type (
+	// Client is a cluster-aware messaging-layer client.
+	Client = client.Client
+	// ClientConfig parameterises a Client.
+	ClientConfig = client.Config
+	// Message is a produced or consumed message.
+	Message = client.Message
+	// Header is a message annotation (lineage, tracing, ...).
+	Header = record.Header
+	// Producer batches and publishes messages to partition leaders.
+	Producer = client.Producer
+	// ProducerConfig parameterises a Producer.
+	ProducerConfig = client.ProducerConfig
+	// Consumer pulls from explicitly assigned partitions.
+	Consumer = client.Consumer
+	// ConsumerConfig parameterises a Consumer.
+	ConsumerConfig = client.ConsumerConfig
+	// GroupConsumer participates in a consumer group.
+	GroupConsumer = client.GroupConsumer
+	// GroupConfig parameterises a GroupConsumer.
+	GroupConfig = client.GroupConfig
+	// TopicSpec configures a new feed.
+	TopicSpec = wire.TopicSpec
+	// Partitioner routes produced messages to partitions.
+	Partitioner = client.Partitioner
+)
+
+// NewClient creates a standalone messaging-layer client.
+func NewClient(cfg ClientConfig) (*Client, error) { return client.New(cfg) }
+
+// NewProducer creates a producer on a client.
+func NewProducer(c *Client, cfg ProducerConfig) *Producer { return client.NewProducer(c, cfg) }
+
+// NewConsumer creates a partition consumer on a client.
+func NewConsumer(c *Client, cfg ConsumerConfig) *Consumer { return client.NewConsumer(c, cfg) }
+
+// NewGroupConsumer creates a group consumer on a client.
+func NewGroupConsumer(c *Client, ccfg ConsumerConfig, gcfg GroupConfig) (*GroupConsumer, error) {
+	return client.NewGroupConsumer(c, ccfg, gcfg)
+}
+
+// Producer durability levels (paper §4.3).
+const (
+	// AcksNone is fire-and-forget: minimum durability, minimum latency.
+	AcksNone = client.AcksNone
+	// AcksLeader acknowledges after the leader's append.
+	AcksLeader int16 = 1
+	// AcksAll acknowledges after the full in-sync replica set has the
+	// data: maximum durability.
+	AcksAll = client.AcksAll
+)
+
+// Consumer start positions.
+const (
+	// StartEarliest begins at the oldest retained offset.
+	StartEarliest = client.StartEarliest
+	// StartLatest begins at the log end (new data only).
+	StartLatest = client.StartLatest
+)
+
+// Processing-layer types.
+type (
+	// Job is a running processing-layer job.
+	Job = processing.Job
+	// JobConfig declares a processing-layer job.
+	JobConfig = processing.JobConfig
+	// StreamTask is a job's per-message processing logic.
+	StreamTask = processing.StreamTask
+	// InitableTask optionally initialises with the task context.
+	InitableTask = processing.InitableTask
+	// WindowedTask optionally receives periodic Window calls.
+	WindowedTask = processing.WindowedTask
+	// ClosableTask optionally tears down on shutdown.
+	ClosableTask = processing.ClosableTask
+	// TaskFactory builds one StreamTask per partition.
+	TaskFactory = processing.TaskFactory
+	// TaskContext is a task's runtime environment.
+	TaskContext = processing.TaskContext
+	// Collector emits messages to derived feeds.
+	Collector = processing.Collector
+	// StoreSpec declares a job-local state store.
+	StoreSpec = processing.StoreSpec
+	// Store is keyed local state.
+	Store = state.Store
+	// Governor bounds a job's resources (ETL-as-a-service).
+	Governor = isolation.Governor
+	// GovernorConfig parameterises a Governor.
+	GovernorConfig = isolation.Config
+)
+
+// Dataflow graph types (paper §3.2: jobs form dataflow processing graphs
+// decoupled by feeds).
+type (
+	// Graph declares a multi-job dataflow (feeds + nodes).
+	Graph = dataflow.Graph
+	// Feed declares one topic in a Graph.
+	Feed = dataflow.Feed
+	// Node declares one job and its output feeds in a Graph.
+	Node = dataflow.Node
+	// Running is a started dataflow graph.
+	Running = dataflow.Running
+)
+
+// BuildGraph validates a dataflow graph, creates its feeds and starts its
+// jobs in topological order on the stack.
+func BuildGraph(s *Stack, g Graph) (*Running, error) { return dataflow.Build(s, g) }
+
+// NewJob builds (but does not start) a processing job on a client.
+func NewJob(c *Client, cfg JobConfig) (*Job, error) { return processing.NewJob(c, cfg) }
+
+// NewGovernor creates a resource governor for a job.
+func NewGovernor(cfg GovernorConfig) *Governor { return isolation.New(cfg) }
+
+// EncodeAnnotations marshals checkpoint annotations into offset-manager
+// metadata; DecodeAnnotations reverses it.
+func EncodeAnnotations(a map[string]string) string { return client.EncodeAnnotations(a) }
+
+// DecodeAnnotations parses offset-manager metadata into annotations.
+func DecodeAnnotations(s string) map[string]string { return client.DecodeAnnotations(s) }

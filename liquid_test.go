@@ -1,0 +1,128 @@
+package liquid_test
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	liquid "repro"
+)
+
+// These tests exercise the public API exactly as a downstream user would:
+// only the root package is imported.
+
+func TestPublicAPIProduceConsume(t *testing.T) {
+	stack, err := liquid.Start(liquid.Config{Brokers: 1, SessionTimeout: 700 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Shutdown()
+	if err := stack.CreateFeed("api-events", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := stack.NewProducer(liquid.ProducerConfig{Acks: liquid.AcksLeader})
+	defer p.Close()
+	for i := 0; i < 20; i++ {
+		if err := p.Send(liquid.Message{
+			Topic: "api-events",
+			Key:   []byte(fmt.Sprintf("k%d", i%4)),
+			Value: []byte(fmt.Sprintf("v%d", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := stack.NewConsumer(liquid.ConsumerConfig{})
+	defer c.Close()
+	c.Assign("api-events", 0, liquid.StartEarliest)
+	c.Assign("api-events", 1, liquid.StartEarliest)
+	got := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for got < 20 && time.Now().Before(deadline) {
+		msgs, err := c.Poll(200 * time.Millisecond)
+		if err != nil {
+			continue
+		}
+		got += len(msgs)
+	}
+	if got != 20 {
+		t.Fatalf("consumed %d/20", got)
+	}
+}
+
+// wordLenTask maps each value to its length on a derived feed.
+type wordLenTask struct{}
+
+func (wordLenTask) Process(msg liquid.Message, ctx *liquid.TaskContext, out *liquid.Collector) error {
+	store := ctx.Store("lens")
+	if err := store.Put(msg.Value, []byte(strconv.Itoa(len(msg.Value)))); err != nil {
+		return err
+	}
+	return out.Send("api-lens", msg.Value, []byte(strconv.Itoa(len(msg.Value))))
+}
+
+func TestPublicAPIStatefulJob(t *testing.T) {
+	stack, err := liquid.Start(liquid.Config{Brokers: 1, SessionTimeout: 700 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Shutdown()
+	stack.CreateFeed("api-words", 1, 1)
+	stack.CreateFeed("api-lens", 1, 1)
+	job, err := stack.RunJob(liquid.JobConfig{
+		Name:        "lens",
+		Inputs:      []string{"api-words"},
+		Factory:     func() liquid.StreamTask { return wordLenTask{} },
+		Stores:      []liquid.StoreSpec{{Name: "lens"}},
+		Annotations: map[string]string{"version": "v1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := stack.NewProducer(liquid.ProducerConfig{})
+	defer p.Close()
+	words := []string{"a", "bb", "ccc"}
+	for _, w := range words {
+		if _, err := p.SendSync(liquid.Message{Topic: "api-words", Value: []byte(w)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := stack.NewConsumer(liquid.ConsumerConfig{})
+	defer c.Close()
+	c.Assign("api-lens", 0, liquid.StartEarliest)
+	got := map[string]string{}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < len(words) && time.Now().Before(deadline) {
+		msgs, err := c.Poll(200 * time.Millisecond)
+		if err != nil {
+			continue
+		}
+		for _, m := range msgs {
+			got[string(m.Key)] = string(m.Value)
+		}
+	}
+	if got["a"] != "1" || got["bb"] != "2" || got["ccc"] != "3" {
+		t.Fatalf("derived feed = %v", got)
+	}
+	if job.Metrics().Counter("lens.processed").Value() < 3 {
+		t.Fatal("processed counter missing")
+	}
+}
+
+func TestPublicAPIGovernor(t *testing.T) {
+	g := liquid.NewGovernor(liquid.GovernorConfig{CPUShare: 0.5})
+	g.Charge(time.Millisecond)
+	if g.Usage().CPUCharged != time.Millisecond {
+		t.Fatal("governor accounting broken through the facade")
+	}
+}
+
+func TestPublicAPIAnnotations(t *testing.T) {
+	s := liquid.EncodeAnnotations(map[string]string{"version": "v9"})
+	if liquid.DecodeAnnotations(s)["version"] != "v9" {
+		t.Fatal("annotation codec broken through the facade")
+	}
+}
