@@ -1,5 +1,5 @@
 // Benchmarks wrapping the experiment harness: one benchmark per experiment
-// in DESIGN.md's index (E1–E13), so `go test -bench=.` regenerates every
+// in DESIGN.md's index (E1–E15), so `go test -bench=.` regenerates every
 // table of EXPERIMENTS.md at quick scale. Run cmd/liquid-bench for the
 // full-scale tables.
 package liquid_test
@@ -36,3 +36,5 @@ func BenchmarkE10Decoupling(b *testing.B)         { runExperiment(b, bench.E10De
 func BenchmarkE11ManyTopics(b *testing.B)         { runExperiment(b, bench.E11ManyTopics) }
 func BenchmarkE12UseCases(b *testing.B)           { runExperiment(b, bench.E12UseCases) }
 func BenchmarkE13StateRecovery(b *testing.B)      { runExperiment(b, bench.E13StateRecovery) }
+func BenchmarkE14ArchiveExport(b *testing.B)      { runExperiment(b, bench.E14ArchiveExport) }
+func BenchmarkE15ArchiveScan(b *testing.B)        { runExperiment(b, bench.E15ArchiveScan) }

@@ -1,0 +1,218 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/dfs"
+)
+
+// exporter drains one feed partition into rolled segment files. It owns the
+// partition's manifest: add buffers records, roll writes the buffer as an
+// immutable segment (tmp write + atomic rename) and commits the manifest.
+// The commit order — segment, manifest, then offset checkpoint by the
+// caller — means a crash at any point leaves the manifest's NextOffset as
+// the exact resume position with no record lost or archived twice.
+type exporter struct {
+	fs        *dfs.FS
+	root      string
+	topic     string
+	partition int32
+
+	segmentBytes   int64
+	segmentRecords int
+	flushAge       time.Duration
+
+	man      *Manifest
+	buf      []Record
+	bufBytes int64
+	openedAt time.Time // when the first buffered record arrived
+}
+
+// openExporter loads the partition's manifest and removes orphan segments —
+// files a crashed exporter renamed into place before committing the
+// manifest. Orphans start at or beyond NextOffset, exactly the range the
+// restarted exporter will re-export.
+func openExporter(fs *dfs.FS, root, topic string, partition int32, segmentBytes int64, segmentRecords int, flushAge time.Duration) (*exporter, error) {
+	man, err := LoadManifest(fs, root, topic, partition)
+	if err != nil {
+		return nil, err
+	}
+	for _, info := range fs.List(SegmentsPrefix(root, topic)) {
+		// A .tmp is a roll that crashed before its rename; its offset
+		// range may never recur (time-based cuts), so sweep any of ours.
+		if trimmed := strings.TrimSuffix(info.Path, ".tmp"); trimmed != info.Path {
+			if p, _, _, ok := parseSegmentPath(trimmed); ok && p == partition {
+				_ = fs.Delete(info.Path)
+			}
+			continue
+		}
+		p, base, _, ok := parseSegmentPath(info.Path)
+		if ok && p == partition && base >= man.NextOffset {
+			_ = fs.Delete(info.Path)
+		}
+	}
+	return &exporter{
+		fs: fs, root: root, topic: topic, partition: partition,
+		segmentBytes: segmentBytes, segmentRecords: segmentRecords, flushAge: flushAge,
+		man: man,
+	}, nil
+}
+
+// nextOffset returns the first feed offset not yet archived or buffered.
+func (e *exporter) nextOffset() int64 {
+	if n := len(e.buf); n > 0 {
+		return e.buf[n-1].Offset + 1
+	}
+	return e.man.NextOffset
+}
+
+// add buffers one consumed message, dropping anything already archived or
+// buffered (redelivery after a rebalance or a seek). It reports whether the
+// message was accepted.
+func (e *exporter) add(msg client.Message) bool {
+	if msg.Offset < e.nextOffset() {
+		return false
+	}
+	if len(e.buf) == 0 {
+		e.openedAt = time.Now()
+	}
+	rec := Record{
+		Offset:    msg.Offset,
+		Timestamp: msg.Timestamp,
+		Key:       msg.Key,
+		Value:     msg.Value,
+		Headers:   msg.Headers,
+	}
+	e.buf = append(e.buf, rec)
+	e.bufBytes += recordBytes(&rec)
+	return true
+}
+
+// recordBytes is a record's payload contribution to segment sizing —
+// key, value, and headers (header-heavy records must count, or the size
+// threshold never fires on them).
+func recordBytes(r *Record) int64 {
+	n := int64(len(r.Key) + len(r.Value))
+	for _, h := range r.Headers {
+		n += int64(len(h.Key) + len(h.Value))
+	}
+	return n
+}
+
+// shouldRoll reports whether the buffer crossed a size, count, or age
+// threshold.
+func (e *exporter) shouldRoll() bool {
+	if len(e.buf) == 0 {
+		return false
+	}
+	if e.segmentBytes > 0 && e.bufBytes >= e.segmentBytes {
+		return true
+	}
+	if e.segmentRecords > 0 && len(e.buf) >= e.segmentRecords {
+		return true
+	}
+	return e.flushAge > 0 && time.Since(e.openedAt) >= e.flushAge
+}
+
+// cut returns how many buffered records the next segment takes: the whole
+// buffer, clipped to the first size or count threshold. One poll can buffer
+// several segments' worth at once; cutting (rather than swallowing the
+// buffer) keeps segment sizes honest.
+func (e *exporter) cut() int {
+	n := len(e.buf)
+	if e.segmentRecords > 0 && n > e.segmentRecords {
+		n = e.segmentRecords
+	}
+	if e.segmentBytes > 0 {
+		var size int64
+		for i := 0; i < n; i++ {
+			size += recordBytes(&e.buf[i])
+			if size >= e.segmentBytes {
+				n = i + 1
+				break
+			}
+		}
+	}
+	return n
+}
+
+// roll writes the next cut of buffered records as one immutable segment and
+// commits the manifest. It returns the new segment's info; callers then
+// checkpoint the offset with annotations recording the mapping, and keep
+// rolling while shouldRoll holds.
+func (e *exporter) roll() (SegmentInfo, error) {
+	if len(e.buf) == 0 {
+		return SegmentInfo{}, fmt.Errorf("archive: roll of empty buffer on %s/%d", e.topic, e.partition)
+	}
+	n := e.cut()
+	seg := e.buf[:n]
+	data := EncodeSegment(seg)
+	base := seg[0].Offset
+	last := seg[n-1].Offset
+	final := segmentPath(e.root, e.topic, e.partition, base, last)
+	tmp := final + ".tmp"
+	// Sweep a tmp leftover from a crashed roll of the same range; the
+	// FINAL path is never pre-deleted — openExporter already swept our own
+	// orphans, so an existing final means a concurrent exporter owns this
+	// range and this instance is stale.
+	_ = e.fs.Delete(tmp)
+	if err := e.fs.WriteFile(tmp, data); err != nil {
+		return SegmentInfo{}, err
+	}
+	if err := e.fs.Rename(tmp, final); err != nil {
+		_ = e.fs.Delete(tmp)
+		if errors.Is(err, dfs.ErrExists) {
+			return SegmentInfo{}, fmt.Errorf("%w: segment %s", ErrManifestConflict, final)
+		}
+		return SegmentInfo{}, err
+	}
+	info := SegmentInfo{
+		Path:           final,
+		BaseOffset:     base,
+		LastOffset:     last,
+		Records:        int64(n),
+		Bytes:          int64(len(data)),
+		FirstTimestamp: seg[0].Timestamp,
+		LastTimestamp:  seg[n-1].Timestamp,
+	}
+	// Commit a candidate manifest; the exporter's state only moves if the
+	// commit lands, so a failed or conflicted commit leaves it consistent
+	// for a retry or a reload.
+	next := *e.man
+	next.Segments = append(append([]SegmentInfo(nil), e.man.Segments...), info)
+	next.NextOffset = last + 1
+	if err := commitManifest(e.fs, e.root, &next); err != nil {
+		_ = e.fs.Delete(final)
+		return SegmentInfo{}, err
+	}
+	e.man = &next
+	if n == len(e.buf) {
+		e.buf = nil
+		e.bufBytes = 0
+	} else {
+		rest := make([]Record, len(e.buf)-n)
+		copy(rest, e.buf[n:])
+		e.buf = rest
+		e.bufBytes = 0
+		for i := range rest {
+			e.bufBytes += recordBytes(&rest[i])
+		}
+		e.openedAt = time.Now()
+	}
+	return info, nil
+}
+
+// annotations renders the offset↔segment mapping checkpointed alongside the
+// committed offset (paper §3.1.2: annotated checkpoints).
+func segmentAnnotations(info SegmentInfo) map[string]string {
+	return map[string]string{
+		"archive.segment":    info.Path,
+		"archive.baseOffset": fmt.Sprint(info.BaseOffset),
+		"archive.lastOffset": fmt.Sprint(info.LastOffset),
+		"archive.records":    fmt.Sprint(info.Records),
+	}
+}

@@ -1,0 +1,159 @@
+// Package archive bridges the nearline and offline stacks: it drains feed
+// partitions from the messaging layer into immutable, size/time-rolled
+// segment files on the DFS, tracks them in per-partition manifests committed
+// by atomic rename, and checkpoints its progress through the offset manager
+// with annotations recording the offset↔segment mapping (the paper's
+// annotated-checkpoint mechanism, §3.1.2, applied to offline export). The
+// archived layout is the single source of truth for offline consumers:
+// MapReduce jobs read segments directly (MRInput), and Backfill republishes
+// them into a feed for beyond-retention rewind.
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/storage/record"
+)
+
+// Errors returned by the segment codec.
+var (
+	// ErrBadSegment reports a segment file that fails structural checks.
+	ErrBadSegment = errors.New("archive: corrupt segment")
+)
+
+// segmentMagic opens every archived segment file.
+var segmentMagic = []byte("LIQARCH1")
+
+// Record is one archived message: the payload of a feed record plus the
+// offset and timestamp the broker assigned it, so offline consumers and
+// backfill can reconstruct the exact nearline stream.
+type Record struct {
+	Offset    int64
+	Timestamp int64
+	Key       []byte
+	Value     []byte
+	Headers   []record.Header
+}
+
+// EncodeSegment renders records into the immutable segment file format:
+// a magic header followed by length-prefixed records. Offsets are stored
+// explicitly (not derived from a base) so segments tolerate gaps left by
+// retention or compaction in the source log.
+func EncodeSegment(records []Record) []byte {
+	var b bytes.Buffer
+	b.Write(segmentMagic)
+	var scratch [8]byte
+	putI64 := func(v int64) {
+		binary.BigEndian.PutUint64(scratch[:], uint64(v))
+		b.Write(scratch[:])
+	}
+	putBytes := func(p []byte) {
+		if p == nil {
+			binary.BigEndian.PutUint32(scratch[:4], ^uint32(0))
+			b.Write(scratch[:4])
+			return
+		}
+		binary.BigEndian.PutUint32(scratch[:4], uint32(len(p)))
+		b.Write(scratch[:4])
+		b.Write(p)
+	}
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(records)))
+	b.Write(scratch[:4])
+	for i := range records {
+		r := &records[i]
+		putI64(r.Offset)
+		putI64(r.Timestamp)
+		putBytes(r.Key)
+		putBytes(r.Value)
+		binary.BigEndian.PutUint32(scratch[:4], uint32(len(r.Headers)))
+		b.Write(scratch[:4])
+		for _, h := range r.Headers {
+			putBytes([]byte(h.Key))
+			putBytes(h.Value)
+		}
+	}
+	return b.Bytes()
+}
+
+// DecodeSegment parses a segment file back into records.
+func DecodeSegment(data []byte) ([]Record, error) {
+	if len(data) < len(segmentMagic)+4 || !bytes.Equal(data[:len(segmentMagic)], segmentMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSegment)
+	}
+	pos := len(segmentMagic)
+	takeI64 := func() (int64, error) {
+		if pos+8 > len(data) {
+			return 0, fmt.Errorf("%w: truncated", ErrBadSegment)
+		}
+		v := int64(binary.BigEndian.Uint64(data[pos:]))
+		pos += 8
+		return v, nil
+	}
+	takeBytes := func() ([]byte, error) {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated", ErrBadSegment)
+		}
+		n := binary.BigEndian.Uint32(data[pos:])
+		pos += 4
+		if n == ^uint32(0) {
+			return nil, nil
+		}
+		if uint32(len(data)-pos) < n {
+			return nil, fmt.Errorf("%w: truncated", ErrBadSegment)
+		}
+		p := data[pos : pos+int(n)]
+		pos += int(n)
+		return p, nil
+	}
+	count := binary.BigEndian.Uint32(data[pos:])
+	pos += 4
+	// The count is untrusted on-disk input: cap the preallocation by what
+	// the remaining bytes could possibly hold (>= 28 bytes per record), so
+	// a corrupt count fails the length checks below instead of OOMing.
+	const minRecordBytes = 28
+	capHint := int64(count)
+	if maxRecords := int64(len(data)-pos) / minRecordBytes; capHint > maxRecords {
+		capHint = maxRecords
+	}
+	out := make([]Record, 0, capHint)
+	for i := uint32(0); i < count; i++ {
+		var r Record
+		var err error
+		if r.Offset, err = takeI64(); err != nil {
+			return nil, err
+		}
+		if r.Timestamp, err = takeI64(); err != nil {
+			return nil, err
+		}
+		if r.Key, err = takeBytes(); err != nil {
+			return nil, err
+		}
+		if r.Value, err = takeBytes(); err != nil {
+			return nil, err
+		}
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated", ErrBadSegment)
+		}
+		nh := binary.BigEndian.Uint32(data[pos:])
+		pos += 4
+		for j := uint32(0); j < nh; j++ {
+			k, err := takeBytes()
+			if err != nil {
+				return nil, err
+			}
+			v, err := takeBytes()
+			if err != nil {
+				return nil, err
+			}
+			r.Headers = append(r.Headers, record.Header{Key: string(k), Value: v})
+		}
+		out = append(out, r)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSegment, len(data)-pos)
+	}
+	return out, nil
+}

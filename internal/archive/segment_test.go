@@ -1,0 +1,230 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/dfs"
+	"repro/internal/storage/record"
+)
+
+func TestSegmentCodecRoundTrip(t *testing.T) {
+	in := []Record{
+		{Offset: 10, Timestamp: 1111, Key: []byte("k1"), Value: []byte("v1")},
+		{Offset: 11, Timestamp: 1112, Key: nil, Value: []byte("unkeyed")},
+		{Offset: 13, Timestamp: 1113, Key: []byte(""), Value: nil, Headers: []record.Header{
+			{Key: "liquid.lineage", Value: []byte("job-a")},
+			{Key: "empty", Value: nil},
+		}},
+	}
+	out, err := DecodeSegment(EncodeSegment(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Offset != in[i].Offset || out[i].Timestamp != in[i].Timestamp {
+			t.Fatalf("record %d: got %+v want %+v", i, out[i], in[i])
+		}
+		if !bytes.Equal(out[i].Key, in[i].Key) || !bytes.Equal(out[i].Value, in[i].Value) {
+			t.Fatalf("record %d payload mismatch", i)
+		}
+		if len(out[i].Headers) != len(in[i].Headers) {
+			t.Fatalf("record %d: %d headers, want %d", i, len(out[i].Headers), len(in[i].Headers))
+		}
+	}
+	// Nil key must survive as nil (distinguishes unkeyed from empty-keyed).
+	if out[1].Key != nil {
+		t.Fatal("nil key decoded as non-nil")
+	}
+	if out[2].Key == nil {
+		t.Fatal("empty key decoded as nil")
+	}
+}
+
+func TestSegmentCodecRejectsCorrupt(t *testing.T) {
+	good := EncodeSegment([]Record{{Offset: 1, Value: []byte("x")}})
+	cases := map[string][]byte{
+		"bad magic":  append([]byte("NOTMAGIC"), good[8:]...),
+		"truncated":  good[:len(good)-1],
+		"trailing":   append(append([]byte(nil), good...), 0xFF),
+		"empty file": {},
+	}
+	for name, data := range cases {
+		if _, err := DecodeSegment(data); err == nil {
+			t.Fatalf("%s: decode accepted corrupt segment", name)
+		}
+	}
+}
+
+func TestManifestCommitLoadPrune(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := dfs.Open(dfs.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	m := &Manifest{Topic: "events", Partition: 3}
+	for i := 0; i < manifestKeep+2; i++ {
+		m.Segments = append(m.Segments, SegmentInfo{
+			Path:       segmentPath("/archive", "events", 3, int64(i*10), int64(i*10+9)),
+			BaseOffset: int64(i * 10), LastOffset: int64(i*10 + 9), Records: 10,
+		})
+		m.NextOffset = int64(i*10 + 10)
+		if err := commitManifest(fs, "/archive", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LoadManifest(fs, "/archive", "events", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != int64(manifestKeep+2) || got.NextOffset != m.NextOffset || len(got.Segments) != manifestKeep+2 {
+		t.Fatalf("loaded manifest = seq %d next %d segs %d", got.Seq, got.NextOffset, len(got.Segments))
+	}
+	// Old versions beyond the keep window are pruned.
+	files := fs.List(manifestPrefix("/archive", "events", 3))
+	if len(files) > manifestKeep {
+		t.Fatalf("manifest dir holds %d files, want <= %d", len(files), manifestKeep)
+	}
+	// A partition never archived loads as the zero manifest.
+	empty, err := LoadManifest(fs, "/archive", "events", 9)
+	if err != nil || empty.NextOffset != 0 || len(empty.Segments) != 0 {
+		t.Fatalf("empty manifest = %+v, %v", empty, err)
+	}
+}
+
+func TestParseSegmentPath(t *testing.T) {
+	p := segmentPath("/archive", "events", 7, 120, 199)
+	part, base, last, ok := parseSegmentPath(p)
+	if !ok || part != 7 || base != 120 || last != 199 {
+		t.Fatalf("parse %q = %d %d %d %v", p, part, base, last, ok)
+	}
+	for _, bad := range []string{"/archive/events/segments/manifest.json", "/x/p1-o2.seg", "p-oX-3.seg"} {
+		if _, _, _, ok := parseSegmentPath(bad); ok {
+			t.Fatalf("parse accepted %q", bad)
+		}
+	}
+}
+
+func TestExporterRollAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := dfs.Open(dfs.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	exp, err := openExporter(fs, "/archive", "t", 0, 0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !exp.add(msgAt(int64(i))) {
+			t.Fatalf("offset %d rejected", i)
+		}
+	}
+	if !exp.shouldRoll() {
+		t.Fatal("5 records at SegmentRecords=5 should roll")
+	}
+	info, err := exp.roll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BaseOffset != 0 || info.LastOffset != 4 || exp.man.NextOffset != 5 {
+		t.Fatalf("rolled %+v, next %d", info, exp.man.NextOffset)
+	}
+	// Redelivered offsets below the manifest are dropped.
+	if exp.add(msgAt(3)) {
+		t.Fatal("accepted already-archived offset")
+	}
+	// An orphan segment beyond the manifest — and a .tmp from a roll that
+	// crashed before its rename — are swept on reopen.
+	orphan := segmentPath("/archive", "t", 0, 5, 9)
+	if err := fs.WriteFile(orphan, EncodeSegment([]Record{{Offset: 5}})); err != nil {
+		t.Fatal(err)
+	}
+	crashedTmp := segmentPath("/archive", "t", 0, 5, 7) + ".tmp"
+	if err := fs.WriteFile(crashedTmp, []byte("half-written")); err != nil {
+		t.Fatal(err)
+	}
+	exp2, err := openExporter(fs, "/archive", "t", 0, 0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp2.man.NextOffset != 5 {
+		t.Fatalf("reopened NextOffset = %d", exp2.man.NextOffset)
+	}
+	if _, err := fs.Stat(orphan); err == nil {
+		t.Fatal("orphan segment survived recovery")
+	}
+	if _, err := fs.Stat(crashedTmp); err == nil {
+		t.Fatal("crashed roll tmp survived recovery")
+	}
+}
+
+// msgAt builds a minimal consumed message at an offset.
+func msgAt(off int64) client.Message {
+	return client.Message{Topic: "t", Offset: off, Value: []byte("v")}
+}
+
+func TestManifestCommitFencing(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := dfs.Open(dfs.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	// Two exporters for the same partition, both loaded at seq 0 — the
+	// zombie-after-rebalance shape.
+	expA, err := openExporter(fs, "/archive", "t", 0, 0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expB, err := openExporter(fs, "/archive", "t", 0, 0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expB.add(msgAt(0))
+	if _, err := expB.roll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale A rolls a DIFFERENT offset range: the segment rename lands
+	// but the manifest seq fence must reject the commit and sweep the
+	// segment back out.
+	expA.add(msgAt(0))
+	expA.add(msgAt(1))
+	_, err = expA.roll()
+	if !errors.Is(err, ErrManifestConflict) {
+		t.Fatalf("stale roll (different range) = %v, want ErrManifestConflict", err)
+	}
+	if _, serr := fs.Stat(segmentPath("/archive", "t", 0, 0, 1)); serr == nil {
+		t.Fatal("conflicted segment left behind")
+	}
+	if expA.man.Seq != 0 {
+		t.Fatalf("conflicted exporter mutated its manifest to seq %d", expA.man.Seq)
+	}
+
+	// Stale A rolls the SAME range B committed: the segment rename itself
+	// must refuse to overwrite and report the conflict.
+	expC := &exporter{fs: fs, root: "/archive", topic: "t", partition: 0, segmentRecords: 100}
+	expC.man = &Manifest{Topic: "t", Partition: 0}
+	expC.add(msgAt(0))
+	_, err = expC.roll()
+	if !errors.Is(err, ErrManifestConflict) {
+		t.Fatalf("stale roll (same range) = %v, want ErrManifestConflict", err)
+	}
+
+	// The winner's committed state survives untouched.
+	man, err := LoadManifest(fs, "/archive", "t", 0)
+	if err != nil || man.Seq != 1 || man.NextOffset != 1 || len(man.Segments) != 1 {
+		t.Fatalf("winner's manifest = %+v, %v", man, err)
+	}
+	if _, err := fs.Stat(man.Segments[0].Path); err != nil {
+		t.Fatalf("winner's segment gone: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+)
+
+// E14ArchiveExport measures the archival bridge's export path: draining a
+// feed into manifest-tracked DFS segments at different roll sizes. Larger
+// segments amortise the per-segment manifest commit and rename, so
+// throughput should climb with segment size and flatten once the commit
+// cost is noise.
+func E14ArchiveExport(scale Scale) Table {
+	t := Table{
+		ID:      "E14",
+		Title:   "archive export throughput vs segment size",
+		Claim:   "§3: the log layer feeds the offline backend; export runs at sequential-IO speed, bounded by per-segment commit overhead",
+		Headers: []string{"segment KB", "records", "export MB/s", "segments"},
+	}
+	records := scale.pick(4000, 40000)
+	const valueBytes = 1024
+	segmentKBs := []int{64, 256, 1024}
+	if scale.Quick {
+		segmentKBs = []int{64, 512}
+	}
+
+	s, err := newStack(1, nil)
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer s.Shutdown()
+
+	for _, segKB := range segmentKBs {
+		topic := fmt.Sprintf("e14-%dk", segKB)
+		if err := s.CreateFeed(topic, 2, 1); err != nil {
+			t.Notes = append(t.Notes, "failed: "+err.Error())
+			return t
+		}
+		if err := produceValues(s, topic, records, valueBytes, 64, 1); err != nil {
+			t.Notes = append(t.Notes, "produce failed: "+err.Error())
+			return t
+		}
+		start := time.Now()
+		stats, err := s.ArchiveSnapshot(archive.SnapshotConfig{
+			Topic:        topic,
+			SegmentBytes: int64(segKB) << 10,
+		})
+		if err != nil {
+			t.Notes = append(t.Notes, "snapshot failed: "+err.Error())
+			return t
+		}
+		dur := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(segKB),
+			fmt.Sprint(stats.Records),
+			mbPerSec(stats.Bytes, dur),
+			fmt.Sprint(stats.Segments),
+		})
+	}
+	t.Notes = append(t.Notes, "expected shape: MB/s grows with segment size as manifest commits amortise")
+	return t
+}
+
+// E15ArchiveScan is the E1 companion for reads: scanning the same feed
+// history through the nearline path (offset-based consumer over the commit
+// log) versus the offline path (a MapReduce count over archived segments on
+// a production-cost DFS). The nearline scan wins on latency; the archived
+// path is what batch backends get without touching the brokers at all.
+func E15ArchiveScan(scale Scale) Table {
+	t := Table{
+		ID:      "E15",
+		Title:   "nearline scan vs offline MR scan of archived history",
+		Claim:   "§1/§3: one source of truth serves both stacks; nearline reads are cheap, offline reads pay DFS+scheduler costs but offload the brokers",
+		Headers: []string{"records", "nearline ms", "offline MR ms", "mr/nearline"},
+	}
+	records := scale.pick(2000, 20000)
+	const valueBytes = 512
+	const partitions = 2
+
+	s, err := newStack(1, nil)
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer s.Shutdown()
+	const topic = "e15-history"
+	if err := s.CreateFeed(topic, partitions, 1); err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	if err := produceValues(s, topic, records, valueBytes, 64, 1); err != nil {
+		t.Notes = append(t.Notes, "produce failed: "+err.Error())
+		return t
+	}
+
+	// The offline side archives into a DFS that charges production costs,
+	// and the MR engine pays a scheduler delay per phase, as in E1.
+	fsDir, err := os.MkdirTemp("", "e15-dfs-")
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer os.RemoveAll(fsDir)
+	fs, err := dfs.Open(dfs.Config{Dir: fsDir, ChunkBytes: 1 << 20, Cost: dfs.ProductionModel()})
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer fs.Close()
+	if _, err := archive.Snapshot(s.Client(), archive.SnapshotConfig{
+		Topic: topic,
+		FS:    fs,
+	}); err != nil {
+		t.Notes = append(t.Notes, "snapshot failed: "+err.Error())
+		return t
+	}
+
+	// ---- Nearline scan: pull the whole history through a consumer.
+	nearStart := time.Now()
+	got, err := consumeCount(s, topic, partitions, records, 30*time.Second)
+	if err != nil || got < records {
+		t.Notes = append(t.Notes, fmt.Sprintf("nearline scan incomplete: %d/%d %v", got, records, err))
+		return t
+	}
+	nearDur := time.Since(nearStart)
+
+	// ---- Offline scan: MR count over the archived segments.
+	files, decode, err := archive.MRInput(fs, "/archive", topic)
+	if err != nil {
+		t.Notes = append(t.Notes, "mr input failed: "+err.Error())
+		return t
+	}
+	engine := mapreduce.NewEngine(fs, mapreduce.EngineConfig{SchedulerDelay: 250 * time.Millisecond})
+	mrStart := time.Now()
+	stats, err := engine.Run(mapreduce.JobSpec{
+		Name:       "e15-count",
+		InputFiles: files,
+		Decode:     decode,
+		OutputDir:  "/e15/out",
+		Map: func(_, _ string, emit func(k, v string)) error {
+			emit("records", "1")
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(k, v string)) error {
+			emit(key, strconv.Itoa(len(values)))
+			return nil
+		},
+		NumReducers: 1,
+	})
+	if err != nil {
+		t.Notes = append(t.Notes, "mr scan failed: "+err.Error())
+		return t
+	}
+	mrDur := time.Since(mrStart)
+	if stats.MapInputRecords != records {
+		t.Notes = append(t.Notes, fmt.Sprintf("mr scanned %d records, want %d", stats.MapInputRecords, records))
+	}
+
+	ratio := float64(mrDur) / float64(nearDur)
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprint(records), ms(nearDur), ms(mrDur), fmt.Sprintf("%.1fx", ratio),
+	})
+	t.Notes = append(t.Notes, "expected shape: nearline scan is faster; MR pays scheduler + DFS costs but never touches the brokers")
+	return t
+}

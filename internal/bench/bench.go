@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md (E1–E13), each reproducing a claim of the paper
+// experiment in DESIGN.md (E1–E15), each reproducing a claim of the paper
 // as a measurable table. cmd/liquid-bench runs them from the command line;
 // bench_test.go wraps them as testing.B benchmarks. Absolute numbers
 // depend on the machine; the reproduction target is the shape — who wins,
@@ -202,6 +202,8 @@ func All(scale Scale) []Table {
 		E11ManyTopics(scale),
 		E12UseCases(scale),
 		E13StateRecovery(scale),
+		E14ArchiveExport(scale),
+		E15ArchiveScan(scale),
 	}
 }
 
@@ -221,6 +223,8 @@ func ByID(id string) (func(Scale) Table, bool) {
 		"E11": E11ManyTopics,
 		"E12": E12UseCases,
 		"E13": E13StateRecovery,
+		"E14": E14ArchiveExport,
+		"E15": E15ArchiveScan,
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

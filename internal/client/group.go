@@ -113,6 +113,19 @@ func (g *GroupConsumer) Assignment() map[string][]int32 {
 	return out
 }
 
+// Position returns the next offset to be fetched for an assigned
+// partition, or -1 if unassigned.
+func (g *GroupConsumer) Position(topic string, partition int32) int64 {
+	return g.inner.Position(topic, partition)
+}
+
+// Seek moves the fetch position of an assigned partition. Consumers whose
+// durable progress lives outside the offset manager (e.g. the archiver's
+// manifests) use it to realign after an assignment.
+func (g *GroupConsumer) Seek(topic string, partition int32, offset int64) error {
+	return g.inner.Seek(topic, partition, offset)
+}
+
 // MemberID returns the coordinator-assigned member id (empty before the
 // first join).
 func (g *GroupConsumer) MemberID() string {

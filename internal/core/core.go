@@ -14,10 +14,12 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/broker"
 	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/coord"
+	"repro/internal/dfs"
 	"repro/internal/metrics"
 	"repro/internal/processing"
 	"repro/internal/wire"
@@ -90,6 +92,8 @@ type Stack struct {
 	dataRoot   string
 	ownsData   bool
 	jobs       []*processing.Job
+	archivers  []*archive.Archiver
+	archFS     *dfs.FS
 	stopped    bool
 }
 
@@ -224,6 +228,72 @@ func (s *Stack) RunJob(cfg processing.JobConfig) (*processing.Job, error) {
 	return job, nil
 }
 
+// ArchiveFS returns the stack's archive file system, opening it lazily
+// under DataDir()/archive. It is the offline substrate the archival bridge
+// writes to; cost charging is disabled because the stack's DFS is local.
+func (s *Stack) ArchiveFS() (*dfs.FS, error) {
+	if s.archFS != nil {
+		return s.archFS, nil
+	}
+	fs, err := dfs.Open(dfs.Config{Dir: filepath.Join(s.dataRoot, "archive")})
+	if err != nil {
+		return nil, err
+	}
+	s.archFS = fs
+	return fs, nil
+}
+
+// StartArchiver launches a continuous feed→DFS export task set on the
+// stack (paper §3: the log layer as the single source of truth feeding the
+// offline backend). The archiver's FS defaults to the stack's ArchiveFS.
+func (s *Stack) StartArchiver(cfg archive.ArchiverConfig) (*archive.Archiver, error) {
+	if cfg.FS == nil {
+		fs, err := s.ArchiveFS()
+		if err != nil {
+			return nil, err
+		}
+		cfg.FS = fs
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = s.cfg.Logger
+	}
+	a, err := archive.NewArchiver(s.cli, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Start(); err != nil {
+		return nil, err
+	}
+	s.archivers = append(s.archivers, a)
+	return a, nil
+}
+
+// ArchiveSnapshot archives a feed up to its current end offsets and
+// returns; re-runs export only the delta.
+func (s *Stack) ArchiveSnapshot(cfg archive.SnapshotConfig) (archive.SnapshotStats, error) {
+	if cfg.FS == nil {
+		fs, err := s.ArchiveFS()
+		if err != nil {
+			return archive.SnapshotStats{}, err
+		}
+		cfg.FS = fs
+	}
+	return archive.Snapshot(s.cli, cfg)
+}
+
+// Backfill republishes archived segments into a feed at a bounded rate —
+// rewind beyond the messaging layer's retention window.
+func (s *Stack) Backfill(cfg archive.BackfillConfig) (archive.BackfillStats, error) {
+	if cfg.FS == nil {
+		fs, err := s.ArchiveFS()
+		if err != nil {
+			return archive.BackfillStats{}, err
+		}
+		cfg.FS = fs
+	}
+	return archive.Backfill(s.cli, cfg)
+}
+
 // Broker returns the broker with the given id, or nil.
 func (s *Stack) Broker(id int32) *broker.Broker {
 	for _, b := range s.brokers {
@@ -262,8 +332,14 @@ func (s *Stack) Shutdown() {
 		return
 	}
 	s.stopped = true
+	for _, a := range s.archivers {
+		_ = a.Stop()
+	}
 	for _, j := range s.jobs {
 		j.Stop()
+	}
+	if s.archFS != nil {
+		s.archFS.Close()
 	}
 	if s.cli != nil {
 		s.cli.Close()

@@ -7,9 +7,13 @@
 // amplification, and bounded bandwidth. Chunks are real files on local
 // disk, so data paths are genuinely exercised; the cost model adds the
 // distributed-system latencies a local directory would otherwise hide.
+// Namenode metadata persists in an fsimage file inside the directory, so
+// reopening it (from the same or another process) restores the committed
+// namespace — archived data outlives the process that wrote it.
 package dfs
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -28,6 +32,8 @@ var (
 	ErrExists = errors.New("dfs: file exists")
 	// ErrClosed reports use of a closed handle or file system.
 	ErrClosed = errors.New("dfs: closed")
+	// ErrReadOnly reports a mutation through a read-only handle.
+	ErrReadOnly = errors.New("dfs: read-only file system")
 )
 
 // CostModel charges the latencies of a production DFS. Zero values cost
@@ -101,6 +107,12 @@ type Config struct {
 	Replication int
 	// Cost charges distributed-system latencies.
 	Cost CostModel
+	// ReadOnly opens a lock-free reader over the committed fsimage:
+	// mutations are refused, and the handle can coexist with one live
+	// writer (it sees the namespace as of Open; committed chunks are
+	// immutable). Offline scans and backfills use this to read an archive
+	// a streaming archiver is still writing.
+	ReadOnly bool
 }
 
 func (c Config) withDefaults() Config {
@@ -130,7 +142,8 @@ type fileMeta struct {
 
 // FS is the file system: namenode metadata plus chunk storage.
 type FS struct {
-	cfg Config
+	cfg  Config
+	lock *os.File // exclusive directory lock held while open
 
 	mu        sync.Mutex
 	files     map[string]*fileMeta
@@ -149,7 +162,10 @@ type Stats struct {
 	ChunksWritten int64
 }
 
-// Open creates or opens a file system rooted at cfg.Dir.
+// Open creates or opens a file system rooted at cfg.Dir. Namenode metadata
+// persists in an fsimage file inside the directory, so a file system
+// reopened by a later process sees every committed file — the property
+// that lets separate archiver, MR, and backfill processes share one tree.
 func Open(cfg Config) (*FS, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Dir == "" {
@@ -158,7 +174,89 @@ func Open(cfg Config) (*FS, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, "chunks"), 0o755); err != nil {
 		return nil, err
 	}
-	return &FS{cfg: cfg, files: make(map[string]*fileMeta)}, nil
+	// One live WRITING handle per directory: concurrent writers would
+	// interleave chunk allocation and overwrite each other's fsimage.
+	// Read-only handles skip the lock and read the committed image.
+	var lock *os.File
+	if !cfg.ReadOnly {
+		var err error
+		if lock, err = lockDir(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+	fs := &FS{cfg: cfg, lock: lock, files: make(map[string]*fileMeta)}
+	if err := fs.loadImage(); err != nil {
+		unlockDir(lock)
+		return nil, err
+	}
+	return fs, nil
+}
+
+// persistedFile is one file's record in the fsimage.
+type persistedFile struct {
+	Chunks    []string `json:"chunks"`
+	Size      int64    `json:"size"`
+	ModTimeMs int64    `json:"modTimeMs"`
+}
+
+// persistedImage is the on-disk namenode state.
+type persistedImage struct {
+	NextChunk int64                    `json:"nextChunk"`
+	Files     map[string]persistedFile `json:"files"`
+}
+
+// imagePath locates the fsimage file.
+func (fs *FS) imagePath() string { return filepath.Join(fs.cfg.Dir, "namenode.json") }
+
+// loadImage restores namenode metadata written by a previous process.
+func (fs *FS) loadImage() error {
+	data, err := os.ReadFile(fs.imagePath())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	var img persistedImage
+	if err := json.Unmarshal(data, &img); err != nil {
+		return fmt.Errorf("dfs: corrupt fsimage %s: %w", fs.imagePath(), err)
+	}
+	fs.nextChunk = img.NextChunk
+	for path, pf := range img.Files {
+		fs.files[path] = &fileMeta{
+			chunks:  pf.Chunks,
+			size:    pf.Size,
+			modTime: time.UnixMilli(pf.ModTimeMs),
+		}
+	}
+	return nil
+}
+
+// persistLocked checkpoints namenode metadata (callers hold fs.mu). The
+// write-tmp-then-rename protocol keeps the image atomic; local rename cost
+// is not charged — it stands in for the namenode's own journal, not for
+// client-visible RPCs. Each commit rewrites the full image (O(files)); an
+// append-only journal with periodic compaction would make this O(1) per
+// mutation if namespaces grow beyond the tens of thousands of files this
+// repo exercises.
+func (fs *FS) persistLocked() error {
+	img := persistedImage{NextChunk: fs.nextChunk, Files: make(map[string]persistedFile, len(fs.files))}
+	for path, meta := range fs.files {
+		img.Files[path] = persistedFile{
+			Chunks:    meta.chunks,
+			Size:      meta.size,
+			ModTimeMs: meta.modTime.UnixMilli(),
+		}
+	}
+	data, err := json.Marshal(img)
+	if err != nil {
+		return err
+	}
+	tmp := fs.imagePath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, fs.imagePath())
 }
 
 // Stats returns activity counters.
@@ -166,6 +264,27 @@ func (fs *FS) Stats() Stats {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.stats
+}
+
+// IsReadOnly reports whether the handle refuses mutations.
+func (fs *FS) IsReadOnly() bool { return fs.cfg.ReadOnly }
+
+// Refresh reloads the committed fsimage from disk on a read-only handle,
+// advancing its namespace snapshot past files a concurrent writer has
+// committed or pruned since Open. Writers own the image and never refresh.
+func (fs *FS) Refresh() error {
+	if !fs.cfg.ReadOnly {
+		return nil
+	}
+	fs.cfg.Cost.chargeMeta()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	fs.stats.MetadataOps++
+	fs.files = make(map[string]*fileMeta)
+	return fs.loadImage()
 }
 
 // chunkPath renders a chunk's backing path.
@@ -182,6 +301,9 @@ func (fs *FS) Create(path string) (*Writer, error) {
 	defer fs.mu.Unlock()
 	if fs.closed {
 		return nil, ErrClosed
+	}
+	if fs.cfg.ReadOnly {
+		return nil, fmt.Errorf("%w: create %s", ErrReadOnly, path)
 	}
 	fs.stats.MetadataOps++
 	if _, ok := fs.files[path]; ok {
@@ -275,18 +397,37 @@ func (fs *FS) Stat(path string) (FileInfo, error) {
 	return FileInfo{Path: path, Size: meta.size, Chunks: len(meta.chunks), ModTime: meta.modTime}, nil
 }
 
-// Delete removes a file and its chunks.
+// Delete removes a file and its chunks. The fsimage is persisted before
+// the chunks go, so a crash mid-delete leaves at worst orphan chunks —
+// never a committed namespace pointing at missing data.
 func (fs *FS) Delete(path string) error {
 	fs.cfg.Cost.chargeMeta()
 	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return ErrClosed
+	}
+	if fs.cfg.ReadOnly {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: delete %s", ErrReadOnly, path)
+	}
 	meta, ok := fs.files[path]
 	if ok {
 		delete(fs.files, path)
 	}
 	fs.stats.MetadataOps++
+	var err error
+	if ok {
+		if err = fs.persistLocked(); err != nil {
+			fs.files[path] = meta // persist failed: the delete did not commit
+		}
+	}
 	fs.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if err != nil {
+		return err
 	}
 	for _, c := range meta.chunks {
 		os.Remove(fs.chunkPath(c))
@@ -310,6 +451,12 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	fs.cfg.Cost.chargeMeta()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if fs.cfg.ReadOnly {
+		return fmt.Errorf("%w: rename %s", ErrReadOnly, oldPath)
+	}
 	fs.stats.MetadataOps++
 	meta, ok := fs.files[oldPath]
 	if !ok {
@@ -320,14 +467,24 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	}
 	delete(fs.files, oldPath)
 	fs.files[newPath] = meta
+	if err := fs.persistLocked(); err != nil {
+		delete(fs.files, newPath)
+		fs.files[oldPath] = meta // persist failed: the rename did not commit
+		return err
+	}
 	return nil
 }
 
-// Close invalidates the file system handle (chunks remain on disk).
+// Close invalidates the file system handle and releases the directory lock
+// (chunks remain on disk).
 func (fs *FS) Close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.closed = true
+	if !fs.closed {
+		fs.closed = true
+		unlockDir(fs.lock)
+		fs.lock = nil
+	}
 	return nil
 }
 
@@ -393,11 +550,21 @@ func (w *Writer) Close() error {
 	w.fs.cfg.Cost.chargeMeta()
 	w.fs.mu.Lock()
 	defer w.fs.mu.Unlock()
+	if w.fs.closed {
+		// The handle was closed (and its directory lock released) after
+		// this writer was created; committing now could overwrite an
+		// fsimage another process owns.
+		return ErrClosed
+	}
 	w.fs.stats.MetadataOps++
 	if _, ok := w.fs.files[w.path]; ok {
 		return fmt.Errorf("%w: %s", ErrExists, w.path)
 	}
 	w.fs.files[w.path] = &fileMeta{chunks: w.chunks, size: w.size, modTime: time.Now()}
+	if err := w.fs.persistLocked(); err != nil {
+		delete(w.fs.files, w.path) // persist failed: the file did not commit
+		return err
+	}
 	return nil
 }
 

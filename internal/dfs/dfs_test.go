@@ -197,11 +197,83 @@ func TestEmptyFile(t *testing.T) {
 
 func TestClosedFS(t *testing.T) {
 	fs := openFS(t, Config{})
+	if err := fs.WriteFile("/pre", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Create("/late")
+	if err != nil {
+		t.Fatal(err)
+	}
 	fs.Close()
 	if _, err := fs.Create("/x"); !errors.Is(err, ErrClosed) {
 		t.Fatalf("create on closed: %v", err)
 	}
 	if _, err := fs.Open("/x"); !errors.Is(err, ErrClosed) {
 		t.Fatalf("open on closed: %v", err)
+	}
+	// Mutations after Close must not touch the fsimage: the directory
+	// lock is gone and another process may own it now.
+	if err := w.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("writer commit on closed: %v", err)
+	}
+	if err := fs.Delete("/pre"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("delete on closed: %v", err)
+	}
+	if err := fs.Rename("/pre", "/post"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("rename on closed: %v", err)
+	}
+}
+
+func TestNamenodePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/keep/a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/keep/b", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/drop", []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("/drop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/keep/b", "/keep/c"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+
+	// A second process opens the same directory: committed state must be
+	// exactly what the first one left.
+	fs2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	got, err := fs2.ReadFile("/keep/a")
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("reopen read /keep/a = %q, %v", got, err)
+	}
+	got, err = fs2.ReadFile("/keep/c")
+	if err != nil || string(got) != "beta" {
+		t.Fatalf("reopen read /keep/c = %q, %v", got, err)
+	}
+	if _, err := fs2.Open("/drop"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted file visible after reopen: %v", err)
+	}
+	if _, err := fs2.Open("/keep/b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("renamed-away path visible after reopen: %v", err)
+	}
+	// New writes must not collide with chunk names from the first run.
+	if err := fs2.WriteFile("/keep/d", []byte("delta")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs2.ReadFile("/keep/a")
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("old file damaged by new writes: %q, %v", got, err)
 	}
 }

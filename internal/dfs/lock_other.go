@@ -1,0 +1,12 @@
+//go:build !unix
+
+package dfs
+
+import "os"
+
+// lockDir is a no-op on platforms without flock; single-handle discipline
+// is then the caller's responsibility.
+func lockDir(string) (*os.File, error) { return nil, nil }
+
+// unlockDir matches lockDir.
+func unlockDir(*os.File) {}

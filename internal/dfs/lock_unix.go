@@ -1,0 +1,34 @@
+//go:build unix
+
+package dfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on the directory, so two live FS
+// handles cannot interleave chunk allocation or fsimage writes. The lock
+// dies with the process, so a crash never wedges the directory.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dfs: %s is in use by another file system handle: %w", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the advisory lock.
+func unlockDir(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

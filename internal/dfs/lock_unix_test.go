@@ -1,0 +1,72 @@
+//go:build unix
+
+package dfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDirectoryLockIsExclusive(t *testing.T) {
+	dir := t.TempDir()
+	fs1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("second writing Open of a live directory succeeded; want lock error")
+	}
+	fs1.Close()
+	fs2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	fs2.Close()
+}
+
+func TestReadOnlyCoexistsWithWriter(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.WriteFile("/a", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	// A read-only handle opens lock-free while the writer is live and
+	// sees the committed namespace as of its Open.
+	r, err := Open(Config{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only open alongside live writer: %v", err)
+	}
+	defer r.Close()
+	got, err := r.ReadFile("/a")
+	if err != nil || string(got) != "committed" {
+		t.Fatalf("read-only read = %q, %v", got, err)
+	}
+	// Mutations through the read-only handle are refused.
+	if _, err := r.Create("/b"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("create on read-only = %v, want ErrReadOnly", err)
+	}
+	if err := r.Delete("/a"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("delete on read-only = %v, want ErrReadOnly", err)
+	}
+	if err := r.Rename("/a", "/z"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("rename on read-only = %v, want ErrReadOnly", err)
+	}
+	// Refresh advances the snapshot past the writer's newer commits.
+	if err := w.WriteFile("/b", []byte("later")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFile("/b"); err == nil {
+		t.Fatal("stale snapshot saw a file committed after Open")
+	}
+	if err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.ReadFile("/b")
+	if err != nil || string(got) != "later" {
+		t.Fatalf("post-refresh read = %q, %v", got, err)
+	}
+}

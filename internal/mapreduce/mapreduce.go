@@ -53,6 +53,16 @@ type JobSpec struct {
 	Name string
 	// InputPrefix selects the DFS input files.
 	InputPrefix string
+	// InputFiles, when non-empty, lists the exact input files instead of
+	// scanning InputPrefix — the hook input adapters use (e.g.
+	// archive.MRInput feeds committed feed segments straight to map
+	// tasks).
+	InputFiles []string
+	// Decode parses one input file into records; nil selects DecodeLines
+	// (tab-separated text). Input adapters pair it with InputFiles to run
+	// jobs over non-text formats such as archived segments; a decode error
+	// fails the job rather than silently dropping the file's records.
+	Decode func([]byte) ([]KV, error)
 	// OutputDir receives part-N output files.
 	OutputDir string
 	// Map and Reduce are the job's logic; nil selects identity.
@@ -71,6 +81,9 @@ func (s JobSpec) withDefaults() JobSpec {
 	}
 	if s.NumReducers == 0 {
 		s.NumReducers = 2
+	}
+	if s.Decode == nil {
+		s.Decode = func(data []byte) ([]KV, error) { return DecodeLines(data), nil }
 	}
 	return s
 }
@@ -167,7 +180,12 @@ func (e *Engine) Run(spec JobSpec) (JobStats, error) {
 	if spec.Name == "" || spec.OutputDir == "" {
 		return stats, errors.New("mapreduce: Name and OutputDir are required")
 	}
-	inputs := e.fs.List(spec.InputPrefix)
+	inputs := spec.InputFiles
+	if len(inputs) == 0 {
+		for _, info := range e.fs.List(spec.InputPrefix) {
+			inputs = append(inputs, info.Path)
+		}
+	}
 	if len(inputs) == 0 {
 		return stats, fmt.Errorf("mapreduce: no input under %q", spec.InputPrefix)
 	}
@@ -185,13 +203,13 @@ func (e *Engine) Run(spec JobSpec) (JobStats, error) {
 	}
 	sem := make(chan struct{}, e.cfg.MapParallelism)
 	results := make(chan mapResult, len(inputs))
-	for m, info := range inputs {
+	for m, path := range inputs {
 		sem <- struct{}{}
 		go func(m int, path string) {
 			defer func() { <-sem }()
 			res := e.runMapTask(spec, tmpDir, m, path)
 			results <- res
-		}(m, info.Path)
+		}(m, path)
 	}
 	for range inputs {
 		res := <-results
@@ -266,7 +284,11 @@ func (e *Engine) runMapTask(spec JobSpec, tmpDir string, m int, path string) (re
 		res.err = err
 		return res
 	}
-	records := DecodeLines(data)
+	records, err := spec.Decode(data)
+	if err != nil {
+		res.err = fmt.Errorf("mapreduce: decode %s: %w", path, err)
+		return res
+	}
 	res.inRecords = len(records)
 	parts := make([][]KV, spec.NumReducers)
 	emit := func(k, v string) {
@@ -328,7 +350,10 @@ func (e *Engine) RunPipeline(p Pipeline) ([]JobStats, error) {
 	out := make([]JobStats, 0, len(p.Stages))
 	for i, spec := range p.Stages {
 		if i > 0 {
+			// Later stages always read the previous stage's text output.
 			spec.InputPrefix = p.Stages[i-1].OutputDir + "/"
+			spec.InputFiles = nil
+			spec.Decode = nil
 		}
 		stats, err := e.Run(spec)
 		if err != nil {

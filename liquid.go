@@ -17,6 +17,14 @@
 //     processing, windowed computation, and per-job resource isolation
 //     ("ETL-as-a-service").
 //
+// An archival bridge unifies this nearline stack with the offline one
+// (paper §1, §3): Stack.StartArchiver / Stack.ArchiveSnapshot export feed
+// partitions into immutable, manifest-tracked segment files on the DFS,
+// checkpointing progress through the offset manager with offset↔segment
+// annotations; MapReduce jobs run directly over the archived segments
+// (archive.MRInput); and Stack.Backfill republishes archived segments into
+// a feed at a bounded rate for rewind beyond the retention window.
+//
 // # Quickstart
 //
 //	stack, err := liquid.Start(liquid.Config{Brokers: 1})
@@ -37,10 +45,13 @@
 package liquid
 
 import (
+	"repro/internal/archive"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/dfs"
 	"repro/internal/isolation"
+	"repro/internal/mapreduce"
 	"repro/internal/processing"
 	"repro/internal/state"
 	"repro/internal/storage/record"
@@ -170,6 +181,77 @@ func NewJob(c *Client, cfg JobConfig) (*Job, error) { return processing.NewJob(c
 
 // NewGovernor creates a resource governor for a job.
 func NewGovernor(cfg GovernorConfig) *Governor { return isolation.New(cfg) }
+
+// Archival-bridge types (feed→DFS export, offline consumption, backfill).
+type (
+	// Archiver continuously exports a feed into manifest-tracked DFS
+	// segments via a consumer group.
+	Archiver = archive.Archiver
+	// ArchiverConfig parameterises an Archiver.
+	ArchiverConfig = archive.ArchiverConfig
+	// ArchiverStats summarises an archiver's progress.
+	ArchiverStats = archive.ArchiverStats
+	// SnapshotConfig parameterises a one-shot archive export.
+	SnapshotConfig = archive.SnapshotConfig
+	// SnapshotStats summarises a snapshot run.
+	SnapshotStats = archive.SnapshotStats
+	// BackfillConfig parameterises a replay of archived segments into a
+	// feed.
+	BackfillConfig = archive.BackfillConfig
+	// BackfillStats summarises a backfill run.
+	BackfillStats = archive.BackfillStats
+	// ArchiveManifest is the committed state of one archived partition.
+	ArchiveManifest = archive.Manifest
+	// ArchiveSegmentInfo describes one committed segment.
+	ArchiveSegmentInfo = archive.SegmentInfo
+	// ArchiveFS is the DFS the archive tree lives on.
+	ArchiveFS = dfs.FS
+)
+
+// NewArchiver creates a standalone archiver on a client (not yet running);
+// prefer Stack.StartArchiver inside one process.
+func NewArchiver(c *Client, cfg ArchiverConfig) (*Archiver, error) {
+	return archive.NewArchiver(c, cfg)
+}
+
+// ArchiveSnapshot archives a feed up to its current end offsets through a
+// standalone client.
+func ArchiveSnapshot(c *Client, cfg SnapshotConfig) (SnapshotStats, error) {
+	return archive.Snapshot(c, cfg)
+}
+
+// Backfill republishes archived segments into a feed through a standalone
+// client.
+func Backfill(c *Client, cfg BackfillConfig) (BackfillStats, error) {
+	return archive.Backfill(c, cfg)
+}
+
+// OpenArchiveFS opens (or creates) an archive file system rooted at a local
+// directory, for standalone archiver processes. The directory is locked
+// exclusively while open; use OpenArchiveFSReadOnly for concurrent readers.
+func OpenArchiveFS(dir string) (*ArchiveFS, error) {
+	return dfs.Open(dfs.Config{Dir: dir})
+}
+
+// OpenArchiveFSReadOnly opens a lock-free read-only view of an archive
+// directory — it can coexist with a live archiver and sees the committed
+// namespace as of the open. Backfills and offline scans use it.
+func OpenArchiveFSReadOnly(dir string) (*ArchiveFS, error) {
+	return dfs.Open(dfs.Config{Dir: dir, ReadOnly: true})
+}
+
+// ArchiveManifests loads the newest manifest of every archived partition of
+// a topic.
+func ArchiveManifests(fs *ArchiveFS, root, topic string) ([]*ArchiveManifest, error) {
+	return archive.ListManifests(fs, root, topic)
+}
+
+// ArchiveMRInput resolves an archived feed into MapReduce job inputs: the
+// committed segment files plus their decoder, for
+// mapreduce.JobSpec.InputFiles / Decode.
+func ArchiveMRInput(fs *ArchiveFS, root, topic string) ([]string, func([]byte) ([]mapreduce.KV, error), error) {
+	return archive.MRInput(fs, root, topic)
+}
 
 // EncodeAnnotations marshals checkpoint annotations into offset-manager
 // metadata; DecodeAnnotations reverses it.
