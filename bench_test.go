@@ -1,7 +1,7 @@
 // Benchmarks wrapping the experiment harness: one benchmark per experiment
-// in DESIGN.md's index (E1–E15), so `go test -bench=.` regenerates every
-// table of EXPERIMENTS.md at quick scale. Run cmd/liquid-bench for the
-// full-scale tables.
+// (E1–E16), so `go test -bench=.` regenerates every table at quick scale.
+// Run cmd/liquid-bench for the full-scale tables and the machine-readable
+// BENCH_<exp>.json results.
 package liquid_test
 
 import (
@@ -38,3 +38,4 @@ func BenchmarkE12UseCases(b *testing.B)           { runExperiment(b, bench.E12Us
 func BenchmarkE13StateRecovery(b *testing.B)      { runExperiment(b, bench.E13StateRecovery) }
 func BenchmarkE14ArchiveExport(b *testing.B)      { runExperiment(b, bench.E14ArchiveExport) }
 func BenchmarkE15ArchiveScan(b *testing.B)        { runExperiment(b, bench.E15ArchiveScan) }
+func BenchmarkE16Compression(b *testing.B)        { runExperiment(b, bench.E16Compression) }

@@ -37,8 +37,13 @@ func main() {
 	rate := flag.Int("rate", 0, "backfill rate cap in records/sec (0 = unlimited)")
 	segBytes := flag.Int64("segment-bytes", 4<<20, "segment roll size")
 	flushEvery := flag.Duration("flush-interval", 2*time.Second, "max age of an open segment buffer")
+	codecName := flag.String("codec", "none", "segment compression on the DFS: none, gzip, or flate")
 	flag.Parse()
 	mode := flag.Arg(0)
+	codec, err := liquid.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatalf("liquid-archiver: %v", err)
+	}
 	if mode == "" {
 		mode = "run"
 	}
@@ -82,6 +87,7 @@ func main() {
 			Root:          *root,
 			SegmentBytes:  *segBytes,
 			FlushInterval: *flushEvery,
+			Codec:         codec,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -119,6 +125,7 @@ func main() {
 			FS:           fs,
 			Root:         *root,
 			SegmentBytes: *segBytes,
+			Codec:        codec,
 		})
 		if err != nil {
 			log.Fatal(err)

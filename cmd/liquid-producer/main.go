@@ -23,9 +23,14 @@ func main() {
 	bootstrap := flag.String("bootstrap", "127.0.0.1:9092", "comma-separated broker addresses")
 	topic := flag.String("topic", "", "topic to produce to")
 	acks := flag.Int("acks", 1, "durability: 0 fire-and-forget, 1 leader, -1 all in-sync replicas")
+	codecName := flag.String("codec", "none", "batch compression: none, gzip, or flate")
 	flag.Parse()
 	if *topic == "" {
 		log.Fatal("liquid-producer: -topic is required")
+	}
+	codec, err := liquid.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatalf("liquid-producer: %v", err)
 	}
 	cli, err := liquid.NewClient(liquid.ClientConfig{
 		Bootstrap: strings.Split(*bootstrap, ","),
@@ -40,7 +45,7 @@ func main() {
 	if *acks == 0 {
 		ackLevel = liquid.AcksNone
 	}
-	producer := liquid.NewProducer(cli, liquid.ProducerConfig{Acks: ackLevel})
+	producer := liquid.NewProducer(cli, liquid.ProducerConfig{Acks: ackLevel, Codec: codec})
 	defer producer.Close()
 
 	scanner := bufio.NewScanner(os.Stdin)

@@ -4,6 +4,11 @@
 // finally the archive backfills a fresh feed, replaying history the
 // messaging layer could have long expired (paper §1, §3: the log layer as
 // the single source of truth for nearline AND offline consumers).
+//
+// Paper experiments: archive export throughput is E14 and the
+// nearline-vs-offline scan comparison is E15. Archived segments may be
+// codec-compressed on the DFS (liquid.ArchiverConfig.Codec), reusing the
+// messaging layer's batch codecs (E16).
 package main
 
 import (

@@ -1,6 +1,9 @@
 // Quickstart: boot a Liquid stack, publish events to a feed, run a
 // stateful processing job that counts events per user, and read the
 // derived feed — the minimal end-to-end tour of both layers.
+//
+// Paper experiment: the latency of this produce→process→consume shape is
+// quantified by E1 (go run ./cmd/liquid-bench -run E1).
 package main
 
 import (

@@ -4,6 +4,9 @@
 // by CDN and region in tumbling windows and publishes aggregates; an
 // anomaly detector consumes the aggregate feed and flags a degraded CDN
 // within seconds — instead of the hours a batch pipeline would take.
+//
+// Paper experiment: this exact use case is benchmarked end to end as E12
+// (go run ./cmd/liquid-bench -run E12); the underlying latency claim is E1.
 package main
 
 import (

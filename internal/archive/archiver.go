@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/dfs"
+	"repro/internal/storage/record"
 )
 
 // ArchiverConfig parameterises an Archiver.
@@ -29,6 +30,12 @@ type ArchiverConfig struct {
 	// FlushInterval rolls a non-empty buffer after this much time even if
 	// undersized, bounding archive staleness (default 2s).
 	FlushInterval time.Duration
+	// Codec compresses segment files on the DFS (record.CodecNone,
+	// CodecGzip or CodecFlate) — the same codec vocabulary the messaging
+	// layer uses for batches. Readers (MRInput, Backfill) decompress
+	// transparently, and old and new segment formats may coexist under
+	// one manifest.
+	Codec record.Codec
 	// PollWait is the fetch long-poll bound (default 250ms).
 	PollWait time.Duration
 	// StartFrom applies to partitions with no committed offset and no
@@ -125,6 +132,16 @@ func NewArchiver(c *client.Client, cfg ArchiverConfig) (*Archiver, error) {
 	}, nil
 }
 
+// exporterConfig renders the per-partition exporter sizing.
+func (a *Archiver) exporterConfig() exporterConfig {
+	return exporterConfig{
+		segmentBytes:   a.cfg.SegmentBytes,
+		segmentRecords: a.cfg.SegmentRecords,
+		flushAge:       a.cfg.FlushInterval,
+		codec:          a.cfg.Codec,
+	}
+}
+
 // Group returns the archiver's consumer group id.
 func (a *Archiver) Group() string { return "__archiver-" + a.cfg.Name }
 
@@ -172,8 +189,7 @@ func (a *Archiver) onAssigned(assignment map[string][]int32) {
 	parts := assignment[a.cfg.Topic]
 	next := make(map[int32]*exporter, len(parts))
 	for _, p := range parts {
-		exp, err := openExporter(a.cfg.FS, a.cfg.Root, a.cfg.Topic, p,
-			a.cfg.SegmentBytes, a.cfg.SegmentRecords, a.cfg.FlushInterval)
+		exp, err := openExporter(a.cfg.FS, a.cfg.Root, a.cfg.Topic, p, a.exporterConfig())
 		if err != nil {
 			a.cfg.Logger.Error("archive: open exporter", "topic", a.cfg.Topic, "partition", p, "err", err)
 			continue
@@ -227,8 +243,7 @@ func (a *Archiver) run() {
 			}
 			exp, ok := a.exporters[m.Partition]
 			if !ok {
-				fresh, err := openExporter(a.cfg.FS, a.cfg.Root, a.cfg.Topic, m.Partition,
-					a.cfg.SegmentBytes, a.cfg.SegmentRecords, a.cfg.FlushInterval)
+				fresh, err := openExporter(a.cfg.FS, a.cfg.Root, a.cfg.Topic, m.Partition, a.exporterConfig())
 				if err != nil {
 					a.cfg.Logger.Warn("archive: open exporter retry", "topic", a.cfg.Topic, "partition", m.Partition, "err", err)
 					skip[m.Partition] = true
@@ -257,8 +272,7 @@ func (a *Archiver) rollDue(force bool) {
 				// during a rebalance this member hasn't seen yet). Reload
 				// from the committed manifest and realign the consumer.
 				a.cfg.Logger.Warn("archive: stale exporter", "topic", a.cfg.Topic, "partition", p, "err", err)
-				fresh, oerr := openExporter(a.cfg.FS, a.cfg.Root, a.cfg.Topic, p,
-					a.cfg.SegmentBytes, a.cfg.SegmentRecords, a.cfg.FlushInterval)
+				fresh, oerr := openExporter(a.cfg.FS, a.cfg.Root, a.cfg.Topic, p, a.exporterConfig())
 				if oerr != nil {
 					delete(a.exporters, p)
 					break

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/dfs"
+	"repro/internal/storage/record"
 )
 
 // exporter drains one feed partition into rolled segment files. It owns the
@@ -21,10 +22,7 @@ type exporter struct {
 	root      string
 	topic     string
 	partition int32
-
-	segmentBytes   int64
-	segmentRecords int
-	flushAge       time.Duration
+	cfg       exporterConfig
 
 	man      *Manifest
 	buf      []Record
@@ -32,11 +30,19 @@ type exporter struct {
 	openedAt time.Time // when the first buffered record arrived
 }
 
+// exporterConfig sizes one partition exporter.
+type exporterConfig struct {
+	segmentBytes   int64
+	segmentRecords int
+	flushAge       time.Duration
+	codec          record.Codec // segment-file compression
+}
+
 // openExporter loads the partition's manifest and removes orphan segments —
 // files a crashed exporter renamed into place before committing the
 // manifest. Orphans start at or beyond NextOffset, exactly the range the
 // restarted exporter will re-export.
-func openExporter(fs *dfs.FS, root, topic string, partition int32, segmentBytes int64, segmentRecords int, flushAge time.Duration) (*exporter, error) {
+func openExporter(fs *dfs.FS, root, topic string, partition int32, cfg exporterConfig) (*exporter, error) {
 	man, err := LoadManifest(fs, root, topic, partition)
 	if err != nil {
 		return nil, err
@@ -57,7 +63,7 @@ func openExporter(fs *dfs.FS, root, topic string, partition int32, segmentBytes 
 	}
 	return &exporter{
 		fs: fs, root: root, topic: topic, partition: partition,
-		segmentBytes: segmentBytes, segmentRecords: segmentRecords, flushAge: flushAge,
+		cfg: cfg,
 		man: man,
 	}, nil
 }
@@ -109,13 +115,13 @@ func (e *exporter) shouldRoll() bool {
 	if len(e.buf) == 0 {
 		return false
 	}
-	if e.segmentBytes > 0 && e.bufBytes >= e.segmentBytes {
+	if e.cfg.segmentBytes > 0 && e.bufBytes >= e.cfg.segmentBytes {
 		return true
 	}
-	if e.segmentRecords > 0 && len(e.buf) >= e.segmentRecords {
+	if e.cfg.segmentRecords > 0 && len(e.buf) >= e.cfg.segmentRecords {
 		return true
 	}
-	return e.flushAge > 0 && time.Since(e.openedAt) >= e.flushAge
+	return e.cfg.flushAge > 0 && time.Since(e.openedAt) >= e.cfg.flushAge
 }
 
 // cut returns how many buffered records the next segment takes: the whole
@@ -124,14 +130,14 @@ func (e *exporter) shouldRoll() bool {
 // buffer) keeps segment sizes honest.
 func (e *exporter) cut() int {
 	n := len(e.buf)
-	if e.segmentRecords > 0 && n > e.segmentRecords {
-		n = e.segmentRecords
+	if e.cfg.segmentRecords > 0 && n > e.cfg.segmentRecords {
+		n = e.cfg.segmentRecords
 	}
-	if e.segmentBytes > 0 {
+	if e.cfg.segmentBytes > 0 {
 		var size int64
 		for i := 0; i < n; i++ {
 			size += recordBytes(&e.buf[i])
-			if size >= e.segmentBytes {
+			if size >= e.cfg.segmentBytes {
 				n = i + 1
 				break
 			}
@@ -150,7 +156,10 @@ func (e *exporter) roll() (SegmentInfo, error) {
 	}
 	n := e.cut()
 	seg := e.buf[:n]
-	data := EncodeSegment(seg)
+	data, err := EncodeSegmentCodec(seg, e.cfg.codec)
+	if err != nil {
+		return SegmentInfo{}, err
+	}
 	base := seg[0].Offset
 	last := seg[n-1].Offset
 	final := segmentPath(e.root, e.topic, e.partition, base, last)

@@ -24,8 +24,14 @@ var (
 	ErrBadSegment = errors.New("archive: corrupt segment")
 )
 
-// segmentMagic opens every archived segment file.
+// segmentMagic opens every uncompressed archived segment file.
 var segmentMagic = []byte("LIQARCH1")
+
+// segmentMagicZ opens compressed segment files: the magic is followed by a
+// codec byte (record.Codec) and the codec-compressed record region. The
+// archive reuses the messaging layer's codecs, so the whole pipeline —
+// wire, log, DFS — shares one compression vocabulary.
+var segmentMagicZ = []byte("LIQARCH2")
 
 // Record is one archived message: the payload of a feed record plus the
 // offset and timestamp the broker assigned it, so offline consumers and
@@ -43,8 +49,38 @@ type Record struct {
 // explicitly (not derived from a base) so segments tolerate gaps left by
 // retention or compaction in the source log.
 func EncodeSegment(records []Record) []byte {
+	data, err := EncodeSegmentCodec(records, record.CodecNone)
+	if err != nil {
+		// CodecNone cannot fail; keep the historical signature.
+		panic(err)
+	}
+	return data
+}
+
+// EncodeSegmentCodec renders records as a segment file, compressing the
+// record region with the given codec (record.CodecNone writes the classic
+// uncompressed format, readable by older decoders).
+func EncodeSegmentCodec(records []Record, codec record.Codec) ([]byte, error) {
+	body := encodeSegmentBody(records)
+	if codec == record.CodecNone {
+		out := make([]byte, 0, len(segmentMagic)+len(body))
+		out = append(out, segmentMagic...)
+		return append(out, body...), nil
+	}
+	compressed, err := record.CompressRaw(codec, body)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(segmentMagicZ)+1+len(compressed))
+	out = append(out, segmentMagicZ...)
+	out = append(out, byte(codec))
+	return append(out, compressed...), nil
+}
+
+// encodeSegmentBody renders the record region: a count followed by
+// length-prefixed records.
+func encodeSegmentBody(records []Record) []byte {
 	var b bytes.Buffer
-	b.Write(segmentMagic)
 	var scratch [8]byte
 	putI64 := func(v int64) {
 		binary.BigEndian.PutUint64(scratch[:], uint64(v))
@@ -78,12 +114,29 @@ func EncodeSegment(records []Record) []byte {
 	return b.Bytes()
 }
 
-// DecodeSegment parses a segment file back into records.
+// DecodeSegment parses a segment file (either format) back into records,
+// decompressing transparently.
 func DecodeSegment(data []byte) ([]Record, error) {
-	if len(data) < len(segmentMagic)+4 || !bytes.Equal(data[:len(segmentMagic)], segmentMagic) {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadSegment)
+	switch {
+	case len(data) >= len(segmentMagicZ)+1 && bytes.Equal(data[:len(segmentMagicZ)], segmentMagicZ):
+		codec := record.Codec(data[len(segmentMagicZ)])
+		body, err := record.DecompressRaw(codec, data[len(segmentMagicZ)+1:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSegment, err)
+		}
+		return decodeSegmentBody(body)
+	case len(data) >= len(segmentMagic)+4 && bytes.Equal(data[:len(segmentMagic)], segmentMagic):
+		return decodeSegmentBody(data[len(segmentMagic):])
 	}
-	pos := len(segmentMagic)
+	return nil, fmt.Errorf("%w: bad magic", ErrBadSegment)
+}
+
+// decodeSegmentBody parses the (uncompressed) record region.
+func decodeSegmentBody(data []byte) ([]Record, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: truncated", ErrBadSegment)
+	}
+	pos := 0
 	takeI64 := func() (int64, error) {
 		if pos+8 > len(data) {
 			return 0, fmt.Errorf("%w: truncated", ErrBadSegment)

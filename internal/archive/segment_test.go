@@ -118,7 +118,7 @@ func TestExporterRollAndRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fs.Close()
-	exp, err := openExporter(fs, "/archive", "t", 0, 0, 5, 0)
+	exp, err := openExporter(fs, "/archive", "t", 0, exporterConfig{segmentRecords: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestExporterRollAndRecovery(t *testing.T) {
 	if err := fs.WriteFile(crashedTmp, []byte("half-written")); err != nil {
 		t.Fatal(err)
 	}
-	exp2, err := openExporter(fs, "/archive", "t", 0, 0, 5, 0)
+	exp2, err := openExporter(fs, "/archive", "t", 0, exporterConfig{segmentRecords: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +180,11 @@ func TestManifestCommitFencing(t *testing.T) {
 	defer fs.Close()
 	// Two exporters for the same partition, both loaded at seq 0 — the
 	// zombie-after-rebalance shape.
-	expA, err := openExporter(fs, "/archive", "t", 0, 0, 100, 0)
+	expA, err := openExporter(fs, "/archive", "t", 0, exporterConfig{segmentRecords: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
-	expB, err := openExporter(fs, "/archive", "t", 0, 0, 100, 0)
+	expB, err := openExporter(fs, "/archive", "t", 0, exporterConfig{segmentRecords: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestManifestCommitFencing(t *testing.T) {
 
 	// Stale A rolls the SAME range B committed: the segment rename itself
 	// must refuse to overwrite and report the conflict.
-	expC := &exporter{fs: fs, root: "/archive", topic: "t", partition: 0, segmentRecords: 100}
+	expC := &exporter{fs: fs, root: "/archive", topic: "t", partition: 0, cfg: exporterConfig{segmentRecords: 100}}
 	expC.man = &Manifest{Topic: "t", Partition: 0}
 	expC.add(msgAt(0))
 	_, err = expC.roll()

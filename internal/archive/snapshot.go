@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/dfs"
+	"repro/internal/storage/record"
 	"repro/internal/wire"
 )
 
@@ -26,6 +27,8 @@ type SnapshotConfig struct {
 	SegmentBytes int64
 	// SegmentRecords bounds segment record counts (0 = no bound).
 	SegmentRecords int
+	// Codec compresses segment files on the DFS (see ArchiverConfig.Codec).
+	Codec record.Codec
 	// Timeout bounds the whole snapshot (default 60s).
 	Timeout time.Duration
 }
@@ -83,8 +86,11 @@ func Snapshot(c *client.Client, cfg SnapshotConfig) (SnapshotStats, error) {
 	group := "__archiver-" + cfg.Name
 	deadline := time.Now().Add(cfg.Timeout)
 	for p := int32(0); p < n; p++ {
-		exp, err := openExporter(cfg.FS, cfg.Root, cfg.Topic, p,
-			cfg.SegmentBytes, cfg.SegmentRecords, 0)
+		exp, err := openExporter(cfg.FS, cfg.Root, cfg.Topic, p, exporterConfig{
+			segmentBytes:   cfg.SegmentBytes,
+			segmentRecords: cfg.SegmentRecords,
+			codec:          cfg.Codec,
+		})
 		if err != nil {
 			return stats, err
 		}

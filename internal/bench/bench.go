@@ -1,9 +1,11 @@
 // Package bench implements the experiment harness: one function per
-// experiment in DESIGN.md (E1–E15), each reproducing a claim of the paper
-// as a measurable table. cmd/liquid-bench runs them from the command line;
-// bench_test.go wraps them as testing.B benchmarks. Absolute numbers
-// depend on the machine; the reproduction target is the shape — who wins,
-// by what magnitude, where the crossovers fall.
+// experiment (E1–E16), each reproducing a claim of the paper as a
+// measurable table and as machine-readable Results (WriteJSON emits
+// BENCH_<exp>.json so the performance trajectory is tracked across PRs).
+// cmd/liquid-bench runs them from the command line; bench_test.go wraps
+// them as testing.B benchmarks. Absolute numbers depend on the machine;
+// the reproduction target is the shape — who wins, by what magnitude,
+// where the crossovers fall.
 package bench
 
 import (
@@ -26,6 +28,10 @@ type Table struct {
 	Headers []string
 	Rows    [][]string
 	Notes   []string
+	// Results are the machine-readable measurements behind the rows; see
+	// WriteJSON. Experiments populate them where the numbers are tracked
+	// across PRs.
+	Results []Result
 }
 
 // Render formats the table for terminals and EXPERIMENTS.md.
@@ -204,6 +210,7 @@ func All(scale Scale) []Table {
 		E13StateRecovery(scale),
 		E14ArchiveExport(scale),
 		E15ArchiveScan(scale),
+		E16Compression(scale),
 	}
 }
 
@@ -225,6 +232,7 @@ func ByID(id string) (func(Scale) Table, bool) {
 		"E13": E13StateRecovery,
 		"E14": E14ArchiveExport,
 		"E15": E15ArchiveScan,
+		"E16": E16Compression,
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Result is one machine-readable measurement of an experiment: a named
+// configuration with its throughput and latency numbers. Experiments attach
+// Results alongside their human-readable rows so the perf trajectory can be
+// tracked across PRs (BENCH_<exp>.json files at the repo root).
+type Result struct {
+	// Name identifies the configuration, e.g. "compressible/gzip".
+	Name string `json:"name"`
+	// RecordsPerSec is end-to-end record throughput.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// MBPerSec is logical (uncompressed payload) throughput.
+	MBPerSec float64 `json:"mb_per_sec"`
+	// P50Ms / P99Ms are latency quantiles in milliseconds (0 when the
+	// experiment has no latency dimension).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Extra carries experiment-specific dimensions (bytes on wire,
+	// compression ratios, ...).
+	Extra map[string]string `json:"extra,omitempty"`
+}
+
+// jsonTable is the serialised form of a Table: identity, the structured
+// Results, and the rendered rows so even experiments without Results stay
+// machine-readable.
+type jsonTable struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Claim string `json:"claim"`
+	// Scale records whether the run was "quick" (CI-sized) or "full":
+	// only full-scale results are comparable to the committed baselines.
+	Scale   string     `json:"scale"`
+	Results []Result   `json:"results,omitempty"`
+	Headers []string   `json:"headers,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON writes the table as BENCH_<ID>.json in dir (atomic rename so a
+// crashed run never leaves a half-written result). The scale the run used
+// is recorded so quick-scale numbers can never masquerade as a full-scale
+// baseline.
+func WriteJSON(dir string, t Table, scale Scale) (string, error) {
+	scaleName := "full"
+	if scale.Quick {
+		scaleName = "quick"
+	}
+	data, err := json.MarshalIndent(jsonTable{
+		ID:      t.ID,
+		Title:   t.Title,
+		Claim:   t.Claim,
+		Scale:   scaleName,
+		Results: t.Results,
+		Headers: t.Headers,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", t.ID))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return path, nil
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/coord"
 	"repro/internal/metrics"
+	"repro/internal/storage/cache"
 	"repro/internal/storage/compact"
 	"repro/internal/storage/log"
 )
@@ -54,6 +55,12 @@ type Config struct {
 	DefaultSegmentBytes   int32
 	DefaultRetentionMs    int64
 	DefaultRetentionBytes int64
+	// PageCache, when non-nil, attaches an OS page-cache model to every
+	// partition log (one cache instance per partition, sized by
+	// PageCache.CapacityBytes): reads of non-resident pages pay the
+	// modeled disk penalty, reproducing the anti-caching behaviour of
+	// paper §4.1 inside the full stack. Nil (the default) costs nothing.
+	PageCache *cache.Config
 	// Logger receives operational events; nil discards them.
 	Logger *slog.Logger
 	// Metrics receives broker counters; nil creates a private registry.
@@ -240,6 +247,9 @@ func (b *Broker) logConfigFor(tc cluster.TopicConfig) log.Config {
 	}
 	if cfg.RetentionBytes == 0 {
 		cfg.RetentionBytes = b.cfg.DefaultRetentionBytes
+	}
+	if b.cfg.PageCache != nil {
+		cfg.Tracker = cache.New(*b.cfg.PageCache)
 	}
 	return cfg
 }

@@ -20,6 +20,7 @@ type testCluster struct {
 	stopExpiry func()
 	brokers    []*broker.Broker
 	addrs      []string
+	dataDirs   []string
 }
 
 // startCluster boots n brokers with test-friendly (fast) timeouts.
@@ -35,9 +36,11 @@ func startCluster(t *testing.T, n int) *testCluster {
 		}
 	}
 	for i := 0; i < n; i++ {
+		dataDir := t.TempDir()
+		tc.dataDirs = append(tc.dataDirs, dataDir)
 		b, err := broker.Start(store, broker.Config{
 			ID:                 int32(i + 1),
-			DataDir:            t.TempDir(),
+			DataDir:            dataDir,
 			SessionTimeout:     600 * time.Millisecond,
 			ReplicaMaxLag:      time.Second,
 			RetentionInterval:  time.Hour, // not under test here

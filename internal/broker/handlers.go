@@ -45,15 +45,28 @@ func (b *Broker) acceptLoop() {
 }
 
 func (b *Broker) serveConn(conn net.Conn) {
+	// The frame buffer is reused across requests on this connection:
+	// dispatch fully consumes each request (produce payloads are appended
+	// to the log before the next frame is read), and anything a handler
+	// retains longer — group metadata, offset commits — is copied during
+	// decode. Responses go out through pooled writers as a single frame.
+	var rbuf []byte
 	for {
 		select {
 		case <-b.stopCh:
 			return
 		default:
 		}
-		payload, err := wire.ReadFrame(conn)
+		payload, err := wire.ReadFrameInto(conn, rbuf)
 		if err != nil {
 			return
+		}
+		// Keep the buffer for reuse, but never pin a giant frame's worth
+		// of memory to an idle connection.
+		if cap(payload) <= 1<<20 {
+			rbuf = payload
+		} else {
+			rbuf = nil
 		}
 		hdr, body, err := wire.DecodeRequest(payload)
 		if err != nil {
@@ -63,7 +76,7 @@ func (b *Broker) serveConn(conn net.Conn) {
 		if !reply {
 			continue
 		}
-		if err := wire.WriteFrame(conn, wire.EncodeResponse(hdr.CorrelationID, resp)); err != nil {
+		if err := wire.WriteResponseFrame(conn, hdr.CorrelationID, resp); err != nil {
 			return
 		}
 	}
@@ -139,18 +152,18 @@ func (b *Broker) handleProduce(req *wire.ProduceRequest) *wire.ProduceResponse {
 				rt.Partitions = append(rt.Partitions, rp)
 				continue
 			}
-			records, err := decodeProducedRecords(p.Records)
-			if err != nil || len(records) == 0 {
+			batches, nrecords, err := splitProducePayload(p.Records)
+			if err != nil || nrecords == 0 {
 				rp.Err = wire.ErrCorruptMessage
 				rt.Partitions = append(rt.Partitions, rp)
 				continue
 			}
-			base, ackCh, code := r.appendAsLeader(records, req.RequiredAcks)
+			base, ackCh, code := r.appendSealedAsLeader(batches, req.RequiredAcks)
 			rp.Err = code
 			rp.BaseOffset = base
 			rp.HighWatermark = r.highWatermark()
 			if code == wire.ErrNone {
-				b.cfg.Metrics.Counter("broker.messages.in").Add(int64(len(records)))
+				b.cfg.Metrics.Counter("broker.messages.in").Add(int64(nrecords))
 			}
 			if ackCh != nil {
 				waits = append(waits, pending{topic: len(resp.Topics), part: len(rt.Partitions), ch: ackCh})
@@ -176,19 +189,28 @@ func (b *Broker) handleProduce(req *wire.ProduceRequest) *wire.ProduceResponse {
 	return resp
 }
 
-// decodeProducedRecords validates and extracts the records of a produce
-// payload. Producers send one encoded batch per partition; offsets inside
-// are placeholders that the leader reassigns.
-func decodeProducedRecords(data []byte) ([]record.Record, error) {
-	var out []record.Record
-	err := record.ScanRecords(data, func(r record.Record) error {
-		out = append(out, r)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+// splitProducePayload splits a produce payload into its sealed batches,
+// validating each one fully (record.ValidateBatch: CRC + a structural walk,
+// inflating compressed bodies into a transient buffer) so a CRC-valid but
+// malformed batch can never be stored and wedge the partition's readers.
+// The stored bytes stay the producer's verbatim — validation never
+// re-encodes or re-compresses; the leader only restamps base offsets.
+// Producers send one batch per partition, but a payload of several
+// consecutive batches is accepted. It returns the batches and the total
+// record count.
+func splitProducePayload(data []byte) ([][]byte, int, error) {
+	var batches [][]byte
+	nrecords := 0
+	for len(data) > 0 {
+		info, err := record.ValidateBatch(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		batches = append(batches, data[:info.Length])
+		nrecords += info.RecordCount
+		data = data[info.Length:]
 	}
-	return out, nil
+	return batches, nrecords, nil
 }
 
 // --------------------------------------------------------------- fetch

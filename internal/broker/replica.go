@@ -178,7 +178,9 @@ func (r *replica) maybeAdvanceHWLocked() {
 }
 
 // appendAsLeader appends records, returning the assigned base offset and,
-// for acks=all, a channel that resolves when the batch is committed.
+// for acks=all, a channel that resolves when the batch is committed. It is
+// the path for broker-internal appends (the offsets topic); client produce
+// goes through appendSealedAsLeader.
 func (r *replica) appendAsLeader(records []record.Record, acks int16) (int64, <-chan wire.ErrorCode, wire.ErrorCode) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -193,19 +195,57 @@ func (r *replica) appendAsLeader(records []record.Record, acks int16) (int64, <-
 		return 0, nil, wire.ErrUnknown
 	}
 	last := base + int64(len(records)) - 1
+	ch, code := r.finishAppendLocked(last, acks)
+	return base, ch, code
+}
+
+// appendSealedAsLeader appends a producer's already-encoded (and
+// CheckBatch-validated) batches verbatim, restamping only their base
+// offsets. Compressed batches stay sealed end to end: the bytes written
+// here are the bytes followers replicate, consumers fetch and the archiver
+// drains — zero recompression anywhere in the pipeline (paper §3.1/§4.1).
+func (r *replica) appendSealedAsLeader(batches [][]byte, acks int16) (int64, <-chan wire.ErrorCode, wire.ErrorCode) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, nil, wire.ErrBrokerNotAvailable
+	}
+	if !r.isLeader {
+		return 0, nil, wire.ErrNotLeaderForPartition
+	}
+	base := int64(-1)
+	for _, b := range batches {
+		bo, err := r.log.AppendSealed(b)
+		if err != nil {
+			return 0, nil, wire.ErrUnknown
+		}
+		if base < 0 {
+			base = bo
+		}
+	}
+	// Leader appends are serialised by r.mu, so the log end is exactly the
+	// end of what was just written.
+	last := r.log.NextOffset() - 1
+	ch, code := r.finishAppendLocked(last, acks)
+	return base, ch, code
+}
+
+// finishAppendLocked advances the high watermark, wakes long-polls and
+// arranges the acks=all waiter for an append ending at last.
+func (r *replica) finishAppendLocked(last int64, acks int16) (<-chan wire.ErrorCode, wire.ErrorCode) {
 	r.maybeAdvanceHWLocked()
 	r.notifyLocked() // wake follower long-polls
 	if acks != -1 {
-		return base, nil, wire.ErrNone
+		return nil, wire.ErrNone
 	}
 	if r.hw >= last+1 {
 		done := make(chan wire.ErrorCode, 1)
 		done <- wire.ErrNone
-		return base, done, wire.ErrNone
+		return done, wire.ErrNone
 	}
 	w := ackWaiter{minHW: last + 1, ch: make(chan wire.ErrorCode, 1)}
 	r.waiters = append(r.waiters, w)
-	return base, w.ch, wire.ErrNone
+	return w.ch, wire.ErrNone
 }
 
 // appendAsFollower appends a replicated batch and adopts the leader's high

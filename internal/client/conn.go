@@ -50,10 +50,12 @@ func (c *Conn) RoundTrip(api wire.APIKey, req, resp wire.Message) error {
 	}
 	c.nextCorr++
 	hdr := wire.RequestHeader{API: api, CorrelationID: c.nextCorr, ClientID: c.clientID}
-	if err := wire.WriteFrame(c.nc, wire.EncodeRequest(&hdr, req)); err != nil {
+	if err := wire.WriteRequestFrame(c.nc, &hdr, req); err != nil {
 		c.closeLocked()
 		return fmt.Errorf("client: send: %w", err)
 	}
+	// The response frame is freshly allocated per round trip: decoded
+	// messages (including zero-copy fetch Records) may alias it safely.
 	payload, err := wire.ReadFrame(c.nc)
 	if err != nil {
 		c.closeLocked()
@@ -87,7 +89,7 @@ func (c *Conn) SendOnly(api wire.APIKey, req wire.Message) error {
 	}
 	c.nextCorr++
 	hdr := wire.RequestHeader{API: api, CorrelationID: c.nextCorr, ClientID: c.clientID}
-	if err := wire.WriteFrame(c.nc, wire.EncodeRequest(&hdr, req)); err != nil {
+	if err := wire.WriteRequestFrame(c.nc, &hdr, req); err != nil {
 		c.closeLocked()
 		return fmt.Errorf("client: send: %w", err)
 	}

@@ -67,6 +67,24 @@ func (r *RoundRobinPartitioner) Partition(_ *Message, numPartitions int32) int32
 	return int32(r.rr % uint32(numPartitions))
 }
 
+// Codec selects the wire/storage compression of produced batches.
+type Codec = record.Codec
+
+// Producer batch codecs (all stdlib).
+const (
+	// CodecNone sends batches uncompressed.
+	CodecNone = record.CodecNone
+	// CodecGzip compresses batches with gzip.
+	CodecGzip = record.CodecGzip
+	// CodecFlate compresses batches with raw DEFLATE (smaller framing
+	// than gzip, same algorithm).
+	CodecFlate = record.CodecFlate
+)
+
+// ParseCodec maps a configuration string ("none", "gzip", "flate") to a
+// Codec; CLIs use it for -codec flags.
+func ParseCodec(s string) (Codec, error) { return record.ParseCodec(s) }
+
 // ProducerConfig parameterises a Producer.
 type ProducerConfig struct {
 	// Acks selects durability: 0 fire-and-forget, 1 leader ack,
@@ -81,6 +99,13 @@ type ProducerConfig struct {
 	Partitioner Partitioner
 	// TimeoutMs is the broker-side wait bound for acks=all.
 	TimeoutMs int32
+	// Codec compresses each flushed batch on the wire and in the log
+	// (CodecNone, CodecGzip or CodecFlate). Brokers store, replicate and
+	// serve the compressed batch verbatim; consumers decompress
+	// transparently. Compression is per sealed batch, so topics may mix
+	// codecs freely (paper §3.1: batches move through the brokers as
+	// opaque blobs).
+	Codec record.Codec
 	// OnError receives asynchronous delivery failures (after retries).
 	OnError func(Message, error)
 }
@@ -280,9 +305,24 @@ func (p *Producer) flushOnce() error {
 }
 
 // produce delivers one batch to the partition leader with retries,
-// returning the base offset (or -1 for acks=0).
+// returning the base offset (or -1 for acks=0). Zero timestamps are
+// stamped with send time here: the broker appends the sealed batch
+// verbatim and never rewrites record timestamps.
 func (p *Producer) produce(topic string, partition int32, recs []record.Record) (int64, error) {
+	now := time.Now().UnixMilli()
+	for i := range recs {
+		if recs[i].Timestamp == 0 {
+			recs[i].Timestamp = now
+		}
+	}
 	payload := record.EncodeBatch(0, recs)
+	if p.cfg.Codec != record.CodecNone {
+		sealed, err := record.Compress(payload, p.cfg.Codec)
+		if err != nil {
+			return -1, fmt.Errorf("client: compress batch: %w", err)
+		}
+		payload = sealed
+	}
 	req := &wire.ProduceRequest{
 		RequiredAcks: effectiveAcks(p.cfg.Acks),
 		TimeoutMs:    p.cfg.TimeoutMs,

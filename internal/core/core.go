@@ -22,6 +22,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/metrics"
 	"repro/internal/processing"
+	"repro/internal/storage/cache"
 	"repro/internal/wire"
 )
 
@@ -50,6 +51,13 @@ type Config struct {
 	DefaultSegmentBytes   int32
 	DefaultRetentionMs    int64
 	DefaultRetentionBytes int64
+	// PageCache, when non-nil, attaches the OS page-cache model of
+	// internal/storage/cache to every partition log on every broker
+	// (paper §4.1 anti-caching): reads of non-resident pages pay the
+	// modeled disk penalty. Experiments use it to reproduce disk-bound
+	// consume behaviour on real hardware that would otherwise hide in
+	// RAM.
+	PageCache *cache.Config
 	// Logger receives operational events from every component.
 	Logger *slog.Logger
 	// Metrics receives stack-wide counters; nil creates a registry.
@@ -132,6 +140,7 @@ func Start(cfg Config) (*Stack, error) {
 			DefaultSegmentBytes:   cfg.DefaultSegmentBytes,
 			DefaultRetentionMs:    cfg.DefaultRetentionMs,
 			DefaultRetentionBytes: cfg.DefaultRetentionBytes,
+			PageCache:             cfg.PageCache,
 			Logger:                cfg.Logger,
 			Metrics:               cfg.Metrics,
 		})

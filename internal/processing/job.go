@@ -44,6 +44,11 @@ type JobConfig struct {
 	Governor *isolation.Governor
 	// ChangelogReplication sets the changelog topics' replication factor.
 	ChangelogReplication int16
+	// ChangelogCodec compresses changelog batches on the wire and in the
+	// log (client.CodecNone/Gzip/Flate). Restore decompresses
+	// transparently, so it can be enabled or disabled at any point in a
+	// changelog's life.
+	ChangelogCodec client.Codec
 	// MaxTaskRestarts bounds automatic task restarts after processing
 	// errors before the task gives up (default 5).
 	MaxTaskRestarts int
@@ -163,7 +168,7 @@ func (j *Job) Start() error {
 		return err
 	}
 	j.collectorProducer = client.NewProducer(j.client, client.ProducerConfig{})
-	j.changelogProducer = client.NewProducer(j.client, client.ProducerConfig{})
+	j.changelogProducer = client.NewProducer(j.client, client.ProducerConfig{Codec: j.cfg.ChangelogCodec})
 
 	for i := int32(0); i < numTasks; i++ {
 		tr := &taskRunner{job: j, id: i}

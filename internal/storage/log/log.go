@@ -205,6 +205,27 @@ func (l *Log) SegmentCount() int {
 
 func (l *Log) active() *segment { return l.segments[len(l.segments)-1] }
 
+// encBufPool recycles batch-encode buffers on the append hot path. Encoded
+// batches live only until the segment write returns, so one pooled buffer
+// per in-flight append removes the per-batch allocation entirely.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
+// maxPooledEncBuf caps the capacity returned to encBufPool, so one
+// oversized batch (a single record beyond MaxBatchBytes) cannot pin a huge
+// buffer in the pool for the process lifetime.
+const maxPooledEncBuf = 1 << 20
+
+func putEncBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledEncBuf {
+		encBufPool.Put(bp)
+	}
+}
+
 // Append assigns consecutive offsets to records, stamps zero timestamps
 // with now (log-append time), encodes them as batches of at most
 // MaxBatchBytes, and appends them. It returns the base offset assigned to
@@ -224,6 +245,15 @@ func (l *Log) Append(records []record.Record) (int64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
+	return l.appendRecordsLocked(records)
+}
+
+// appendRecordsLocked encodes records into batches of at most MaxBatchBytes
+// (through a pooled buffer) and appends them, assigning offsets from the
+// log end.
+func (l *Log) appendRecordsLocked(records []record.Record) (int64, error) {
+	bp := encBufPool.Get().(*[]byte)
+	defer putEncBuf(bp)
 	base := l.active().nextOffset
 	next := base
 	for start := 0; start < len(records); {
@@ -237,12 +267,59 @@ func (l *Log) Append(records []record.Record) (int64, error) {
 			size += n
 			end++
 		}
-		batch := record.EncodeBatch(next, records[start:end])
+		batch := record.EncodeBatchInto((*bp)[:0], next, records[start:end])
+		*bp = batch[:0] // retain grown capacity for the next iteration
 		if err := l.appendLocked(batch); err != nil {
 			return 0, err
 		}
 		next += int64(end - start)
 		start = end
+	}
+	return base, nil
+}
+
+// AppendSealed appends an already-encoded batch as the partition leader:
+// the batch's base offset is restamped in place to the current log end
+// offset (record offsets inside are deltas and shift with it) and the bytes
+// are stored verbatim — compressed batches are never inflated or re-encoded
+// here, which is what lets the broker serve the producer's exact bytes to
+// followers, consumers and the archiver. The caller is expected to have
+// validated the batch (record.ValidateBatch); offsets and timestamps inside
+// are the producer's. It returns the assigned base offset.
+//
+// One exception keeps segment rolling honest: an UNCOMPRESSED batch larger
+// than MaxBatchBytes is decoded and re-batched exactly as Append would,
+// because storing it as a single oversized blob would defeat the per-topic
+// segment sizing that retention and compaction depend on. Compressed
+// batches are exempt — they are opaque by contract (their inflated size is
+// bounded by the producer's flush size anyway) and always land verbatim.
+func (l *Log) AppendSealed(batch []byte) (int64, error) {
+	info, err := record.PeekBatchInfo(batch)
+	if err != nil {
+		return 0, err
+	}
+	codec, err := record.PeekCodec(batch)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if codec == record.CodecNone && int64(info.Length) > l.cfg.MaxBatchBytes && info.RecordCount > 1 {
+		decoded, _, err := record.DecodeBatch(batch)
+		if err != nil {
+			return 0, err
+		}
+		return l.appendRecordsLocked(decoded.Records)
+	}
+	base := l.active().nextOffset
+	if err := record.RestampBase(batch, base); err != nil {
+		return 0, err
+	}
+	if err := l.appendLocked(batch); err != nil {
+		return 0, err
 	}
 	return base, nil
 }

@@ -1,0 +1,89 @@
+package log
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/storage/record"
+)
+
+// TestAppendSealedCompressedVerbatim: a compressed sealed batch is stored
+// byte-identically (base offset aside) regardless of its size.
+func TestAppendSealedCompressedVerbatim(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{MaxBatchBytes: 1024, RetentionMs: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	recs := make([]record.Record, 64)
+	for i := range recs {
+		recs[i] = record.Record{Timestamp: 1, Value: bytes.Repeat([]byte("xyz-"), 64)}
+	}
+	sealed, err := record.Compress(record.EncodeBatch(0, recs), record.CodecFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), sealed...)
+	base, err := l.AppendSealed(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 0 {
+		t.Fatalf("base = %d", base)
+	}
+	if l.NextOffset() != 64 {
+		t.Fatalf("next offset = %d, want 64", l.NextOffset())
+	}
+	got, err := l.Read(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("stored compressed batch differs from sealed input")
+	}
+}
+
+// TestAppendSealedOversizedUncompressedRebatches: an uncompressed sealed
+// batch above MaxBatchBytes is split like Append would split it, so
+// segment sizing (and therefore retention/compaction) keeps working.
+func TestAppendSealedOversizedUncompressedRebatches(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{MaxBatchBytes: 1024, RetentionMs: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	recs := make([]record.Record, 64)
+	for i := range recs {
+		recs[i] = record.Record{Timestamp: 1, Value: bytes.Repeat([]byte("xyz-"), 64)}
+	}
+	big := record.EncodeBatch(0, recs)
+	if len(big) <= 1024 {
+		t.Fatalf("test batch too small: %dB", len(big))
+	}
+	if _, err := l.AppendSealed(big); err != nil {
+		t.Fatal(err)
+	}
+	if l.NextOffset() != 64 {
+		t.Fatalf("next offset = %d, want 64", l.NextOffset())
+	}
+	data, err := l.Read(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbatches := 0
+	if err := record.Scan(data, func(b record.Batch) error {
+		nbatches++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if nbatches < 2 {
+		t.Fatalf("oversized uncompressed batch stored as %d batch(es), want re-batching", nbatches)
+	}
+	n, err := record.CountRecords(data)
+	if err != nil || n != 64 {
+		t.Fatalf("records = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,371 @@
+package record
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// Codec identifies the compression applied to a batch's record region. It
+// is carried in the low bits of the batch header's attributes field, so a
+// compressed batch remains a self-describing sealed blob: brokers store and
+// replicate it verbatim and only the final reader decompresses (paper §3.1:
+// brokers move sealed batches cheaply at high fan-out).
+type Codec int16
+
+// Supported codecs. All are stdlib-only.
+const (
+	// CodecNone leaves the record region uncompressed.
+	CodecNone Codec = 0
+	// CodecGzip compresses the record region with gzip (BestSpeed).
+	CodecGzip Codec = 1
+	// CodecFlate compresses the record region with raw DEFLATE (BestSpeed);
+	// same algorithm as gzip without the header/checksum overhead.
+	CodecFlate Codec = 2
+
+	// codecMask selects the codec bits of the attributes field.
+	codecMask = 0x0007
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case CodecNone:
+		return "none"
+	case CodecGzip:
+		return "gzip"
+	case CodecFlate:
+		return "flate"
+	}
+	return fmt.Sprintf("codec(%d)", int16(c))
+}
+
+// ParseCodec maps a configuration string ("none", "gzip", "flate", or
+// empty for none) to a Codec.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "none":
+		return CodecNone, nil
+	case "gzip":
+		return CodecGzip, nil
+	case "flate":
+		return CodecFlate, nil
+	}
+	return CodecNone, fmt.Errorf("record: unknown codec %q", s)
+}
+
+// Valid reports whether c is a known codec.
+func (c Codec) Valid() bool {
+	return c == CodecNone || c == CodecGzip || c == CodecFlate
+}
+
+// PeekCodec returns the codec of the batch at the start of buf without
+// validating anything beyond the header length.
+func PeekCodec(buf []byte) (Codec, error) {
+	if len(buf) < batchHeaderLen {
+		return CodecNone, ErrShort
+	}
+	return Codec(int16(binary.BigEndian.Uint16(buf[16:])) & codecMask), nil
+}
+
+// Compressor pools: gzip and flate writers are expensive to construct
+// (window allocation), so flushed producer batches reuse them.
+var gzipWriters = sync.Pool{
+	New: func() any {
+		w, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		return w
+	},
+}
+
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// compressBody compresses a batch's record region with the given codec.
+func compressBody(codec Codec, body []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(body)/4 + 64)
+	switch codec {
+	case CodecGzip:
+		w := gzipWriters.Get().(*gzip.Writer)
+		w.Reset(&buf)
+		if _, err := w.Write(body); err != nil {
+			gzipWriters.Put(w)
+			return nil, err
+		}
+		if err := w.Close(); err != nil {
+			gzipWriters.Put(w)
+			return nil, err
+		}
+		gzipWriters.Put(w)
+	case CodecFlate:
+		w := flateWriters.Get().(*flate.Writer)
+		w.Reset(&buf)
+		if _, err := w.Write(body); err != nil {
+			flateWriters.Put(w)
+			return nil, err
+		}
+		if err := w.Close(); err != nil {
+			flateWriters.Put(w)
+			return nil, err
+		}
+		flateWriters.Put(w)
+	default:
+		return nil, fmt.Errorf("record: cannot compress with codec %s", codec)
+	}
+	return buf.Bytes(), nil
+}
+
+// maxInflatedBody bounds how far a compressed record region may inflate
+// (matching the wire layer's 64 MiB frame bound), so a stored deflate bomb
+// cannot OOM readers: inflation stops at the bound and the batch is
+// reported corrupt.
+const maxInflatedBody = 64 << 20
+
+// Decompressor pools mirror the writer pools: flate and gzip readers carry
+// sliding-window state that is expensive to construct, and the consumer
+// side inflates one batch per stored batch.
+var gzipReaders sync.Pool
+
+var flateReaders = sync.Pool{
+	New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
+}
+
+// decompressBody inflates a compressed record region. Errors are wrapped in
+// ErrCorrupt: a batch that passed its CRC but fails to inflate was built
+// wrong, and readers treat both identically.
+func decompressBody(codec Codec, body []byte) ([]byte, error) {
+	var r io.Reader
+	var release func()
+	switch codec {
+	case CodecGzip:
+		var gr *gzip.Reader
+		if v := gzipReaders.Get(); v != nil {
+			gr = v.(*gzip.Reader)
+			if err := gr.Reset(bytes.NewReader(body)); err != nil {
+				gzipReaders.Put(gr)
+				return nil, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+			}
+		} else {
+			var err error
+			if gr, err = gzip.NewReader(bytes.NewReader(body)); err != nil {
+				return nil, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+			}
+		}
+		r = gr
+		release = func() { gzipReaders.Put(gr) }
+	case CodecFlate:
+		fr := flateReaders.Get().(io.ReadCloser)
+		if err := fr.(flate.Resetter).Reset(bytes.NewReader(body), nil); err != nil {
+			flateReaders.Put(fr)
+			return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+		}
+		r = fr
+		release = func() { flateReaders.Put(fr) }
+	default:
+		return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, codec)
+	}
+	out, err := io.ReadAll(io.LimitReader(r, maxInflatedBody+1))
+	release()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, codec, err)
+	}
+	if len(out) > maxInflatedBody {
+		return nil, fmt.Errorf("%w: %s: inflates beyond %d bytes", ErrCorrupt, codec, maxInflatedBody)
+	}
+	return out, nil
+}
+
+// CompressRaw compresses an arbitrary byte region with the given codec,
+// using the same pooled compressors as batch sealing. Other layers (the
+// archive's segment files) reuse it so the whole pipeline shares one
+// compression vocabulary.
+func CompressRaw(codec Codec, body []byte) ([]byte, error) {
+	return compressBody(codec, body)
+}
+
+// DecompressRaw inflates a region produced by CompressRaw. Errors wrap
+// ErrCorrupt.
+func DecompressRaw(codec Codec, body []byte) ([]byte, error) {
+	return decompressBody(codec, body)
+}
+
+// Compress seals an uncompressed batch with the given codec: the record
+// region is compressed, the codec bits are set in the attributes field, the
+// batch length is rewritten and the CRC recomputed over the compressed
+// bytes. Header metadata (offsets, timestamps, record count) is preserved,
+// so PeekBatchInfo keeps working on the sealed form and brokers never need
+// to inflate it. CodecNone returns batch unchanged.
+func Compress(batch []byte, codec Codec) ([]byte, error) {
+	if codec == CodecNone {
+		return batch, nil
+	}
+	if !codec.Valid() {
+		return nil, fmt.Errorf("record: unknown codec %d", codec)
+	}
+	total, err := PeekBatchLen(batch)
+	if err != nil {
+		return nil, err
+	}
+	compressed, err := compressBody(codec, batch[batchHeaderLen:total])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, batchHeaderLen+len(compressed))
+	copy(out, batch[:batchHeaderLen])
+	copy(out[batchHeaderLen:], compressed)
+	binary.BigEndian.PutUint32(out[8:], uint32(len(out)-12))
+	attrs := binary.BigEndian.Uint16(out[16:])
+	attrs = attrs&^codecMask | uint16(codec)&codecMask
+	binary.BigEndian.PutUint16(out[16:], attrs)
+	binary.BigEndian.PutUint32(out[crcOffset:], crc32.Checksum(out[crcDataOffset:], castagnoli))
+	return out, nil
+}
+
+// Decompress rewrites a compressed batch into its equivalent uncompressed
+// (CodecNone) form, re-sealing length, attributes and CRC. An uncompressed
+// batch is returned unchanged. Readers normally never need this —
+// DecodeBatch inflates transparently — but tools that rewrite batches
+// (compaction of mixed-codec logs, debugging) do.
+func Decompress(batch []byte) ([]byte, error) {
+	total, err := PeekBatchLen(batch)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := PeekCodec(batch)
+	if err != nil {
+		return nil, err
+	}
+	if codec == CodecNone {
+		return batch, nil
+	}
+	body, err := decompressBody(codec, batch[batchHeaderLen:total])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, batchHeaderLen+len(body))
+	copy(out, batch[:batchHeaderLen])
+	copy(out[batchHeaderLen:], body)
+	binary.BigEndian.PutUint32(out[8:], uint32(len(out)-12))
+	attrs := binary.BigEndian.Uint16(out[16:]) &^ codecMask
+	binary.BigEndian.PutUint16(out[16:], attrs)
+	binary.BigEndian.PutUint32(out[crcOffset:], crc32.Checksum(out[crcDataOffset:], castagnoli))
+	return out, nil
+}
+
+// CheckBatch verifies the structural integrity of the sealed batch at the
+// start of buf — length sanity, a known codec, and the CRC over the (possibly
+// compressed) record region — without decoding or inflating it. This is the
+// broker's produce-path validation: cheap enough for the hot path, strong
+// enough that a corrupted compressed blob is rejected before it is stored.
+func CheckBatch(buf []byte) (BatchInfo, error) {
+	info, err := PeekBatchInfo(buf)
+	if err != nil {
+		return BatchInfo{}, err
+	}
+	if len(buf) < info.Length {
+		return BatchInfo{}, ErrShort
+	}
+	codec, _ := PeekCodec(buf)
+	if !codec.Valid() {
+		return BatchInfo{}, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, codec)
+	}
+	b := buf[:info.Length]
+	if crc32.Checksum(b[crcDataOffset:], castagnoli) != binary.BigEndian.Uint32(b[crcOffset:]) {
+		return BatchInfo{}, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	return info, nil
+}
+
+// ValidateBatch is the broker's produce-path validation: CheckBatch plus a
+// full structural walk of the record region (inflating compressed batches
+// into a transient buffer — the stored bytes remain the producer's,
+// verbatim). The walk allocates nothing and confirms that exactly
+// RecordCount records parse and consume the whole region, so a CRC-valid
+// but structurally corrupt batch is rejected at produce time instead of
+// being stored and wedging every reader of the partition.
+func ValidateBatch(buf []byte) (BatchInfo, error) {
+	info, err := CheckBatch(buf)
+	if err != nil {
+		return BatchInfo{}, err
+	}
+	codec, _ := PeekCodec(buf)
+	body := buf[batchHeaderLen:info.Length]
+	if codec != CodecNone {
+		if body, err = decompressBody(codec, body); err != nil {
+			return BatchInfo{}, err
+		}
+	}
+	if err := walkRecords(body, info.RecordCount); err != nil {
+		return BatchInfo{}, err
+	}
+	return info, nil
+}
+
+// walkRecords bounds-checks count records in an uncompressed record region
+// without materialising them, requiring the region to be consumed exactly.
+func walkRecords(body []byte, count int) error {
+	pos := 0
+	skipBytes := func() bool {
+		if pos+4 > len(body) {
+			return false
+		}
+		n := int32(binary.BigEndian.Uint32(body[pos:]))
+		pos += 4
+		if n == -1 {
+			return true
+		}
+		if n < 0 || pos+int(n) > len(body) {
+			return false
+		}
+		pos += int(n)
+		return true
+	}
+	for i := 0; i < count; i++ {
+		if pos+12 > len(body) {
+			return fmt.Errorf("%w: truncated record %d", ErrCorrupt, i)
+		}
+		pos += 12 // offsetDelta + timestampDelta
+		if !skipBytes() || !skipBytes() {
+			return fmt.Errorf("%w: bad key/value in record %d", ErrCorrupt, i)
+		}
+		if pos+4 > len(body) {
+			return fmt.Errorf("%w: truncated record %d", ErrCorrupt, i)
+		}
+		hc := int(int32(binary.BigEndian.Uint32(body[pos:])))
+		pos += 4
+		if hc < 0 {
+			return fmt.Errorf("%w: negative header count in record %d", ErrCorrupt, i)
+		}
+		for j := 0; j < hc; j++ {
+			if !skipBytes() || !skipBytes() {
+				return fmt.Errorf("%w: bad header in record %d", ErrCorrupt, i)
+			}
+		}
+	}
+	if pos != len(body) {
+		return fmt.Errorf("%w: %d trailing bytes after %d records", ErrCorrupt, len(body)-pos, count)
+	}
+	return nil
+}
+
+// RestampBase rewrites the base offset of the sealed batch at the start of
+// buf in place. The offset prefix sits outside the CRC-covered region
+// precisely so the leader can assign offsets to a producer's sealed
+// (possibly compressed) batch without opening it — record offsets inside
+// are deltas, so the whole batch shifts with its base.
+func RestampBase(buf []byte, base int64) error {
+	if len(buf) < 8 {
+		return ErrShort
+	}
+	binary.BigEndian.PutUint64(buf, uint64(base))
+	return nil
+}

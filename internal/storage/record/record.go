@@ -106,6 +106,14 @@ const (
 // records. EncodeBatch panics if records is empty: callers batch at least
 // one record by construction.
 func EncodeBatch(baseOffset int64, records []Record) []byte {
+	return EncodeBatchInto(nil, baseOffset, records)
+}
+
+// EncodeBatchInto is EncodeBatch writing into dst's spare capacity, growing
+// it only when the encoded batch does not fit. The commit log's append path
+// pools these buffers: one batch encode per append with zero steady-state
+// allocations.
+func EncodeBatchInto(dst []byte, baseOffset int64, records []Record) []byte {
 	if len(records) == 0 {
 		panic("record: EncodeBatch called with no records")
 	}
@@ -113,7 +121,12 @@ func EncodeBatch(baseOffset int64, records []Record) []byte {
 	for i := range records {
 		size += recordSize(&records[i])
 	}
-	buf := make([]byte, size)
+	var buf []byte
+	if cap(dst) >= size {
+		buf = dst[:size]
+	} else {
+		buf = make([]byte, size)
+	}
 
 	baseTS := records[0].Timestamp
 	var maxTS int64
@@ -202,7 +215,9 @@ func PeekBaseOffset(buf []byte) (int64, error) {
 }
 
 // DecodeBatch decodes and CRC-verifies the batch at the start of buf,
-// returning the batch and the number of bytes consumed.
+// returning the batch and the number of bytes consumed. Compressed batches
+// (see Codec) are inflated transparently: the CRC is verified over the
+// sealed bytes first, so corruption is detected before inflation.
 func DecodeBatch(buf []byte) (Batch, int, error) {
 	total, err := PeekBatchLen(buf)
 	if err != nil {
@@ -219,12 +234,28 @@ func DecodeBatch(buf []byte) (Batch, int, error) {
 	if count < 0 {
 		return Batch{}, 0, ErrCorrupt
 	}
+	codec := Codec(int16(binary.BigEndian.Uint16(b[16:])) & codecMask)
+	body := b[batchHeaderLen:]
+	if codec != CodecNone {
+		body, err = decompressBody(codec, body)
+		if err != nil {
+			return Batch{}, 0, err
+		}
+	}
 
-	records := make([]Record, 0, count)
-	pos := batchHeaderLen
+	// The count is header data, not yet proven against the body: cap the
+	// preallocation by what the region could possibly hold (a record is at
+	// least 24 bytes) so a corrupt count fails the bounds checks below
+	// instead of attempting a huge allocation.
+	capHint := count
+	if most := len(body)/24 + 1; capHint > most {
+		capHint = most
+	}
+	records := make([]Record, 0, capHint)
+	pos := 0
 	for i := 0; i < count; i++ {
 		var r Record
-		pos, err = decodeRecord(b, pos, baseOffset, baseTS, &r)
+		pos, err = decodeRecord(body, pos, baseOffset, baseTS, &r)
 		if err != nil {
 			return Batch{}, 0, err
 		}

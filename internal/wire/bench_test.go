@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"io"
+	"testing"
+)
+
+// benchFetchResponse builds a fetch response carrying one 32KiB record blob
+// — the shape of the broker's hottest write.
+func benchFetchResponse() *FetchResponse {
+	return &FetchResponse{Topics: []FetchRespTopic{{
+		Name: "events",
+		Partitions: []FetchRespPartition{{
+			Partition:     0,
+			HighWatermark: 1 << 20,
+			Records:       make([]byte, 32<<10),
+		}},
+	}}}
+}
+
+func BenchmarkWriteResponseFrame(b *testing.B) {
+	resp := benchFetchResponse()
+	b.ReportAllocs()
+	b.SetBytes(32 << 10)
+	for i := 0; i < b.N; i++ {
+		if err := WriteResponseFrame(io.Discard, 1, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeResponseLegacy is the pre-pooling path, kept as the
+// comparison baseline for B/op.
+func BenchmarkEncodeResponseLegacy(b *testing.B) {
+	resp := benchFetchResponse()
+	b.ReportAllocs()
+	b.SetBytes(32 << 10)
+	for i := 0; i < b.N; i++ {
+		payload := EncodeResponse(1, resp)
+		if err := WriteFrame(io.Discard, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// frameSource replays one encoded frame forever.
+type frameSource struct {
+	frame []byte
+	pos   int
+}
+
+func (s *frameSource) Read(p []byte) (int, error) {
+	if s.pos == len(s.frame) {
+		s.pos = 0
+	}
+	n := copy(p, s.frame[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+func BenchmarkReadFrameInto(b *testing.B) {
+	var w Writer
+	w.Int32(0)
+	w.Bytes32(make([]byte, 32<<10))
+	frame := make([]byte, 4+w.Len())
+	copy(frame[4:], w.Bytes())
+	frame[1] = byte(w.Len() >> 16)
+	frame[2] = byte(w.Len() >> 8)
+	frame[3] = byte(w.Len())
+	src := &frameSource{frame: frame}
+	var buf []byte
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		payload, err := ReadFrameInto(src, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = payload
+	}
+}

@@ -202,6 +202,24 @@ func (r *Reader) Bytes32() []byte {
 	return out
 }
 
+// RawBytes32 reads an int32-length-prefixed byte blob (-1 decodes to nil)
+// WITHOUT copying: the returned slice aliases the Reader's buffer. It
+// exists for the two hot-path record blobs — produce-request and
+// fetch-response Records — where the bytes are consumed before the
+// underlying frame buffer can be reused. Any caller that retains the slice
+// past that point must copy it (or use Bytes32).
+func (r *Reader) RawBytes32() []byte {
+	n := r.Int32()
+	if n == -1 {
+		return nil
+	}
+	if n < 0 {
+		r.fail()
+		return nil
+	}
+	return r.take(int(n))
+}
+
 // ArrayLen reads an array count, bounding it by the remaining bytes so a
 // corrupt count cannot cause huge allocations.
 func (r *Reader) ArrayLen() int {

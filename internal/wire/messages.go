@@ -76,7 +76,10 @@ type ProduceTopic struct {
 	Partitions []ProducePartition
 }
 
-// ProducePartition carries one partition's encoded record batches.
+// ProducePartition carries one partition's encoded record batches. On the
+// decode side Records aliases the request frame buffer (zero-copy): brokers
+// append it to the log before reading the next frame, so it must not be
+// retained past the request's dispatch.
 type ProducePartition struct {
 	Partition int32
 	Records   []byte
@@ -113,7 +116,7 @@ func (m *ProduceRequest) Decode(r *Reader) {
 		for j := 0; j < pn; j++ {
 			var p ProducePartition
 			p.Partition = r.Int32()
-			p.Records = r.Bytes32()
+			p.Records = r.RawBytes32()
 			t.Partitions = append(t.Partitions, p)
 		}
 		m.Topics = append(m.Topics, t)
@@ -258,7 +261,10 @@ type FetchRespTopic struct {
 	Partitions []FetchRespPartition
 }
 
-// FetchRespPartition is the fetch result for one partition.
+// FetchRespPartition is the fetch result for one partition. On the decode
+// side Records aliases the response frame buffer (zero-copy): consumers and
+// replica fetchers decode or append it before issuing their next request on
+// the connection, so it must not be retained past that.
 type FetchRespPartition struct {
 	Partition      int32
 	Err            ErrorCode
@@ -300,7 +306,7 @@ func (m *FetchResponse) Decode(r *Reader) {
 			p.Err = ErrorCode(r.Int16())
 			p.HighWatermark = r.Int64()
 			p.LogStartOffset = r.Int64()
-			p.Records = r.Bytes32()
+			p.Records = r.RawBytes32()
 			t.Partitions = append(t.Partitions, p)
 		}
 		m.Topics = append(m.Topics, t)

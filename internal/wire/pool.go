@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// maxPooledBuf caps the capacity of buffers returned to the pools, so one
+// giant frame cannot pin megabytes inside every pool slot forever.
+const maxPooledBuf = 1 << 20
+
+// writerPool recycles encode buffers for the framed write path. Every
+// request and response a broker or client writes goes through one pooled
+// Writer, so the steady-state encode path allocates nothing.
+var writerPool = sync.Pool{
+	New: func() any { return &Writer{buf: make([]byte, 0, 4096)} },
+}
+
+// GetWriter returns a reset Writer from the pool.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns a Writer to the pool. The caller must not retain any
+// slice of its buffer.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > maxPooledBuf {
+		return
+	}
+	writerPool.Put(w)
+}
+
+// writeFramed encodes a payload via fill into a pooled buffer with the
+// 4-byte length prefix in place, and writes the whole frame with a single
+// Write call — one buffer, one copy, no per-frame allocation.
+func writeFramed(dst io.Writer, fill func(*Writer)) error {
+	w := GetWriter()
+	defer PutWriter(w)
+	w.Int32(0) // length prefix placeholder
+	fill(w)
+	n := len(w.buf) - 4
+	if n > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrameSize)
+	}
+	binary.BigEndian.PutUint32(w.buf[:4], uint32(n))
+	_, err := dst.Write(w.buf)
+	return err
+}
+
+// WriteRequestFrame encodes a request header + body and writes it as one
+// frame using a pooled buffer.
+func WriteRequestFrame(dst io.Writer, hdr *RequestHeader, body Message) error {
+	return writeFramed(dst, func(w *Writer) {
+		hdr.Encode(w)
+		body.Encode(w)
+	})
+}
+
+// WriteResponseFrame encodes a correlation id + response body and writes it
+// as one frame using a pooled buffer.
+func WriteResponseFrame(dst io.Writer, correlationID int32, body Message) error {
+	return writeFramed(dst, func(w *Writer) {
+		w.Int32(correlationID)
+		body.Encode(w)
+	})
+}
+
+// ReadFrameInto reads one length-prefixed frame, reusing buf's capacity
+// when it suffices. It returns the payload, which aliases buf (or a larger
+// replacement — pass the returned slice back in on the next call). Callers
+// own the lifetime: anything decoded from the payload that must outlive the
+// next ReadFrameInto call has to be copied (Reader.Bytes32 copies;
+// Reader.RawBytes32 does not).
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrameSize)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

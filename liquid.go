@@ -39,6 +39,12 @@
 //	c.Assign("events", 0, liquid.StartEarliest)
 //	msgs, _ := c.Poll(time.Second)
 //
+// Record batches may be compressed end to end (ProducerConfig.Codec,
+// gzip/flate): the producer seals each flushed batch once, brokers store,
+// replicate and serve the exact bytes, and only the final reader
+// decompresses — see docs/ARCHITECTURE.md for where compression sits in
+// the produce→log→fetch→job→archive path.
+//
 // Stateful jobs implement StreamTask and are launched with Stack.RunJob;
 // see the examples directory for full applications (site-speed monitoring,
 // call-graph assembly, data cleaning with rewind, operational analytics).
@@ -94,6 +100,24 @@ type (
 	TopicSpec = wire.TopicSpec
 	// Partitioner routes produced messages to partitions.
 	Partitioner = client.Partitioner
+	// Codec selects wire/storage compression for produced batches
+	// (ProducerConfig.Codec): brokers store and replicate compressed
+	// batches verbatim; consumers decompress transparently.
+	Codec = client.Codec
+)
+
+// ParseCodec maps a configuration string ("none", "gzip", "flate") to a
+// Codec.
+func ParseCodec(s string) (Codec, error) { return client.ParseCodec(s) }
+
+// Producer batch codecs.
+const (
+	// CodecNone sends batches uncompressed (the default).
+	CodecNone = client.CodecNone
+	// CodecGzip compresses each flushed batch with gzip.
+	CodecGzip = client.CodecGzip
+	// CodecFlate compresses each flushed batch with raw DEFLATE.
+	CodecFlate = client.CodecFlate
 )
 
 // NewClient creates a standalone messaging-layer client.
