@@ -1,0 +1,234 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/dfs"
+	"repro/internal/storage/record"
+)
+
+// Crash-recovery tests for the export commit protocol: a SIGKILL-equivalent
+// between a segment seal (rename into place) and its manifest commit leaves
+// an orphan segment the restarted exporter must sweep and re-export —
+// exactly once, with no gap and no duplicate — in both the LIQARCH1
+// (uncompressed) and LIQARCH2 (compressed) segment formats.
+
+var errInjectedCrash = errors.New("injected crash (SIGKILL window)")
+
+func crashFS(t *testing.T) *dfs.FS {
+	t.Helper()
+	fs, err := dfs.Open(dfs.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs
+}
+
+// feedMessages renders n consecutive feed messages starting at offset base.
+func feedMessages(base int64, n int) []client.Message {
+	out := make([]client.Message, n)
+	for i := range out {
+		out[i] = client.Message{
+			Topic:     "t",
+			Partition: 0,
+			Offset:    base + int64(i),
+			Timestamp: 1000 + base + int64(i),
+			Key:       []byte(fmt.Sprintf("k%03d", base+int64(i))),
+			Value:     []byte(fmt.Sprintf("v%03d", base+int64(i))),
+		}
+	}
+	return out
+}
+
+func TestCrashBetweenSealAndManifestCommit(t *testing.T) {
+	cases := []struct {
+		name  string
+		codec record.Codec
+		magic string
+	}{
+		{"LIQARCH1-uncompressed", record.CodecNone, "LIQARCH1"},
+		{"LIQARCH2-flate", record.CodecFlate, "LIQARCH2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := crashFS(t)
+			const root = "/archive"
+			cfg := exporterConfig{segmentRecords: 10, codec: tc.codec}
+			cfg.onSealed = func(string) error { return errInjectedCrash }
+
+			exp, err := openExporter(fs, root, "t", 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range feedMessages(0, 10) {
+				if !exp.add(m) {
+					t.Fatalf("message %d rejected", m.Offset)
+				}
+			}
+			if _, err := exp.roll(); !errors.Is(err, errInjectedCrash) {
+				t.Fatalf("roll error = %v, want injected crash", err)
+			}
+
+			// The crash left the orphan state: a sealed segment on the DFS
+			// with no manifest pointing at it.
+			segs := fs.List(SegmentsPrefix(root, "t"))
+			if len(segs) != 1 {
+				t.Fatalf("segments after crash = %d, want 1 orphan", len(segs))
+			}
+			man, err := LoadManifest(fs, root, "t", 0)
+			if err != nil || man.NextOffset != 0 || len(man.Segments) != 0 {
+				t.Fatalf("manifest after crash = %+v, %v; want empty", man, err)
+			}
+
+			// Restart: recovery sweeps the orphan (its range will recur)...
+			cfg.onSealed = nil
+			exp2, err := openExporter(fs, root, "t", 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if left := fs.List(SegmentsPrefix(root, "t")); len(left) != 0 {
+				t.Fatalf("orphan not swept on recovery: %v", left)
+			}
+
+			// ...and the redelivered records archive exactly once.
+			for _, m := range feedMessages(0, 10) {
+				exp2.add(m)
+			}
+			info, err := exp2.roll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			man, err = LoadManifest(fs, root, "t", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(man.Segments) != 1 || man.NextOffset != 10 {
+				t.Fatalf("recovered manifest = %+v", man)
+			}
+			if segs := fs.List(SegmentsPrefix(root, "t")); len(segs) != 1 {
+				t.Fatalf("segment files after recovery = %d, want 1", len(segs))
+			}
+			data, err := fs.ReadFile(info.Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.HasPrefix(data, []byte(tc.magic)) {
+				t.Fatalf("segment magic = %q, want %s", data[:8], tc.magic)
+			}
+			recs, err := DecodeSegment(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 10 {
+				t.Fatalf("recovered segment holds %d records, want 10", len(recs))
+			}
+			for i, r := range recs {
+				if r.Offset != int64(i) || string(r.Value) != fmt.Sprintf("v%03d", i) {
+					t.Fatalf("record %d = offset %d value %q", i, r.Offset, r.Value)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashAfterPartialProgress crashes mid-stream: two segments commit,
+// the third seals without a manifest. Recovery must keep the two committed
+// segments untouched, sweep only the orphan, and resume from the manifest's
+// NextOffset.
+func TestCrashAfterPartialProgress(t *testing.T) {
+	fs := crashFS(t)
+	const root = "/archive"
+	rolls := 0
+	cfg := exporterConfig{segmentRecords: 10}
+	cfg.onSealed = func(string) error {
+		rolls++
+		if rolls == 3 {
+			return errInjectedCrash
+		}
+		return nil
+	}
+	exp, err := openExporter(fs, root, "t", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range feedMessages(0, 30) {
+		exp.add(m)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := exp.roll(); err != nil {
+			t.Fatalf("roll %d: %v", i, err)
+		}
+	}
+	if _, err := exp.roll(); !errors.Is(err, errInjectedCrash) {
+		t.Fatalf("roll 3 error = %v, want injected crash", err)
+	}
+
+	cfg.onSealed = nil
+	exp2, err := openExporter(fs, root, "t", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp2.man.NextOffset != 20 || len(exp2.man.Segments) != 2 {
+		t.Fatalf("recovered manifest = %+v", exp2.man)
+	}
+	// Only the orphan (base 20) was swept; committed segments survive.
+	segs := fs.List(SegmentsPrefix(root, "t"))
+	if len(segs) != 2 {
+		t.Fatalf("segments after recovery = %d, want 2", len(segs))
+	}
+	// Redelivery from the committed offset finishes the export.
+	for _, m := range feedMessages(20, 10) {
+		exp2.add(m)
+	}
+	if _, err := exp2.roll(); err != nil {
+		t.Fatal(err)
+	}
+	man, _ := LoadManifest(fs, root, "t", 0)
+	if man.NextOffset != 30 || len(man.Segments) != 3 {
+		t.Fatalf("final manifest = %+v", man)
+	}
+	want := int64(0)
+	for _, seg := range man.Segments {
+		if seg.BaseOffset != want {
+			t.Fatalf("segment chain broken at %d, want base %d", seg.BaseOffset, want)
+		}
+		want = seg.LastOffset + 1
+	}
+}
+
+// TestCrashBeforeRenameSweepsTmp covers the earlier crash point: the write
+// of the temporary segment file completed but the rename never happened. A
+// .tmp is ours to sweep on recovery; it must never shadow a future roll.
+func TestCrashBeforeRenameSweepsTmp(t *testing.T) {
+	fs := crashFS(t)
+	const root = "/archive"
+	tmp := segmentPath(root, "t", 0, 0, 9) + ".tmp"
+	if err := fs.WriteFile(tmp, []byte("half-written segment")); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := openExporter(fs, root, "t", 0, exporterConfig{segmentRecords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range fs.List(SegmentsPrefix(root, "t")) {
+		if strings.HasSuffix(info.Path, ".tmp") {
+			t.Fatalf("tmp leftover not swept: %s", info.Path)
+		}
+	}
+	for _, m := range feedMessages(0, 10) {
+		exp.add(m)
+	}
+	if _, err := exp.roll(); err != nil {
+		t.Fatalf("roll over swept tmp: %v", err)
+	}
+	man, _ := LoadManifest(fs, root, "t", 0)
+	if man.NextOffset != 10 || len(man.Segments) != 1 {
+		t.Fatalf("manifest = %+v", man)
+	}
+}

@@ -36,6 +36,12 @@ type exporterConfig struct {
 	segmentRecords int
 	flushAge       time.Duration
 	codec          record.Codec // segment-file compression
+	// onSealed is a crash-injection hook for recovery tests: it runs after
+	// a segment is renamed into place and before the manifest commit — the
+	// exact window a SIGKILL leaves an orphan segment. Returning an error
+	// aborts the roll there, reproducing the on-DFS state a crashed
+	// archiver leaves behind. Nil in production.
+	onSealed func(path string) error
 }
 
 // openExporter loads the partition's manifest and removes orphan segments —
@@ -187,6 +193,12 @@ func (e *exporter) roll() (SegmentInfo, error) {
 		Bytes:          int64(len(data)),
 		FirstTimestamp: seg[0].Timestamp,
 		LastTimestamp:  seg[n-1].Timestamp,
+	}
+	if e.cfg.onSealed != nil {
+		// Injected crash between segment seal and manifest commit.
+		if err := e.cfg.onSealed(final); err != nil {
+			return SegmentInfo{}, err
+		}
 	}
 	// Commit a candidate manifest; the exporter's state only moves if the
 	// commit lands, so a failed or conflicted commit leaves it consistent

@@ -211,6 +211,7 @@ func All(scale Scale) []Table {
 		E14ArchiveExport(scale),
 		E15ArchiveScan(scale),
 		E16Compression(scale),
+		E17Availability(scale),
 	}
 }
 
@@ -233,6 +234,7 @@ func ByID(id string) (func(Scale) Table, bool) {
 		"E14": E14ArchiveExport,
 		"E15": E15ArchiveScan,
 		"E16": E16Compression,
+		"E17": E17Availability,
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

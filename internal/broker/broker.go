@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/coord"
 	"repro/internal/metrics"
@@ -61,6 +62,19 @@ type Config struct {
 	// modeled disk penalty, reproducing the anti-caching behaviour of
 	// paper §4.1 inside the full stack. Nil (the default) costs nothing.
 	PageCache *cache.Config
+	// Listen binds the broker's listener; nil means plain TCP net.Listen.
+	// Chaos harnesses (internal/chaos) substitute a listener factory that
+	// registers the broker on an injected network so its links can be
+	// severed, delayed or corrupted per §4.3 failure experiments.
+	Listen func(host string, port int32) (net.Listener, error)
+	// Dial opens this broker's outbound connections (replication fetches to
+	// partition leaders); nil means plain TCP. Injected together with
+	// Listen so asymmetric partitions cut replication links too.
+	Dial client.Dialer
+	// Now is the broker's clock for liveness decisions (ISR lag, group
+	// member expiry, rebalance deadlines); nil means time.Now. Tests inject
+	// a fake clock to drive expiry deterministically instead of sleeping.
+	Now func() time.Time
 	// Logger receives operational events; nil discards them.
 	Logger *slog.Logger
 	// Metrics receives broker counters; nil creates a private registry.
@@ -94,6 +108,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OffsetsReplication == 0 {
 		c.OffsetsReplication = 1
+	}
+	if c.Listen == nil {
+		c.Listen = func(host string, port int32) (net.Listener, error) {
+			return net.Listen("tcp", fmt.Sprintf("%s:%d", host, port))
+		}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
@@ -139,7 +161,7 @@ func Start(store *coord.Store, cfg Config) (*Broker, error) {
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", fmt.Sprintf("%s:%d", cfg.Host, cfg.Port))
+	ln, err := cfg.Listen(cfg.Host, cfg.Port)
 	if err != nil {
 		return nil, fmt.Errorf("broker: listen: %w", err)
 	}
@@ -378,10 +400,18 @@ func (b *Broker) watchLoop(events <-chan coord.Event) {
 			return
 		case ev, ok := <-events:
 			if !ok {
-				// Watch overflowed: resync everything.
+				// Watch overflowed: resync everything. Register the
+				// replacement watch under b.mu with a stopped check, so a
+				// concurrent shutdown (which snapshots watchCancel under
+				// the same lock) can never miss it and leak a watcher on
+				// the store — the store outlives this broker.
+				b.mu.Lock()
+				if b.stopped {
+					b.mu.Unlock()
+					return
+				}
 				var cancel func()
 				events, cancel = b.store.Watch("/")
-				b.mu.Lock()
 				old := b.watchCancel
 				b.watchCancel = cancel
 				b.mu.Unlock()
@@ -457,7 +487,7 @@ func (b *Broker) housekeeping() {
 		case <-isr.C:
 			b.shrinkLaggingISRs()
 		case <-groups.C:
-			b.groups.tick(time.Now())
+			b.groups.tick(b.cfg.Now())
 		case <-retentionC:
 			b.enforceRetention()
 		case <-compactionC:
@@ -469,7 +499,7 @@ func (b *Broker) housekeeping() {
 // shrinkLaggingISRs removes followers that stopped keeping up from the ISR
 // of partitions this broker leads (paper §4.3).
 func (b *Broker) shrinkLaggingISRs() {
-	now := time.Now()
+	now := b.cfg.Now()
 	for _, r := range b.replicaSnapshot() {
 		lagging := r.laggingFollowers(b.cfg.ReplicaMaxLag, now)
 		for _, id := range lagging {
@@ -523,7 +553,7 @@ func (b *Broker) updateISR(r *replica, followerID int32, add bool) {
 
 // enforceRetention applies retention to every local log.
 func (b *Broker) enforceRetention() {
-	now := time.Now()
+	now := b.cfg.Now()
 	for _, r := range b.replicaSnapshot() {
 		if _, err := r.log.EnforceRetention(now); err != nil && !errors.Is(err, log.ErrClosed) {
 			b.logger.Warn("retention failed", "tp", r.tp.String(), "err", err)
@@ -588,8 +618,13 @@ func (b *Broker) shutdown(graceful bool) {
 	b.controller.Stop()
 	b.fetchers.stopAll()
 	b.groups.dropAll()
-	if b.watchCancel != nil {
-		b.watchCancel()
+	// The watch loop swaps watchCancel under b.mu when its watch overflows;
+	// snapshot it under the same lock.
+	b.mu.Lock()
+	cancel := b.watchCancel
+	b.mu.Unlock()
+	if cancel != nil {
+		cancel()
 	}
 	if graceful {
 		b.store.CloseSession(b.session)

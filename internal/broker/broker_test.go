@@ -473,6 +473,7 @@ func TestGroupRebalanceOnMemberExit(t *testing.T) {
 	// a stable generation with one partition each.
 	var phase int32 // 0 = both polling, 1 = B stops, 2 = all stop
 	var wg sync.WaitGroup
+	bStopped := make(chan struct{})
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
@@ -482,6 +483,7 @@ func TestGroupRebalanceOnMemberExit(t *testing.T) {
 	}()
 	go func() {
 		defer wg.Done()
+		defer close(bStopped)
 		for atomic.LoadInt32(&phase) < 1 {
 			gB.Poll(50 * time.Millisecond)
 		}
@@ -504,9 +506,11 @@ func TestGroupRebalanceOnMemberExit(t *testing.T) {
 		t.Fatalf("initial split wrong: %v / %v", gA.Assignment(), gB.Assignment())
 	}
 
-	// B leaves; A should take over both partitions.
+	// B leaves; A should take over both partitions. Wait for B's poll loop
+	// to actually exit (deterministic handshake, not a sleep) so Close
+	// cannot race a poll in flight.
 	atomic.StoreInt32(&phase, 1)
-	time.Sleep(100 * time.Millisecond) // let B's poll loop exit
+	<-bStopped
 	gB.Close()
 	deadline = time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {

@@ -168,7 +168,7 @@ func (f *replicaFetcher) run() {
 				}
 				continue
 			}
-			c, err := client.Dial(addr, f.b.clientID(), time.Second)
+			c, err := client.DialWith(f.b.cfg.Dial, addr, f.b.clientID(), time.Second)
 			if err != nil {
 				if !backoff() {
 					return

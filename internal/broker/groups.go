@@ -94,7 +94,7 @@ func (g *groupCoordinator) handleJoin(req *wire.JoinGroupRequest, clientID strin
 		grp = &group{name: req.Group, members: make(map[string]*member)}
 		g.groups[req.Group] = grp
 	}
-	now := time.Now()
+	now := g.b.cfg.Now()
 	memberID := req.MemberID
 	if memberID == "" {
 		grp.nextMember++
@@ -149,7 +149,7 @@ func (g *groupCoordinator) maybeCompleteJoinLocked(grp *group) {
 			break
 		}
 	}
-	expired := time.Now().After(grp.rebalanceDeadline)
+	expired := g.b.cfg.Now().After(grp.rebalanceDeadline)
 	if !allJoined && !expired {
 		return
 	}
@@ -183,7 +183,7 @@ func (g *groupCoordinator) maybeCompleteJoinLocked(grp *group) {
 			Metadata: grp.members[id].metadata,
 		})
 	}
-	now := time.Now()
+	now := g.b.cfg.Now()
 	for _, id := range ids {
 		m := grp.members[id]
 		resp := &wire.JoinGroupResponse{
@@ -313,7 +313,7 @@ func (g *groupCoordinator) handleHeartbeat(req *wire.HeartbeatRequest) wire.Erro
 	if !ok {
 		return wire.ErrUnknownMemberID
 	}
-	m.lastHeartbeat = time.Now()
+	m.lastHeartbeat = g.b.cfg.Now()
 	if req.Generation != grp.generation {
 		return wire.ErrIllegalGeneration
 	}
@@ -351,7 +351,7 @@ func (g *groupCoordinator) handleLeave(req *wire.LeaveGroupRequest) wire.ErrorCo
 	}
 	if grp.state != groupPreparingRebalance {
 		grp.state = groupPreparingRebalance
-		grp.rebalanceDeadline = time.Now().Add(grp.rebalanceTimeout)
+		grp.rebalanceDeadline = g.b.cfg.Now().Add(grp.rebalanceTimeout)
 	}
 	g.maybeCompleteJoinLocked(grp)
 	return wire.ErrNone

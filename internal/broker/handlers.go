@@ -270,7 +270,10 @@ func (b *Broker) collectFetch(req *wire.FetchRequest, isFollower bool) (*wire.Fe
 	resp := &wire.FetchResponse{}
 	total := 0
 	hasError := false
-	now := time.Now()
+	// Follower catch-up times feed the ISR lag decision, which compares
+	// against Config.Now — both sides must read the same (injectable)
+	// clock or a fake clock would never (or always) shrink the ISR.
+	now := b.cfg.Now()
 	for _, t := range req.Topics {
 		rt := wire.FetchRespTopic{Name: t.Name}
 		for _, p := range t.Partitions {

@@ -1,0 +1,96 @@
+// Package chaos is the deterministic fault-injection layer for the stack's
+// §4.3 fault-tolerance claims. The paper's messaging layer promises that
+// replicated partitions survive broker failure ("a hand-over process selects
+// a new leader among its followers"), that the ISR shrinks around lagging
+// replicas, and that acknowledged records are never lost. Nothing proves
+// such claims like killing the leader mid-produce — so this package makes
+// that a repeatable, seeded operation instead of an outage.
+//
+// It has two halves:
+//
+//   - A fault-injecting transport: Network wraps the dial/listen hooks of
+//     internal/broker and internal/client so every connection in a stack
+//     crosses an injectable link. Links are directional and per-frame faults
+//     (delay, drop, duplicate, corrupt) are drawn from a PRNG seeded per
+//     link, so a scenario seed reproduces the same fault schedule. Links can
+//     also be severed — asymmetrically, one dial direction at a time — to
+//     model network partitions.
+//
+//   - A scenario runner (Scenario) that drives a live core.Stack through
+//     scripted fault schedules — kill the leader during acks=all produce,
+//     partition a follower past ReplicaMaxLag, crash the archiver between a
+//     segment seal and its manifest commit, restart the controller — while
+//     invariant checkers continuously assert the §4.3 guarantees: no
+//     acked-record loss, high-watermark monotonicity, at most one leader per
+//     epoch, consumed-offset contiguity, and exactly-once backfill.
+//
+// Determinism: the fault schedule is a pure function of (seed, link, frame
+// sequence). Goroutine scheduling still interleaves frames of concurrent
+// connections, so runs are not byte-identical — the invariants are what must
+// hold on every schedule, and a failing seed reproduces the same fault mix.
+package chaos
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Faults is the per-frame fault mix of one directional link. Rates are
+// probabilities in [0,1] drawn per frame from the link's seeded PRNG.
+type Faults struct {
+	// Delay is added before each frame is passed on (both directions of a
+	// round trip pay their own link's delay).
+	Delay time.Duration
+	// DropRate discards the frame and then resets the connection — a lost
+	// frame on a stream transport is a broken session, and modelling it
+	// that way keeps clients retrying instead of hanging forever.
+	DropRate float64
+	// DuplicateRate passes the frame on twice, modelling duplicate delivery
+	// (the receiver sees a replayed request or a stale response and must
+	// reject it by correlation id or offset dedup).
+	DuplicateRate float64
+	// CorruptRate flips one payload byte, modelling on-path corruption the
+	// framing/CRC layers must detect (wire.ErrFrameTooLarge, record CRC).
+	// Note the direction matters: request payloads carry CRCs (record
+	// batches) and malformed requests are rejected, but responses have no
+	// integrity check — corrupting the broker→client direction can forge
+	// an acknowledgement, which no recovery protocol can survive.
+	// Scenarios therefore corrupt the request direction and leave response
+	// links to delay/duplicate faults.
+	CorruptRate float64
+}
+
+// active reports whether any fault is configured.
+func (f Faults) active() bool {
+	return f.Delay > 0 || f.DropRate > 0 || f.DuplicateRate > 0 || f.CorruptRate > 0
+}
+
+// link is one direction of a node pair.
+type link struct{ from, to string }
+
+// pair is an unordered node pair, the granularity at which live connections
+// are tracked (a TCP session dies if either direction is cut).
+type pair struct{ a, b string }
+
+func pairOf(x, y string) pair {
+	if x > y {
+		x, y = y, x
+	}
+	return pair{a: x, b: y}
+}
+
+// linkSeed derives a per-link PRNG seed from the network seed, so each
+// link's fault schedule is independent of how many frames other links carry.
+func linkSeed(seed int64, l link) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(l.from))
+	h.Write([]byte{0})
+	h.Write([]byte(l.to))
+	return seed ^ int64(h.Sum64())
+}
+
+// newLinkRand builds the deterministic PRNG for one link.
+func newLinkRand(seed int64, l link) *rand.Rand {
+	return rand.New(rand.NewSource(linkSeed(seed, l)))
+}

@@ -1,0 +1,302 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// startEcho runs a frame echo server registered on the network as node
+// "server", returning its address.
+func startEcho(t *testing.T, n *Network) string {
+	t.Helper()
+	ln, err := n.Listen("server")("127.0.0.1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					payload, err := wire.ReadFrame(c)
+					if err != nil {
+						return
+					}
+					if err := wire.WriteFrame(c, payload); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// dialNode dials through the network as the named node.
+func dialNode(t *testing.T, n *Network, node, addr string) net.Conn {
+	t.Helper()
+	conn, err := n.Dialer(node)(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial %s->%s: %v", node, addr, err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// echo sends one frame and reads one echoed frame.
+func echo(conn net.Conn, payload []byte) ([]byte, error) {
+	if err := wire.WriteFrame(conn, payload); err != nil {
+		return nil, err
+	}
+	return wire.ReadFrame(conn)
+}
+
+func TestPassThroughWithoutFaults(t *testing.T) {
+	n := NewNetwork(1)
+	addr := startEcho(t, n)
+	conn := dialNode(t, n, "client", addr)
+	for i := 0; i < 10; i++ {
+		msg := bytes.Repeat([]byte{byte(i)}, 100+i)
+		got, err := echo(conn, msg)
+		if err != nil {
+			t.Fatalf("echo %d: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("echo %d corrupted a clean link", i)
+		}
+	}
+}
+
+func TestDelayFault(t *testing.T) {
+	n := NewNetwork(1)
+	addr := startEcho(t, n)
+	conn := dialNode(t, n, "client", addr)
+	if _, err := echo(conn, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkFaults("client", "server", Faults{Delay: 50 * time.Millisecond})
+	start := time.Now()
+	if _, err := echo(conn, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("round trip %v beat the injected 50ms delay", d)
+	}
+}
+
+func TestDuplicateFault(t *testing.T) {
+	n := NewNetwork(1)
+	addr := startEcho(t, n)
+	conn := dialNode(t, n, "client", addr)
+	// Every request frame is duplicated: the server echoes each copy, so
+	// one send yields two responses.
+	n.SetLinkFaults("client", "server", Faults{DuplicateRate: 1})
+	if err := wire.WriteFrame(conn, []byte("dup")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Fatalf("read copy %d: %v", i, err)
+		}
+		if string(got) != "dup" {
+			t.Fatalf("copy %d = %q", i, got)
+		}
+	}
+}
+
+func TestDropFaultResetsConnection(t *testing.T) {
+	n := NewNetwork(1)
+	addr := startEcho(t, n)
+	conn := dialNode(t, n, "client", addr)
+	n.SetLinkFaults("client", "server", Faults{DropRate: 1})
+	err := wire.WriteFrame(conn, []byte("lost"))
+	if err == nil {
+		// The drop may surface on the read side instead, depending on
+		// which write call carried the frame boundary.
+		_, err = wire.ReadFrame(conn)
+	}
+	if err == nil {
+		t.Fatal("dropped frame produced a response")
+	}
+	// The connection is reset, not wedged: subsequent use errors fast.
+	if _, err := echo(conn, []byte("after")); err == nil {
+		t.Fatal("connection survived a dropped frame")
+	}
+}
+
+func TestCorruptFaultIsDetectable(t *testing.T) {
+	n := NewNetwork(7)
+	addr := startEcho(t, n)
+	conn := dialNode(t, n, "client", addr)
+	n.SetLinkFaults("client", "server", Faults{CorruptRate: 1})
+	msg := bytes.Repeat([]byte{0x42}, 64)
+	got, err := echo(conn, msg)
+	if err != nil {
+		// A corrupt length prefix is also a legitimate detection path.
+		return
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("corrupt fault did not alter the frame")
+	}
+}
+
+func TestSeverBlocksDialsAndResetsConns(t *testing.T) {
+	n := NewNetwork(1)
+	addr := startEcho(t, n)
+	conn := dialNode(t, n, "client", addr)
+	if _, err := echo(conn, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	n.Sever("client", "server")
+	if _, err := n.Dialer("client")(addr, time.Second); err == nil {
+		t.Fatal("dial across severed link succeeded")
+	}
+	if _, err := echo(conn, []byte("post")); err == nil {
+		t.Fatal("existing connection survived the sever")
+	}
+	// Heal restores dialing.
+	n.Unsever("client", "server")
+	conn2 := dialNode(t, n, "client", addr)
+	if _, err := echo(conn2, []byte("healed")); err != nil {
+		t.Fatalf("healed link: %v", err)
+	}
+}
+
+func TestAsymmetricSever(t *testing.T) {
+	n := NewNetwork(1)
+	addrA := startEcho(t, n) // node "server"
+	// Second listener owned by another node.
+	lnB, err := n.Listen("b")("127.0.0.1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnB.Close()
+
+	n.PartitionOneWay([]string{"b"}, []string{"server"})
+	// b -> server dials fail...
+	if _, err := n.Dialer("b")(addrA, time.Second); err == nil {
+		t.Fatal("b->server dial crossed a one-way partition")
+	}
+	// ...while server -> b dials still connect.
+	accepted := make(chan struct{})
+	go func() {
+		if c, err := lnB.Accept(); err == nil {
+			c.Close()
+			close(accepted)
+		}
+	}()
+	conn, err := n.Dialer("server")(lnB.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("server->b dial blocked by one-way partition: %v", err)
+	}
+	conn.Close()
+	select {
+	case <-accepted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server->b connection never accepted")
+	}
+}
+
+func TestIsolateAndHealNode(t *testing.T) {
+	n := NewNetwork(1)
+	addr := startEcho(t, n)
+	conn := dialNode(t, n, "client", addr)
+	n.Isolate("server")
+	if _, err := echo(conn, []byte("x")); err == nil {
+		t.Fatal("connection to isolated node survived")
+	}
+	if _, err := n.Dialer("client")(addr, time.Second); err == nil {
+		t.Fatal("dial to isolated node succeeded")
+	}
+	n.HealNode("server")
+	conn2 := dialNode(t, n, "client", addr)
+	if _, err := echo(conn2, []byte("back")); err != nil {
+		t.Fatalf("healed node unreachable: %v", err)
+	}
+}
+
+func TestSeededDrawsAreDeterministic(t *testing.T) {
+	l := link{from: "client", to: "server"}
+	f := Faults{DropRate: 0.3, DuplicateRate: 0.2, CorruptRate: 0.1}
+	draw := func(seed int64) []frameAction {
+		n := NewNetwork(seed)
+		out := make([]frameAction, 200)
+		for i := range out {
+			out[i] = n.draw(l, f)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestUnframedTrafficFallsBackToRaw(t *testing.T) {
+	// A stream that does not follow the length-prefix protocol must still
+	// flow (the receiver, not the injector, owns rejecting it).
+	n := NewNetwork(1)
+	ln, err := n.Listen("server")("127.0.0.1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf, _ := io.ReadAll(c)
+		got <- buf
+	}()
+	conn := dialNode(t, n, "client", ln.Addr().String())
+	raw := []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3} // bogus huge length prefix
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	select {
+	case buf := <-got:
+		if !bytes.Equal(buf, raw) {
+			t.Fatalf("raw bytes mangled: % x", buf)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("raw traffic never arrived")
+	}
+}
+
+func TestFrameTooLargeSentinel(t *testing.T) {
+	// The wire layer's framing-violation sentinel is what receivers use to
+	// classify injected corruption; make sure it round-trips.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := wire.ReadFrame(&buf); !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("oversized frame error = %v, want ErrFrameTooLarge", err)
+	}
+}

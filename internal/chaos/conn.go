@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrFrameDropped reports a frame the link discarded; the connection is
+// reset alongside it, so callers observe a broken session and retry.
+var ErrFrameDropped = errors.New("chaos: frame dropped, connection reset")
+
+// faultConn wraps one dialed connection and applies the network's current
+// per-frame faults in both directions. It understands the wire layer's
+// 4-byte length-prefixed framing, so faults land on whole protocol frames —
+// dropping or duplicating a frame never tears the stream mid-message (the
+// corrupt fault flips payload bytes on purpose, for the CRC/framing layers
+// to catch). Streams that stop looking like frames (a corrupt length beyond
+// wire.MaxFrameSize) fall back to raw passthrough so the receiver sees the
+// violation instead of the injector wedging.
+type faultConn struct {
+	nc  net.Conn
+	n   *Network
+	out link // write direction: dialer -> target
+	in  link // read direction: target -> dialer
+
+	wmu   sync.Mutex
+	wpend []byte // bytes written but not yet forming a complete frame
+	wraw  bool   // write passthrough (stream no longer framed)
+
+	rmu   sync.Mutex
+	rpend []byte // decoded frame bytes ready for delivery
+	rraw  bool   // read passthrough
+
+	closeOnce sync.Once
+}
+
+func newFaultConn(n *Network, nc net.Conn, from, to string) *faultConn {
+	return &faultConn{
+		nc:  nc,
+		n:   n,
+		out: link{from: from, to: to},
+		in:  link{from: to, to: from},
+	}
+}
+
+// Write buffers bytes until a whole frame is present, then applies the
+// out-link's faults to the frame and forwards it.
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.wraw {
+		return c.nc.Write(p)
+	}
+	// Frames are always tracked (not only while faults are active) so the
+	// injector stays frame-aligned when faults switch on mid-connection.
+	c.wpend = append(c.wpend, p...)
+	for {
+		frame, ok := cutFrame(c.wpend)
+		if !ok {
+			if len(c.wpend) >= 4 && frameLen(c.wpend) > wire.MaxFrameSize {
+				// Not framed traffic (or already-corrupt length): stop
+				// interpreting and pass the stream through.
+				c.wraw = true
+				if _, err := c.nc.Write(c.wpend); err != nil {
+					return len(p), err
+				}
+				c.wpend = nil
+			}
+			return len(p), nil
+		}
+		if err := c.forwardFrame(frame, c.out, c.n.faultsFor(c.out)); err != nil {
+			return len(p), err
+		}
+		c.wpend = append(c.wpend[:0], c.wpend[len(frame):]...)
+	}
+}
+
+// Read delivers one faulted frame at a time from the in-link.
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for len(c.rpend) == 0 {
+		if c.rraw {
+			return c.nc.Read(p)
+		}
+		f := c.n.faultsFor(c.in)
+		frame, raw, err := c.readFrame()
+		if err != nil {
+			return 0, err
+		}
+		if raw != nil {
+			// Unframed bytes: deliver and switch to passthrough.
+			c.rraw = true
+			c.rpend = raw
+			break
+		}
+		act := c.n.draw(c.in, f)
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if act.drop {
+			c.Close()
+			return 0, ErrFrameDropped
+		}
+		if act.corrupt {
+			corruptFrame(frame, act.corruptPos)
+		}
+		c.rpend = frame
+		if act.duplicate {
+			c.rpend = append(c.rpend, frame...)
+		}
+	}
+	n := copy(p, c.rpend)
+	c.rpend = c.rpend[n:]
+	if len(c.rpend) == 0 {
+		c.rpend = nil
+	}
+	return n, nil
+}
+
+// forwardFrame applies the link faults to one complete frame and writes it.
+func (c *faultConn) forwardFrame(frame []byte, l link, f Faults) error {
+	act := c.n.draw(l, f)
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if act.drop {
+		c.Close()
+		return ErrFrameDropped
+	}
+	if act.corrupt {
+		// Corrupt a copy: the caller's buffer may be pooled.
+		dup := append([]byte(nil), frame...)
+		corruptFrame(dup, act.corruptPos)
+		frame = dup
+	}
+	if _, err := c.nc.Write(frame); err != nil {
+		return err
+	}
+	if act.duplicate {
+		if _, err := c.nc.Write(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame (header included) from the
+// underlying connection. When the stream stops looking framed it returns
+// the bytes read so far as raw instead.
+func (c *faultConn) readFrame() (frame, raw []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+		return nil, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > wire.MaxFrameSize {
+		return nil, hdr[:], nil
+	}
+	buf := make([]byte, 4+n)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(c.nc, buf[4:]); err != nil {
+		return nil, nil, err
+	}
+	return buf, nil, nil
+}
+
+// cutFrame returns the leading complete frame of buf (header included).
+func cutFrame(buf []byte) ([]byte, bool) {
+	if len(buf) < 4 {
+		return nil, false
+	}
+	n := frameLen(buf)
+	if n > wire.MaxFrameSize || len(buf) < 4+int(n) {
+		return nil, false
+	}
+	return buf[:4+int(n)], true
+}
+
+func frameLen(buf []byte) uint32 { return binary.BigEndian.Uint32(buf[:4]) }
+
+// corruptFrame flips one payload byte (or a header byte on empty payloads),
+// deterministically positioned by the link PRNG draw.
+func corruptFrame(frame []byte, pos int) {
+	if len(frame) > 4 {
+		frame[4+pos%(len(frame)-4)] ^= 0xFF
+		return
+	}
+	frame[pos%len(frame)] ^= 0xFF
+}
+
+// Close resets the connection and unregisters it from the network.
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { c.n.unregister(c) })
+	return c.nc.Close()
+}
+
+func (c *faultConn) LocalAddr() net.Addr                { return c.nc.LocalAddr() }
+func (c *faultConn) RemoteAddr() net.Addr               { return c.nc.RemoteAddr() }
+func (c *faultConn) SetDeadline(t time.Time) error      { return c.nc.SetDeadline(t) }
+func (c *faultConn) SetReadDeadline(t time.Time) error  { return c.nc.SetReadDeadline(t) }
+func (c *faultConn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }

@@ -1,0 +1,342 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/client"
+)
+
+// chaosSeed drives every scenario in this file. CI failures print the seed,
+// so any red run reproduces locally with -chaos.seed=N.
+var chaosSeed = flag.Int64("chaos.seed", 1, "fault schedule seed for chaos scenarios")
+
+// failSeed fails the test with the reproduction command line attached.
+func failSeed(t *testing.T, seed int64, format string, args ...any) {
+	t.Helper()
+	t.Fatalf("[chaos seed %d — rerun: go test ./internal/chaos -run '^%s$' -chaos.seed=%d]\n%s",
+		seed, t.Name(), seed, fmt.Sprintf(format, args...))
+}
+
+// mustFinish runs the scenario's invariant checks and fails on violations.
+func mustFinish(t *testing.T, sc *Scenario) {
+	t.Helper()
+	violations, err := sc.Finish()
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "scenario error: %v", err)
+	}
+	for _, v := range violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if len(violations) > 0 {
+		failSeed(t, sc.Cfg.Seed, "%d invariant violations (acked=%d, produce errors=%d)",
+			len(violations), sc.Ledger.Len(), sc.ProduceErrors())
+	}
+}
+
+// TestChaosSmokeFailoverLeaderKill is the acceptance scenario: kill the
+// partition leader while acks=all producers run, and assert no acked-record
+// loss, HW monotonicity, one leader per epoch and offset contiguity. It
+// repeats 3 times with the same seed — the invariants must hold on every
+// schedule the seed produces.
+func TestChaosSmokeFailoverLeaderKill(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		run := run
+		t.Run(fmt.Sprintf("run-%d", run), func(t *testing.T) {
+			sc, err := StartScenario(ScenarioConfig{
+				Name: fmt.Sprintf("leader-kill-%d", run),
+				Seed: *chaosSeed,
+			})
+			if err != nil {
+				failSeed(t, *chaosSeed, "start: %v", err)
+			}
+			defer sc.Close()
+			sc.StartProducers()
+			if err := sc.AwaitAcked(150, 20*time.Second); err != nil {
+				failSeed(t, sc.Cfg.Seed, "%v", err)
+			}
+			sc.MarkPreFault()
+			old, err := sc.KillLeader(0)
+			if err != nil {
+				failSeed(t, sc.Cfg.Seed, "kill leader: %v", err)
+			}
+			if _, err := sc.AwaitLeaderChange(0, old, 20*time.Second); err != nil {
+				failSeed(t, sc.Cfg.Seed, "%v", err)
+			}
+			// The workload must make progress under the new leader.
+			if err := sc.AwaitAcked(sc.Ledger.Len()+150, 30*time.Second); err != nil {
+				failSeed(t, sc.Cfg.Seed, "post-failover progress: %v", err)
+			}
+			mustFinish(t, sc)
+		})
+	}
+}
+
+// TestChaosSmokeControllerKill crashes the broker holding the controller
+// seat: another broker must win the re-election and repair any leadership
+// the dead controller held, without violating the invariants.
+func TestChaosSmokeControllerKill(t *testing.T) {
+	sc, err := StartScenario(ScenarioConfig{Name: "controller-kill", Seed: *chaosSeed})
+	if err != nil {
+		failSeed(t, *chaosSeed, "start: %v", err)
+	}
+	defer sc.Close()
+	sc.StartProducers()
+	if err := sc.AwaitAcked(100, 20*time.Second); err != nil {
+		failSeed(t, sc.Cfg.Seed, "%v", err)
+	}
+	sc.MarkPreFault()
+	dead, err := sc.KillController()
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "kill controller: %v", err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if id := sc.Stack.ControllerID(); id >= 0 && id != dead {
+			break
+		}
+		if time.Now().After(deadline) {
+			failSeed(t, sc.Cfg.Seed, "controller seat never moved off %d", dead)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := sc.AwaitAcked(sc.Ledger.Len()+100, 30*time.Second); err != nil {
+		failSeed(t, sc.Cfg.Seed, "post-election progress: %v", err)
+	}
+	mustFinish(t, sc)
+}
+
+// TestChaosSmokePartitionISRShrink severs an in-sync follower from the
+// cluster: past ReplicaMaxLag the leader must shrink the ISR so acks=all
+// produces keep completing, and after healing the follower must re-enter
+// the ISR by catching up.
+func TestChaosSmokePartitionISRShrink(t *testing.T) {
+	sc, err := StartScenario(ScenarioConfig{
+		Name:          "partition-follower",
+		Seed:          *chaosSeed,
+		ReplicaMaxLag: 500 * time.Millisecond,
+	})
+	if err != nil {
+		failSeed(t, *chaosSeed, "start: %v", err)
+	}
+	defer sc.Close()
+	sc.StartProducers()
+	if err := sc.AwaitAcked(100, 20*time.Second); err != nil {
+		failSeed(t, sc.Cfg.Seed, "%v", err)
+	}
+	sc.MarkPreFault()
+	follower, err := sc.PartitionFollower(0)
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "partition follower: %v", err)
+	}
+	if err := sc.AwaitISRShrink(0, follower, 20*time.Second); err != nil {
+		failSeed(t, sc.Cfg.Seed, "%v", err)
+	}
+	// acks=all still completes with the shrunken ISR.
+	if err := sc.AwaitAcked(sc.Ledger.Len()+100, 30*time.Second); err != nil {
+		failSeed(t, sc.Cfg.Seed, "progress with shrunken ISR: %v", err)
+	}
+	// Heal: the follower reconnects, catches up and rejoins the ISR.
+	sc.Stack.HealBroker(follower)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := sc.Stack.PartitionState(sc.Cfg.Topic, 0)
+		if err == nil && st.InISR(follower) {
+			break
+		}
+		if time.Now().After(deadline) {
+			failSeed(t, sc.Cfg.Seed, "healed follower %d never rejoined the ISR", follower)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mustFinish(t, sc)
+}
+
+// TestChaosSmokeFrameFaults runs the workload through links that delay,
+// duplicate and corrupt frames. Duplicated produce requests may append
+// twice and corrupt frames kill connections — the invariants under test are
+// exactly the ones that must hold anyway: nothing acked is lost, the HW
+// never regresses, offsets stay contiguous, epochs have one leader.
+func TestChaosSmokeFrameFaults(t *testing.T) {
+	sc, err := StartScenario(ScenarioConfig{
+		Name:       "frame-faults",
+		Seed:       *chaosSeed,
+		Partitions: 2,
+	})
+	if err != nil {
+		failSeed(t, *chaosSeed, "start: %v", err)
+	}
+	defer sc.Close()
+	sc.StartProducers()
+	if err := sc.AwaitAcked(100, 20*time.Second); err != nil {
+		failSeed(t, sc.Cfg.Seed, "%v", err)
+	}
+	sc.MarkPreFault()
+	// Requests get the full fault mix (batch CRCs and request validation
+	// catch corruption); responses get delay + duplication only — a
+	// response carries no integrity check, so corrupting it can forge an
+	// acknowledgement, which no recovery protocol can survive.
+	for id := int32(1); id <= int32(sc.Cfg.Brokers); id++ {
+		sc.Net.SetLinkFaults(ClientNode, BrokerName(id), Faults{
+			Delay:         time.Millisecond,
+			DuplicateRate: 0.02,
+			CorruptRate:   0.02,
+		})
+		sc.Net.SetLinkFaults(BrokerName(id), ClientNode, Faults{
+			Delay:         time.Millisecond,
+			DuplicateRate: 0.02,
+		})
+	}
+	if err := sc.AwaitAcked(sc.Ledger.Len()+200, 60*time.Second); err != nil {
+		failSeed(t, sc.Cfg.Seed, "progress under frame faults: %v", err)
+	}
+	sc.Net.Heal()
+	mustFinish(t, sc)
+}
+
+// TestChaosSmokeArchiverCrash crashes the archiver in the widest recovery
+// window (after manifest commits, with offset checkpoints suppressed), then
+// restarts it and asserts the manifest recovery path yields a gapless,
+// duplicate-free archive — and that Backfill delivers each archived record
+// exactly once across repeated runs.
+func TestChaosSmokeArchiverCrash(t *testing.T) {
+	sc, err := StartScenario(ScenarioConfig{Name: "archiver-crash", Seed: *chaosSeed, Brokers: 1, Replication: 1})
+	if err != nil {
+		failSeed(t, *chaosSeed, "start: %v", err)
+	}
+	defer sc.Close()
+	produce := func(from, to int) {
+		prod := sc.Stack.NewProducer(client.ProducerConfig{})
+		for i := from; i < to; i++ {
+			if err := prod.Send(client.Message{
+				Topic: sc.Cfg.Topic,
+				Key:   []byte(fmt.Sprintf("k-%03d", i)),
+				Value: []byte(fmt.Sprintf("v-%03d", i)),
+			}); err != nil {
+				failSeed(t, sc.Cfg.Seed, "produce: %v", err)
+			}
+		}
+		if err := prod.Flush(); err != nil {
+			failSeed(t, sc.Cfg.Seed, "flush: %v", err)
+		}
+		prod.Close()
+	}
+	produce(0, 150)
+
+	acfg := archive.ArchiverConfig{
+		Topic:          sc.Cfg.Topic,
+		Name:           "crashy",
+		SegmentRecords: 25,
+		FlushInterval:  50 * time.Millisecond,
+		PollWait:       50 * time.Millisecond,
+	}
+	a, err := sc.Stack.StartArchiver(acfg)
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "start archiver: %v", err)
+	}
+	// Let segments commit, then enter the crash window: offset checkpoints
+	// stop while manifests keep committing — the widest divergence the
+	// recovery path must close. More records arrive inside the window, so
+	// the manifests run well ahead of the last checkpoint when the crash
+	// lands.
+	awaitArchived(t, sc, acfg, 100)
+	a.FailCheckpoints()
+	produce(150, 300)
+	awaitArchived(t, sc, acfg, 300)
+	a.Kill()
+
+	// A restarted archiver resumes from the committed offset (stale, far
+	// behind) but must dedupe against the manifests: the redelivered range
+	// is dropped, only genuinely new records land. Producing a third
+	// tranche proves it processed through the redelivery without
+	// re-archiving any of it.
+	if _, err := sc.Stack.StartArchiver(acfg); err != nil {
+		failSeed(t, sc.Cfg.Seed, "restart archiver: %v", err)
+	}
+	produce(300, 310)
+	const total = 310
+	awaitArchived(t, sc, acfg, total)
+	fs, err := sc.Stack.ArchiveFS()
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "archive fs: %v", err)
+	}
+	manifests, err := archive.ListManifests(fs, "/archive", sc.Cfg.Topic)
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "manifests: %v", err)
+	}
+	var records int64
+	for _, m := range manifests {
+		want := int64(0)
+		for _, seg := range m.Segments {
+			if seg.BaseOffset != want {
+				failSeed(t, sc.Cfg.Seed, "partition %d segment starts at %d, want %d (gap or duplicate)",
+					m.Partition, seg.BaseOffset, want)
+			}
+			if seg.Records != seg.LastOffset-seg.BaseOffset+1 {
+				failSeed(t, sc.Cfg.Seed, "partition %d segment %s record count mismatch", m.Partition, seg.Path)
+			}
+			want = seg.LastOffset + 1
+			records += seg.Records
+		}
+		if m.NextOffset != want {
+			failSeed(t, sc.Cfg.Seed, "partition %d NextOffset %d, want %d", m.Partition, m.NextOffset, want)
+		}
+	}
+	if records != total {
+		failSeed(t, sc.Cfg.Seed, "archived %d records, want %d", records, total)
+	}
+
+	// Exactly-once backfill: two runs under one group deliver each
+	// archived record exactly once to the target feed.
+	if err := sc.Stack.CreateFeed("rewound", 1, 1); err != nil {
+		failSeed(t, sc.Cfg.Seed, "create target: %v", err)
+	}
+	bcfg := archive.BackfillConfig{SourceTopic: sc.Cfg.Topic, TargetTopic: "rewound"}
+	if _, err := sc.Stack.Backfill(bcfg); err != nil {
+		failSeed(t, sc.Cfg.Seed, "backfill: %v", err)
+	}
+	again, err := sc.Stack.Backfill(bcfg)
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "backfill rerun: %v", err)
+	}
+	if again.Records != 0 {
+		failSeed(t, sc.Cfg.Seed, "backfill rerun republished %d records (exactly-once broken)", again.Records)
+	}
+	scan, err := ScanFeed(sc.Stack.Client(), "rewound", 1, 30*time.Second)
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "scan target: %v", err)
+	}
+	for i := 0; i < total; i++ {
+		v := fmt.Sprintf("v-%03d", i)
+		if n := scan.Values[v]; n != 1 {
+			failSeed(t, sc.Cfg.Seed, "backfilled record %q appears %d times, want exactly 1", v, n)
+		}
+	}
+}
+
+// awaitArchived polls until the archiver group's manifests hold at least
+// want records.
+func awaitArchived(t *testing.T, sc *Scenario, acfg archive.ArchiverConfig, want int) {
+	t.Helper()
+	fs, err := sc.Stack.ArchiveFS()
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "archive fs: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var total int64
+		if manifests, err := archive.ListManifests(fs, "/archive", acfg.Topic); err == nil {
+			for _, m := range manifests {
+				total += m.Records()
+			}
+		}
+		if total >= int64(want) {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	failSeed(t, sc.Cfg.Seed, "archive never reached %d records", want)
+}

@@ -34,6 +34,11 @@ type Config struct {
 	MaxRetries int
 	// MetadataTTL is how long cached metadata is trusted.
 	MetadataTTL time.Duration
+	// Dialer opens transport connections; nil means plain TCP. Chaos
+	// harnesses inject a fault-wrapping dialer here so every connection the
+	// client (and its producers/consumers) opens crosses the injected
+	// network.
+	Dialer Dialer
 }
 
 func (c Config) withDefaults() Config {
@@ -85,7 +90,7 @@ func (c *Client) Config() Config { return c.cfg }
 func (c *Client) dialAny() (*Conn, error) {
 	var lastErr error
 	for _, addr := range c.cfg.Bootstrap {
-		conn, err := Dial(addr, c.cfg.ClientID, c.cfg.DialTimeout)
+		conn, err := DialWith(c.cfg.Dialer, addr, c.cfg.ClientID, c.cfg.DialTimeout)
 		if err == nil {
 			return conn, nil
 		}
@@ -239,7 +244,7 @@ func (c *Client) ConnTo(brokerID int32) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	nc, err := Dial(addr, c.cfg.ClientID, c.cfg.DialTimeout)
+	nc, err := DialWith(c.cfg.Dialer, addr, c.cfg.ClientID, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +269,7 @@ func (c *Client) DialDedicated(brokerID int32) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Dial(addr, c.cfg.ClientID, c.cfg.DialTimeout)
+	return DialWith(c.cfg.Dialer, addr, c.cfg.ClientID, c.cfg.DialTimeout)
 }
 
 // InvalidateMetadata forces the next metadata access to refresh; called

@@ -18,6 +18,16 @@ import (
 // ErrConnClosed reports use of a closed connection.
 var ErrConnClosed = errors.New("client: connection closed")
 
+// Dialer opens a transport connection to a broker address. The default is
+// plain TCP (net.DialTimeout); fault-injection harnesses substitute a dialer
+// that wraps connections with chaos transports (internal/chaos).
+type Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+// defaultDialer is the production TCP dialer.
+func defaultDialer(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
 // Conn is a synchronous framed protocol connection. One request is in
 // flight at a time per Conn; components that block server-side (long-poll
 // fetches, group joins) use dedicated connections.
@@ -29,12 +39,22 @@ type Conn struct {
 	closed   bool
 }
 
-// Dial connects to a broker address.
+// Dial connects to a broker address over plain TCP.
 func Dial(addr, clientID string, timeout time.Duration) (*Conn, error) {
+	return DialWith(nil, addr, clientID, timeout)
+}
+
+// DialWith connects to a broker address through the given dialer (nil means
+// plain TCP). Components that dial on behalf of a configured client or
+// broker route through this so an injected transport sees every connection.
+func DialWith(dial Dialer, addr, clientID string, timeout time.Duration) (*Conn, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if dial == nil {
+		dial = defaultDialer
+	}
+	nc, err := dial(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net"
 	"os"
 	"path/filepath"
 	"time"
@@ -25,6 +26,28 @@ import (
 	"repro/internal/storage/cache"
 	"repro/internal/wire"
 )
+
+// FaultNetwork is the hook-and-control surface of an injectable transport
+// (implemented by internal/chaos.Network). When attached via Config.Chaos,
+// every broker listener, broker-to-broker replication dial and client dial
+// in the stack crosses the injected network, and the Stack's chaos controls
+// (PartitionNetwork, IsolateBroker, HealBroker, HealNetwork) become live.
+type FaultNetwork interface {
+	// BrokerListen returns the listen hook for a broker id.
+	BrokerListen(id int32) func(host string, port int32) (net.Listener, error)
+	// BrokerDial returns the dial hook for a broker's outbound connections.
+	BrokerDial(id int32) client.Dialer
+	// ClientDial returns the dial hook for stack clients.
+	ClientDial() client.Dialer
+	// PartitionBrokers cuts links between two broker groups, both ways.
+	PartitionBrokers(groupA, groupB []int32)
+	// IsolateBroker cuts a broker off from every peer and client.
+	IsolateBroker(id int32)
+	// HealBroker restores an isolated or severed broker's links.
+	HealBroker(id int32)
+	// Heal clears every injected fault.
+	Heal()
+}
 
 // Config sizes a Liquid stack.
 type Config struct {
@@ -58,6 +81,16 @@ type Config struct {
 	// consume behaviour on real hardware that would otherwise hide in
 	// RAM.
 	PageCache *cache.Config
+	// Chaos, when non-nil, routes every listener and dial in the stack
+	// through the injected fault network (internal/chaos), enabling the
+	// §4.3 failure experiments: severed links, asymmetric partitions,
+	// delayed/dropped/duplicated/corrupted frames. Nil costs nothing.
+	Chaos FaultNetwork
+	// Clock is the coordination service's clock (session deadlines and
+	// expiry); nil means time.Now. Failure tests inject a fake clock and
+	// call Coord().ExpireSessions() to drive failover detection
+	// deterministically instead of sleeping through real timeouts.
+	Clock func() time.Time
 	// Logger receives operational events from every component.
 	Logger *slog.Logger
 	// Metrics receives stack-wide counters; nil creates a registry.
@@ -94,8 +127,10 @@ func (c Config) withDefaults() Config {
 type Stack struct {
 	cfg        Config
 	store      *coord.Store
+	reg        *cluster.Registry
 	stopExpiry func()
 	brokers    []*broker.Broker
+	brokerCfgs []broker.Config // saved for RestartBroker
 	cli        *client.Client
 	dataRoot   string
 	ownsData   bool
@@ -119,18 +154,20 @@ func Start(cfg Config) (*Stack, error) {
 		dataRoot = dir
 		ownsData = true
 	}
-	store := coord.New(coord.Config{})
+	store := coord.New(coord.Config{Now: cfg.Clock})
 	s := &Stack{
 		cfg:        cfg,
 		store:      store,
+		reg:        cluster.NewRegistry(store),
 		stopExpiry: store.StartExpiry(cfg.SessionTimeout / 4),
 		dataRoot:   dataRoot,
 		ownsData:   ownsData,
 	}
 	for i := 0; i < cfg.Brokers; i++ {
-		b, err := broker.Start(store, broker.Config{
-			ID:                    int32(i + 1),
-			DataDir:               filepath.Join(dataRoot, fmt.Sprintf("broker-%d", i+1)),
+		id := int32(i + 1)
+		bcfg := broker.Config{
+			ID:                    id,
+			DataDir:               filepath.Join(dataRoot, fmt.Sprintf("broker-%d", id)),
 			SessionTimeout:        cfg.SessionTimeout,
 			ReplicaMaxLag:         cfg.ReplicaMaxLag,
 			RetentionInterval:     cfg.RetentionInterval,
@@ -141,17 +178,23 @@ func Start(cfg Config) (*Stack, error) {
 			DefaultRetentionMs:    cfg.DefaultRetentionMs,
 			DefaultRetentionBytes: cfg.DefaultRetentionBytes,
 			PageCache:             cfg.PageCache,
+			Now:                   cfg.Clock,
 			Logger:                cfg.Logger,
 			Metrics:               cfg.Metrics,
-		})
+		}
+		if cfg.Chaos != nil {
+			bcfg.Listen = cfg.Chaos.BrokerListen(id)
+			bcfg.Dial = cfg.Chaos.BrokerDial(id)
+		}
+		b, err := broker.Start(store, bcfg)
 		if err != nil {
 			s.Shutdown()
-			return nil, fmt.Errorf("core: broker %d: %w", i+1, err)
+			return nil, fmt.Errorf("core: broker %d: %w", id, err)
 		}
 		s.brokers = append(s.brokers, b)
+		s.brokerCfgs = append(s.brokerCfgs, bcfg)
 	}
-	reg := cluster.NewRegistry(store)
-	if live := reg.WaitForBrokers(cfg.Brokers, 10*time.Second); len(live) < cfg.Brokers {
+	if live := s.reg.WaitForBrokers(cfg.Brokers, 10*time.Second); len(live) < cfg.Brokers {
 		s.Shutdown()
 		return nil, errors.New("core: cluster did not form")
 	}
@@ -182,15 +225,21 @@ func (s *Stack) Metrics() *metrics.Registry { return s.cfg.Metrics }
 // DataDir returns the root data directory.
 func (s *Stack) DataDir() string { return s.dataRoot }
 
-// NewClient creates an independent client against this stack.
+// NewClient creates an independent client against this stack. When a chaos
+// network is attached the client dials through it, so client links are
+// severable like broker links.
 func (s *Stack) NewClient(id string) (*client.Client, error) {
-	return client.New(client.Config{
+	cfg := client.Config{
 		Bootstrap:    s.Addrs(),
 		ClientID:     id,
 		MaxRetries:   40,
 		RetryBackoff: 25 * time.Millisecond,
 		MetadataTTL:  time.Second,
-	})
+	}
+	if s.cfg.Chaos != nil {
+		cfg.Dialer = s.cfg.Chaos.ClientDial()
+	}
+	return client.New(cfg)
 }
 
 // CreateTopic creates a feed. Zero-valued spec fields use broker defaults.
@@ -332,6 +381,87 @@ func (s *Stack) StopBroker(id int32) bool {
 		return false
 	}
 	b.Stop()
+	return true
+}
+
+// RestartBroker boots a previously killed or stopped broker again on its
+// original data directory — the recovering machine of paper §4.3. The
+// broker re-registers (on a fresh port), truncates uncommitted suffixes as
+// it rejoins as a follower, and catches back up through replication. It is
+// the repair half of the failure experiments: kill, observe failover,
+// restart, observe the ISR grow back.
+func (s *Stack) RestartBroker(id int32) error {
+	idx := -1
+	for i, b := range s.brokers {
+		if b.ID() == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("core: unknown broker %d", id)
+	}
+	s.brokers[idx].Stop() // idempotent; a killed broker is already stopped
+	b, err := broker.Start(s.store, s.brokerCfgs[idx])
+	if err != nil {
+		return fmt.Errorf("core: restart broker %d: %w", id, err)
+	}
+	s.brokers[idx] = b
+	return nil
+}
+
+// Coord exposes the coordination store (the stand-in ZooKeeper ensemble):
+// failure tests watch partition state through it and, with an injected
+// Clock, drive session expiry deterministically.
+func (s *Stack) Coord() *coord.Store { return s.store }
+
+// ControllerID returns the broker currently holding the controller seat,
+// or -1 during an election.
+func (s *Stack) ControllerID() int32 { return s.reg.ControllerID() }
+
+// PartitionState reads a partition's committed leadership state.
+func (s *Stack) PartitionState(topic string, partition int32) (cluster.PartitionState, error) {
+	st, _, err := s.reg.PartitionState(topic, partition)
+	return st, err
+}
+
+// PartitionNetwork cuts the network between two broker groups, both
+// directions, through the attached chaos network (paper §4.3: replicas
+// partitioned past ReplicaMaxLag leave the ISR). It returns false when the
+// stack runs without a chaos network.
+func (s *Stack) PartitionNetwork(groupA, groupB []int32) bool {
+	if s.cfg.Chaos == nil {
+		return false
+	}
+	s.cfg.Chaos.PartitionBrokers(groupA, groupB)
+	return true
+}
+
+// IsolateBroker cuts one broker off from every peer and client — the
+// network analogue of KillBroker: the process lives, its links are dead.
+func (s *Stack) IsolateBroker(id int32) bool {
+	if s.cfg.Chaos == nil {
+		return false
+	}
+	s.cfg.Chaos.IsolateBroker(id)
+	return true
+}
+
+// HealBroker restores an isolated or partitioned broker's links.
+func (s *Stack) HealBroker(id int32) bool {
+	if s.cfg.Chaos == nil {
+		return false
+	}
+	s.cfg.Chaos.HealBroker(id)
+	return true
+}
+
+// HealNetwork clears every injected network fault.
+func (s *Stack) HealNetwork() bool {
+	if s.cfg.Chaos == nil {
+		return false
+	}
+	s.cfg.Chaos.Heal()
 	return true
 }
 

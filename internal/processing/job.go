@@ -212,6 +212,10 @@ func (j *Job) Stop() error {
 type taskRunner struct {
 	job *Job
 	id  int32
+	// assignedOnce guards the tasks.assigned counter: restarts re-run the
+	// assignment loop, but each task must count exactly once so waiters
+	// comparing the counter to NumTasks() see distinct tasks.
+	assignedOnce sync.Once
 }
 
 // run executes the task until the job stops, restarting after processing
@@ -308,6 +312,11 @@ func (t *taskRunner) runOnce() error {
 		}
 		positions[topic] = consumer.Position(topic, t.id)
 	}
+	// Signal that start offsets are resolved: tests and operators can wait
+	// for counter == NumTasks() instead of sleeping (a StartLatest job's
+	// point-in-time "now" is fixed exactly here). Counted once per task —
+	// restarts must not inflate it past the task count.
+	t.assignedOnce.Do(func() { reg.Counter(cfg.Name + ".tasks.assigned").Inc() })
 
 	processed := reg.Counter(cfg.Name + ".processed")
 	procNS := reg.Histogram(cfg.Name + ".process.ns")

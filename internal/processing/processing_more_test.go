@@ -96,8 +96,16 @@ func TestJobStartLatestSkipsHistory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Give the task a moment to assign at the log end, then produce new.
-	time.Sleep(300 * time.Millisecond)
+	// Wait for the task to resolve its StartLatest position (the
+	// tasks.assigned counter fires exactly when start offsets are fixed),
+	// then produce new records — deterministic, no sleep to flake on.
+	assignDeadline := time.Now().Add(15 * time.Second)
+	for job.Metrics().Counter("fresh.tasks.assigned").Value() < int64(job.NumTasks()) {
+		if time.Now().After(assignDeadline) {
+			t.Fatal("task never resolved its start offsets")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	produceN(t, s, "hist", 5, nil, func(i int) string { return fmt.Sprintf("new-%d", i) })
 	msgs := drain(t, s, "hist-out", 1, 5, 15*time.Second)
 	for _, m := range msgs {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -10,10 +11,16 @@ import (
 // rejected to protect brokers from corrupt length prefixes.
 const MaxFrameSize = 64 << 20 // 64 MiB
 
+// ErrFrameTooLarge reports a length prefix beyond MaxFrameSize — the framing
+// violation a corrupt, truncated or byte-flipped stream produces. Both read
+// paths return it (wrapped with the offending size) so transports and fault
+// injectors can distinguish a framing violation from plain connection loss.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds max size")
+
 // WriteFrame writes a length-prefixed frame containing payload.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
-		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(payload), MaxFrameSize)
+		return fmt.Errorf("%w: %d bytes, max %d", ErrFrameTooLarge, len(payload), MaxFrameSize)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -32,7 +39,7 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrameSize)
+		return nil, fmt.Errorf("%w: %d bytes, max %d", ErrFrameTooLarge, n, MaxFrameSize)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -44,7 +44,7 @@ func writeFramed(dst io.Writer, fill func(*Writer)) error {
 	fill(w)
 	n := len(w.buf) - 4
 	if n > MaxFrameSize {
-		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrameSize)
+		return fmt.Errorf("%w: %d bytes, max %d", ErrFrameTooLarge, n, MaxFrameSize)
 	}
 	binary.BigEndian.PutUint32(w.buf[:4], uint32(n))
 	_, err := dst.Write(w.buf)
@@ -82,7 +82,7 @@ func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrameSize)
+		return nil, fmt.Errorf("%w: %d bytes, max %d", ErrFrameTooLarge, n, MaxFrameSize)
 	}
 	if uint32(cap(buf)) < n {
 		buf = make([]byte, n)
