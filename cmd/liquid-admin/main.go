@@ -5,9 +5,11 @@
 // Usage:
 //
 //	liquid-admin -bootstrap host:port create -topic events -partitions 8 -rf 3
+//	liquid-admin -bootstrap host:port create -topic events -tiered -hot-retention-bytes 67108864
 //	liquid-admin -bootstrap host:port describe
 //	liquid-admin -bootstrap host:port delete -topic events
 //	liquid-admin -bootstrap host:port offsets -topic events -partition 0
+//	liquid-admin -bootstrap host:port tier ls events
 //	liquid-admin -bootstrap host:port checkpoint -group job-x -topic events -partition 0 -key version -value v1
 package main
 
@@ -26,7 +28,7 @@ func main() {
 	bootstrap := flag.String("bootstrap", "127.0.0.1:9092", "comma-separated broker addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("liquid-admin: need a subcommand: create | delete | describe | offsets | checkpoint")
+		log.Fatal("liquid-admin: need a subcommand: create | delete | describe | offsets | tier | checkpoint")
 	}
 	cli, err := liquid.NewClient(liquid.ClientConfig{
 		Bootstrap: strings.Split(*bootstrap, ","),
@@ -47,6 +49,8 @@ func main() {
 		runDescribe(cli)
 	case "offsets":
 		runOffsets(cli, args)
+	case "tier":
+		runTier(cli, args)
 	case "checkpoint":
 		runCheckpoint(cli, args)
 	default:
@@ -59,8 +63,12 @@ func runCreate(cli *liquid.Client, args []string) {
 	topic := fs.String("topic", "", "topic name")
 	partitions := fs.Int("partitions", 1, "partition count")
 	rf := fs.Int("rf", 1, "replication factor")
-	retentionMs := fs.Int64("retention-ms", 0, "retention in ms (0 = broker default, -1 = unlimited)")
+	retentionMs := fs.Int64("retention-ms", 0, "retention in ms (0 = broker default, -1 = unlimited); total horizon on tiered topics")
+	segmentBytes := fs.Int("segment-bytes", 0, "segment roll size in bytes (0 = broker default)")
 	compacted := fs.Bool("compacted", false, "key-based compaction instead of retention")
+	tiered := fs.Bool("tiered", false, "tiered log storage: offload sealed segments to the DFS, serve unbounded rewind")
+	hotMs := fs.Int64("hot-retention-ms", 0, "tiered: local (hot) age horizon in ms")
+	hotBytes := fs.Int64("hot-retention-bytes", 0, "tiered: local (hot) size horizon in bytes")
 	fs.Parse(args)
 	if *topic == "" {
 		log.Fatal("create: -topic is required")
@@ -70,7 +78,11 @@ func runCreate(cli *liquid.Client, args []string) {
 		NumPartitions:     int32(*partitions),
 		ReplicationFactor: int16(*rf),
 		RetentionMs:       *retentionMs,
+		SegmentBytes:      int32(*segmentBytes),
 		Compacted:         *compacted,
+		Tiered:            *tiered,
+		HotRetentionMs:    *hotMs,
+		HotRetentionBytes: *hotBytes,
 	})
 	if err != nil {
 		log.Fatalf("create: %v", err)
@@ -154,6 +166,28 @@ func runOffsets(cli *liquid.Client, args []string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s/%d: earliest=%d latest=%d (%d retained)\n", *topic, *partition, early, late, late-early)
+}
+
+// runTier handles `tier ls <topic>`: per-partition hot/cold segment
+// counts, tiered bytes, and the local vs tiered start offsets, answered by
+// each partition's current leader.
+func runTier(cli *liquid.Client, args []string) {
+	if len(args) < 2 || args[0] != "ls" {
+		log.Fatal("tier: usage: tier ls <topic>")
+	}
+	topic := args[1]
+	sts, err := cli.TierStatus(topic)
+	if err != nil {
+		log.Fatalf("tier ls: %v", err)
+	}
+	fmt.Printf("%s:\n", topic)
+	fmt.Printf("  %-4s %-7s %-9s %-9s %-9s %-10s %-10s %-9s %-12s %s\n",
+		"part", "tiered", "earliest", "local-st", "tier-next", "end", "hot-segs", "hot-B", "cold-segs", "cold-B")
+	for _, p := range sts {
+		fmt.Printf("  %-4d %-7t %-9d %-9d %-9d %-10d %-10d %-9d %-12d %d\n",
+			p.Partition, p.Tiered, p.EarliestOffset, p.LocalStartOffset, p.TieredNextOffset,
+			p.NextOffset, p.LocalSegments, p.LocalBytes, p.TieredSegments, p.TieredBytes)
+	}
 }
 
 func runCheckpoint(cli *liquid.Client, args []string) {

@@ -207,7 +207,14 @@ func (e *exporter) roll() (SegmentInfo, error) {
 	next.Segments = append(append([]SegmentInfo(nil), e.man.Segments...), info)
 	next.NextOffset = last + 1
 	if err := commitManifest(e.fs, e.root, &next); err != nil {
-		_ = e.fs.Delete(final)
+		// Withdraw the segment only on a non-conflict failure: after a
+		// conflict, the file at this path may be a successor's — it can
+		// have swept our (then-orphan) upload and re-rolled the same
+		// range to the same path before committing — and deleting it
+		// would destroy manifest-referenced data.
+		if !errors.Is(err, ErrManifestConflict) {
+			_ = e.fs.Delete(final)
+		}
 		return SegmentInfo{}, err
 	}
 	e.man = &next

@@ -194,19 +194,25 @@ func TestManifestCommitFencing(t *testing.T) {
 	}
 
 	// Stale A rolls a DIFFERENT offset range: the segment rename lands
-	// but the manifest seq fence must reject the commit and sweep the
-	// segment back out.
+	// but the manifest seq fence must reject the commit. The uploaded
+	// file is NOT withdrawn on a conflict — after the fence trips, the
+	// path could in principle hold a successor's re-rolled segment
+	// (sweep + re-export of the same range), and deleting it would
+	// destroy manifest-referenced data. The unreferenced leftover is
+	// harmless: every reader (MRInput, Backfill, ls) trusts manifests,
+	// never directory listings.
 	expA.add(msgAt(0))
 	expA.add(msgAt(1))
 	_, err = expA.roll()
 	if !errors.Is(err, ErrManifestConflict) {
 		t.Fatalf("stale roll (different range) = %v, want ErrManifestConflict", err)
 	}
-	if _, serr := fs.Stat(segmentPath("/archive", "t", 0, 0, 1)); serr == nil {
-		t.Fatal("conflicted segment left behind")
-	}
 	if expA.man.Seq != 0 {
 		t.Fatalf("conflicted exporter mutated its manifest to seq %d", expA.man.Seq)
+	}
+	// B's committed segment must be untouched by A's conflicted roll.
+	if _, serr := fs.Stat(segmentPath("/archive", "t", 0, 0, 0)); serr != nil {
+		t.Fatalf("winner's committed segment gone after conflicted roll: %v", serr)
 	}
 
 	// Stale A rolls the SAME range B committed: the segment rename itself

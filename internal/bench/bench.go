@@ -212,6 +212,7 @@ func All(scale Scale) []Table {
 		E15ArchiveScan(scale),
 		E16Compression(scale),
 		E17Availability(scale),
+		E18RewindScan(scale),
 	}
 }
 
@@ -235,6 +236,7 @@ func ByID(id string) (func(Scale) Table, bool) {
 		"E15": E15ArchiveScan,
 		"E16": E16Compression,
 		"E17": E17Availability,
+		"E18": E18RewindScan,
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

@@ -14,10 +14,13 @@ import (
 	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/coord"
+	"repro/internal/dfs"
 	"repro/internal/metrics"
 	"repro/internal/storage/cache"
 	"repro/internal/storage/compact"
 	"repro/internal/storage/log"
+	"repro/internal/storage/record"
+	"repro/internal/tier"
 )
 
 // Config parameterises one broker.
@@ -62,6 +65,28 @@ type Config struct {
 	// modeled disk penalty, reproducing the anti-caching behaviour of
 	// paper §4.1 inside the full stack. Nil (the default) costs nothing.
 	PageCache *cache.Config
+	// TierFS is the DFS handle tiered topics offload to (internal/tier).
+	// Nil disables tiering on this broker: tiered topics still work, but
+	// this broker never offloads and never deletes local segments of
+	// tiered logs (the offload guard stays at zero, so no data is lost).
+	TierFS *dfs.FS
+	// TierRoot is the DFS prefix for tiered data (default "/tier").
+	TierRoot string
+	// TierInterval is how often partition leaders offload sealed segments
+	// and enforce the total (tiered) retention horizon (default 500ms;
+	// 0 uses the default, negative disables the loop).
+	TierInterval time.Duration
+	// TierCacheBytes bounds the cold-reader LRU shared by every tiered
+	// partition this broker leads (default tier.DefaultCacheBytes).
+	TierCacheBytes int64
+	// TierCodec compresses uploaded cold segments. The zero value selects
+	// the default, flate; cold segments are always written compressed.
+	TierCodec record.Codec
+	// TierUploadHook is a crash-injection hook for recovery tests: it runs
+	// after a cold segment is renamed into place and before its manifest
+	// commit. Returning an error aborts the offload there, leaving the
+	// on-DFS state a crashed leader leaves behind. Nil in production.
+	TierUploadHook func(topic string, partition int32, path string) error
 	// Listen binds the broker's listener; nil means plain TCP net.Listen.
 	// Chaos harnesses (internal/chaos) substitute a listener factory that
 	// registers the broker on an injected network so its links can be
@@ -102,6 +127,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetentionInterval == 0 {
 		c.RetentionInterval = 15 * time.Second
+	}
+	if c.TierRoot == "" {
+		c.TierRoot = "/tier"
+	}
+	if c.TierInterval == 0 {
+		c.TierInterval = 500 * time.Millisecond
+	}
+	if c.TierCodec == record.CodecNone {
+		c.TierCodec = record.CodecFlate
 	}
 	if c.OffsetsPartitions == 0 {
 		c.OffsetsPartitions = 4
@@ -145,6 +179,8 @@ type Broker struct {
 	groups   *groupCoordinator
 	offsets  *offsetManager
 
+	tierCache *tier.Cache // shared cold-reader LRU (nil without TierFS)
+
 	stopCh      chan struct{}
 	wg          sync.WaitGroup
 	watchCancel func()
@@ -180,6 +216,9 @@ func Start(store *coord.Store, cfg Config) (*Broker, error) {
 	b.fetchers = newFetcherManager(b)
 	b.groups = newGroupCoordinator(b)
 	b.offsets = newOffsetManager(b)
+	if cfg.TierFS != nil {
+		b.tierCache = tier.NewCache(cfg.TierCacheBytes, cfg.Metrics)
+	}
 
 	b.session = store.CreateSession(cfg.SessionTimeout)
 	info := cluster.BrokerInfo{ID: cfg.ID, Host: cfg.Host, Port: cfg.Port}
@@ -200,6 +239,10 @@ func Start(store *coord.Store, cfg Config) (*Broker, error) {
 	go b.watchLoop(events)
 	go b.acceptLoop()
 	go b.housekeeping()
+	if cfg.TierFS != nil && cfg.TierInterval > 0 {
+		b.wg.Add(1)
+		go b.tierLoop()
+	}
 
 	b.logger.Info("broker started", "addr", b.Addr())
 	return b, nil
@@ -253,13 +296,21 @@ func (b *Broker) logDir(t tp) string {
 	return filepath.Join(b.cfg.DataDir, fmt.Sprintf("%s-%d", t.topic, t.partition))
 }
 
-// logConfigFor merges topic config with broker defaults.
+// logConfigFor merges topic config with broker defaults. For tiered topics
+// the log's retention settings are the HOT horizon (HotRetention*): the
+// topic-level Retention* values bound the total tiered log and are enforced
+// by the tier engine against the cold tier.
 func (b *Broker) logConfigFor(tc cluster.TopicConfig) log.Config {
 	cfg := log.Config{
 		SegmentBytes:   int64(tc.SegmentBytes),
 		RetentionMs:    tc.RetentionMs,
 		RetentionBytes: tc.RetentionBytes,
 		Compacted:      tc.Compacted,
+		Tiered:         tc.Tiered,
+	}
+	if tc.Tiered {
+		cfg.RetentionMs = tc.HotRetentionMs
+		cfg.RetentionBytes = tc.HotRetentionBytes
 	}
 	if cfg.SegmentBytes == 0 {
 		cfg.SegmentBytes = int64(b.cfg.DefaultSegmentBytes)
@@ -272,6 +323,28 @@ func (b *Broker) logConfigFor(tc cluster.TopicConfig) log.Config {
 	}
 	if b.cfg.PageCache != nil {
 		cfg.Tracker = cache.New(*b.cfg.PageCache)
+	}
+	return cfg
+}
+
+// tierConfigFor builds the tier engine config for a tiered topic.
+func (b *Broker) tierConfigFor(t tp, tc cluster.TopicConfig) tier.Config {
+	cfg := tier.Config{
+		Root:                b.cfg.TierRoot,
+		Codec:               b.cfg.TierCodec,
+		TotalRetentionMs:    tc.RetentionMs,
+		TotalRetentionBytes: tc.RetentionBytes,
+	}
+	if cfg.TotalRetentionMs == 0 {
+		cfg.TotalRetentionMs = b.cfg.DefaultRetentionMs
+	}
+	if cfg.TotalRetentionBytes == 0 {
+		cfg.TotalRetentionBytes = b.cfg.DefaultRetentionBytes
+	}
+	if hook := b.cfg.TierUploadHook; hook != nil {
+		cfg.OnUploaded = func(path string) error {
+			return hook(t.topic, t.partition, path)
+		}
 	}
 	return cfg
 }
@@ -364,7 +437,13 @@ func (b *Broker) applyPartitionState(t tp) {
 		if t.topic == OffsetsTopic && !wasOffsetsLeader {
 			b.offsets.load(t.partition, r)
 		}
+		// Re-applied state (ISR changes) keeps the existing engine; a
+		// fresh promotion recovers tier state from the manifest.
+		if info.Config.Tiered && r.tierPartition() == nil {
+			b.adoptTierLeadership(t, info.Config, r)
+		}
 	} else {
+		r.setTier(nil) // followers replicate only the hot log
 		if err := r.becomeFollower(st.Leader, st.Epoch, ver); err != nil {
 			b.logger.Error("follower transition failed", "tp", t.String(), "err", err)
 		}
@@ -377,6 +456,30 @@ func (b *Broker) applyPartitionState(t tp) {
 			b.fetchers.remove(t)
 		}
 	}
+}
+
+// adoptTierLeadership opens (or refreshes) the cold-tier engine for a
+// tiered partition this broker now leads: the manifest is reloaded from the
+// DFS — the source of truth for cold data across hand-overs — and orphan
+// segments a crashed predecessor uploaded without committing are swept. The
+// offload guard is raised to the recovered frontier so hot retention may
+// resume deleting already-tiered local segments.
+func (b *Broker) adoptTierLeadership(t tp, tc cluster.TopicConfig, r *replica) {
+	if b.cfg.TierFS == nil {
+		b.logger.Warn("tiered topic led by broker without TierFS; offload disabled", "tp", t.String())
+		return
+	}
+	p, err := tier.Open(b.cfg.TierFS, t.topic, t.partition, b.tierConfigFor(t, tc), b.tierCache, r.log.Config().Tracker, b.cfg.Metrics)
+	if err != nil {
+		b.logger.Error("tier open failed", "tp", t.String(), "err", err)
+		return
+	}
+	// Reclaim files a crash between a retention commit and its deletions
+	// left behind (they sit below the committed tier start, where Open's
+	// orphan sweep does not look).
+	p.SweepBelowStart()
+	r.log.SetOffloadedTo(p.NextOffset())
+	r.setTier(p)
 }
 
 // isOffsetsLeader reports whether r is a leader replica of the offsets
@@ -492,6 +595,51 @@ func (b *Broker) housekeeping() {
 			b.enforceRetention()
 		case <-compactionC:
 			b.compactLogs()
+		}
+	}
+}
+
+// tierLoop drives tiering on its own goroutine: offloading a large segment
+// (read, compress, DFS write) can take longer than a keepalive period, so
+// it must never share a loop with the session heartbeat — a busy offloader
+// would otherwise expire the broker's liveness and trigger a spurious
+// failover.
+func (b *Broker) tierLoop() {
+	defer b.wg.Done()
+	t := time.NewTicker(b.cfg.TierInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stopCh:
+			return
+		case <-t.C:
+			b.tierTick()
+		}
+	}
+}
+
+// tierTick runs one offload + cold-retention pass over every tiered
+// partition this broker leads (paper §4.1: the offloader is what lets the
+// hot log stay small while consumers rewind arbitrarily far).
+func (b *Broker) tierTick() {
+	now := b.cfg.Now()
+	for _, r := range b.replicaSnapshot() {
+		t := r.tierPartition()
+		if t == nil {
+			continue
+		}
+		if _, err := t.Offload(r.log, r.highWatermark()); err != nil {
+			if errors.Is(err, tier.ErrConflict) {
+				// A newer leader owns the partition; drop the stale
+				// engine — the state watcher re-adopts if we lead again.
+				r.setTier(nil)
+				continue
+			}
+			b.logger.Warn("tier offload failed", "tp", r.tp.String(), "err", err)
+			continue
+		}
+		if _, err := t.EnforceRetention(now, r.log.Size()); err != nil && !errors.Is(err, tier.ErrConflict) {
+			b.logger.Warn("tier retention failed", "tp", r.tp.String(), "err", err)
 		}
 	}
 }

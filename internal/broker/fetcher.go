@@ -221,6 +221,13 @@ func (f *replicaFetcher) apply(resp *wire.FetchResponse) {
 			}
 			switch p.Err {
 			case wire.ErrNone:
+				// Tiered topics: the leader's local log start only moves
+				// past offloaded (manifest-committed) data, so it is a
+				// safe offload guard for this follower's hot retention —
+				// local deletion here can never outrun the offloader.
+				if r.log.Config().Tiered {
+					r.log.SetOffloadedTo(p.LogStartOffset)
+				}
 				if len(p.Records) == 0 {
 					r.setFollowerHW(p.HighWatermark)
 					continue

@@ -114,6 +114,8 @@ func (b *Broker) dispatch(hdr wire.RequestHeader, r *wire.Reader) (wire.Message,
 		return b.handleOffsetFetch(req), true
 	case *wire.OffsetQueryRequest:
 		return b.offsets.query(req), true
+	case *wire.TierStatusRequest:
+		return b.handleTierStatus(req), true
 	case *wire.FindCoordinatorRequest:
 		return b.handleFindCoordinator(req), true
 	case *wire.JoinGroupRequest:
@@ -340,11 +342,14 @@ func (b *Broker) handleListOffsets(req *wire.ListOffsetsRequest) *wire.ListOffse
 				case !isLeader:
 					rp.Err = wire.ErrNotLeaderForPartition
 				case p.Timestamp == wire.TimestampEarliest:
-					rp.Offset = r.log.StartOffset()
+					// Earliest means tiered-earliest on tiered topics:
+					// the oldest offset a consumer can actually rewind
+					// to, not just the oldest held locally.
+					rp.Offset = r.earliestAvailable()
 				case p.Timestamp == wire.TimestampLatest:
 					rp.Offset = hw
 				default:
-					off, err := r.log.OffsetForTimestamp(p.Timestamp)
+					off, err := offsetForTimestamp(r, p.Timestamp)
 					if err != nil {
 						rp.Err = wire.ErrUnknown
 					} else {
@@ -355,6 +360,78 @@ func (b *Broker) handleListOffsets(req *wire.ListOffsetsRequest) *wire.ListOffse
 						rp.Timestamp = p.Timestamp
 					}
 				}
+			}
+			rt.Partitions = append(rt.Partitions, rp)
+		}
+		resp.Topics = append(resp.Topics, rt)
+	}
+	return resp
+}
+
+// offsetForTimestamp resolves a timestamp to an offset across both tiers:
+// the cold tier holds the oldest data, so it is consulted first; the hot
+// log answers for anything newer.
+func offsetForTimestamp(r *replica, ts int64) (int64, error) {
+	if t := r.tierPartition(); t != nil {
+		off, ok, err := t.OffsetForTimestamp(ts)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return off, nil
+		}
+	}
+	return r.log.OffsetForTimestamp(ts)
+}
+
+// ---------------------------------------------------------- tier status
+
+// handleTierStatus reports per-partition tiered-storage state for the
+// partitions this broker leads: hot/cold segment counts, tiered bytes, and
+// the local vs tiered start offsets (cmd/liquid-admin `tier ls`).
+func (b *Broker) handleTierStatus(req *wire.TierStatusRequest) *wire.TierStatusResponse {
+	resp := &wire.TierStatusResponse{}
+	names := req.Topics
+	if len(names) == 0 {
+		names = b.reg.Topics()
+	}
+	for _, name := range names {
+		info, err := b.reg.GetTopic(name)
+		if err != nil {
+			resp.Topics = append(resp.Topics, wire.TierStatusTopic{
+				Name: name,
+				Partitions: []wire.TierStatusPartition{
+					{Partition: -1, Err: wire.ErrUnknownTopicOrPartition},
+				},
+			})
+			continue
+		}
+		rt := wire.TierStatusTopic{Name: name}
+		for p := int32(0); p < int32(len(info.Assignment)); p++ {
+			r := b.getReplica(tp{topic: name, partition: p})
+			if r == nil {
+				continue // not hosted here; another broker answers for it
+			}
+			rp := wire.TierStatusPartition{Partition: p, Tiered: info.Config.Tiered}
+			r.mu.Lock()
+			isLeader := r.isLeader
+			r.mu.Unlock()
+			if !isLeader {
+				rp.Err = wire.ErrNotLeaderForPartition
+				rt.Partitions = append(rt.Partitions, rp)
+				continue
+			}
+			rp.LocalStartOffset = r.log.StartOffset()
+			rp.EarliestOffset = r.earliestAvailable()
+			rp.NextOffset = r.log.NextOffset()
+			rp.LocalSegments = int32(r.log.SegmentCount())
+			rp.LocalBytes = r.log.Size()
+			if t := r.tierPartition(); t != nil {
+				st := t.TierStats()
+				rp.TieredNextOffset = st.NextOffset
+				rp.TieredSegments = int32(st.Segments)
+				rp.TieredBytes = st.Bytes
+				rp.TieredRecords = st.Records
 			}
 			rt.Partitions = append(rt.Partitions, rp)
 		}
@@ -430,6 +507,11 @@ func (b *Broker) createTopic(spec wire.TopicSpec) wire.ErrorCode {
 			return wire.ErrInvalidTopic
 		}
 	}
+	if spec.Tiered && spec.Compacted {
+		// A compacted log retains by key, not by horizon; there is no
+		// contiguous prefix to offload.
+		return wire.ErrInvalidTopic
+	}
 	if spec.NumPartitions <= 0 {
 		spec.NumPartitions = 1
 	}
@@ -454,6 +536,9 @@ func (b *Broker) createTopic(spec wire.TopicSpec) wire.ErrorCode {
 			RetentionBytes:    spec.RetentionBytes,
 			SegmentBytes:      spec.SegmentBytes,
 			Compacted:         spec.Compacted,
+			Tiered:            spec.Tiered,
+			HotRetentionMs:    spec.HotRetentionMs,
+			HotRetentionBytes: spec.HotRetentionBytes,
 		},
 		Assignment: assignment,
 	}

@@ -7,12 +7,14 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/storage/log"
 	"repro/internal/storage/record"
+	"repro/internal/tier"
 	"repro/internal/wire"
 )
 
@@ -56,6 +58,10 @@ type replica struct {
 	waiters      []ackWaiter
 	notifyCh     chan struct{} // closed and replaced on append/HW advance
 	closed       bool
+	// tier is the partition's cold-tier engine, attached while this
+	// replica leads a tiered partition (leadership hand-over recovers it
+	// from the DFS manifest; followers replicate only the hot log).
+	tier *tier.Partition
 }
 
 func newReplica(t tp, l *log.Log, brokerID int32) *replica {
@@ -357,6 +363,34 @@ func (r *replica) setISR(isr []int32, stateVersion int64) {
 	r.maybeAdvanceHWLocked()
 }
 
+// setTier attaches (or, with nil, detaches) the cold-tier engine.
+func (r *replica) setTier(t *tier.Partition) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tier = t
+}
+
+// tierPartition returns the attached cold-tier engine, or nil.
+func (r *replica) tierPartition() *tier.Partition {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tier
+}
+
+// earliestAvailable returns the earliest offset a consumer can rewind to:
+// the tiered-earliest when cold segments exist, the local log start
+// otherwise.
+func (r *replica) earliestAvailable() int64 {
+	t := r.tierPartition()
+	start := r.log.StartOffset()
+	if t != nil {
+		if e, ok := t.Earliest(); ok && e < start {
+			return e
+		}
+	}
+	return start
+}
+
 // snapshotState returns the replica's current view for metadata responses.
 func (r *replica) snapshotState() (leader int32, epoch int32, isr []int32, isLeader bool) {
 	r.mu.Lock()
@@ -364,12 +398,17 @@ func (r *replica) snapshotState() (leader int32, epoch int32, isr []int32, isLea
 	return r.leaderID, r.epoch, append([]int32(nil), r.isr...), r.isLeader
 }
 
-// readForConsumer reads committed data (below the high watermark).
+// readForConsumer reads committed data (below the high watermark). The
+// third return value is the earliest AVAILABLE offset — tiered-earliest
+// when the partition has cold segments, the local log start otherwise — so
+// an out-of-range response tells the client exactly where auto-reset may
+// resume instead of making it guess.
 func (r *replica) readForConsumer(offset int64, maxBytes int) ([]byte, int64, int64, wire.ErrorCode) {
 	r.mu.Lock()
 	hw := r.hw
 	isLeader := r.isLeader
 	closed := r.closed
+	t := r.tier
 	r.mu.Unlock()
 	if closed {
 		return nil, 0, 0, wire.ErrBrokerNotAvailable
@@ -378,20 +417,46 @@ func (r *replica) readForConsumer(offset int64, maxBytes int) ([]byte, int64, in
 		return nil, 0, 0, wire.ErrNotLeaderForPartition
 	}
 	start := r.log.StartOffset()
-	if offset < start || offset > hw {
-		if offset >= hw && offset <= r.log.NextOffset() {
-			return nil, hw, start, wire.ErrNone // caught up: empty fetch
+	earliest := start
+	if t != nil {
+		if e, ok := t.Earliest(); ok && e < earliest {
+			earliest = e
 		}
-		return nil, hw, start, wire.ErrOffsetOutOfRange
+	}
+	if offset < start && t != nil && offset >= earliest {
+		// Cold read: the offset fell off the hot log but the tier holds
+		// it. Everything tiered is below an old high watermark, so the
+		// whole response is committed data.
+		data, err := t.Read(offset, maxBytes)
+		switch {
+		case err == nil:
+			return data, hw, earliest, wire.ErrNone
+		case errors.Is(err, tier.ErrOffsetBelowTier):
+			return nil, hw, earliest, wire.ErrOffsetOutOfRange
+		case errors.Is(err, tier.ErrNotCovered):
+			// Between the offload frontier and the local start there is
+			// no data on either tier; contiguity makes this unreachable
+			// unless the manifest lags a concurrent reload — have the
+			// client retry via out-of-range with the true earliest.
+			return nil, hw, earliest, wire.ErrOffsetOutOfRange
+		default:
+			return nil, hw, earliest, wire.ErrUnknown
+		}
+	}
+	if offset < earliest || offset > hw {
+		if offset >= hw && offset <= r.log.NextOffset() {
+			return nil, hw, earliest, wire.ErrNone // caught up: empty fetch
+		}
+		return nil, hw, earliest, wire.ErrOffsetOutOfRange
 	}
 	data, err := r.log.Read(offset, maxBytes)
 	if err != nil {
-		return nil, hw, start, wire.ErrUnknown
+		return nil, hw, earliest, wire.ErrUnknown
 	}
 	// Serve only batches fully below the high watermark. Batch boundaries
 	// align with HW because replication moves whole batches.
 	data = data[:visibleBatches(data, hw)]
-	return data, hw, start, wire.ErrNone
+	return data, hw, earliest, wire.ErrNone
 }
 
 // readForFollower reads up to the log end (followers replicate uncommitted

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // ScenarioConfig sizes one fault-injection scenario.
@@ -34,6 +35,20 @@ type ScenarioConfig struct {
 	SessionTimeout time.Duration
 	// ReplicaMaxLag is the ISR shrink threshold (default 1s).
 	ReplicaMaxLag time.Duration
+	// Spec, when non-nil, overrides how the scenario feed is created
+	// (tiered topics, custom segment sizes); Name/partitions/replication
+	// are forced to the scenario's values.
+	Spec *wire.TopicSpec
+	// TierInterval / RetentionInterval drive the brokers' tiering and
+	// retention cadence (0 leaves each at the broker default, which for
+	// retention means the housekeeping loop barely runs inside a
+	// scenario's lifetime).
+	TierInterval      time.Duration
+	RetentionInterval time.Duration
+	// TierUploadHook is forwarded to the stack: it runs on a partition
+	// leader between cold-segment upload and manifest commit — the crash
+	// window the tier-crash scenario kills the leader in.
+	TierUploadHook func(topic string, partition int32, path string) error
 	// Logger receives stack events; nil keeps only errors.
 	Logger *slog.Logger
 }
@@ -114,16 +129,26 @@ func StartScenario(cfg ScenarioConfig) (*Scenario, error) {
 	cfg = cfg.withDefaults()
 	net := NewNetwork(cfg.Seed)
 	stack, err := core.Start(core.Config{
-		Brokers:        cfg.Brokers,
-		SessionTimeout: cfg.SessionTimeout,
-		ReplicaMaxLag:  cfg.ReplicaMaxLag,
-		Chaos:          net,
-		Logger:         cfg.Logger,
+		Brokers:           cfg.Brokers,
+		SessionTimeout:    cfg.SessionTimeout,
+		ReplicaMaxLag:     cfg.ReplicaMaxLag,
+		TierInterval:      cfg.TierInterval,
+		RetentionInterval: cfg.RetentionInterval,
+		TierUploadHook:    cfg.TierUploadHook,
+		Chaos:             net,
+		Logger:            cfg.Logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: %s: %w", cfg.Name, err)
 	}
-	if err := stack.CreateFeed(cfg.Topic, cfg.Partitions, cfg.Replication); err != nil {
+	spec := wire.TopicSpec{}
+	if cfg.Spec != nil {
+		spec = *cfg.Spec
+	}
+	spec.Name = cfg.Topic
+	spec.NumPartitions = cfg.Partitions
+	spec.ReplicationFactor = cfg.Replication
+	if err := stack.CreateTopic(spec); err != nil {
 		stack.Shutdown()
 		return nil, fmt.Errorf("chaos: %s: create feed: %w", cfg.Name, err)
 	}

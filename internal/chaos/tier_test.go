@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tier"
+	"repro/internal/wire"
+)
+
+// TestChaosSmokeTierCrash kills a tiered partition's leader in the exact
+// upload→manifest-commit window: the leader has renamed a cold segment into
+// place on the DFS but dies before the manifest commit (the hook keeps
+// failing offloads until the kill lands, so the window cannot close early).
+// The hand-over leader must recover tier state from the manifest, sweep the
+// orphan, and re-offload — the scenario asserts (1) no acked-record loss
+// across the full tiered log (ScanFeed reads from the tiered-earliest
+// through the ordinary fetch API) and (2) no duplicate or overlapping
+// tiered segments after recovery.
+func TestChaosSmokeTierCrash(t *testing.T) {
+	var failUploads atomic.Bool
+	failUploads.Store(true)
+	windowReached := make(chan struct{})
+	var once sync.Once
+
+	sc, err := StartScenario(ScenarioConfig{
+		Name:              "tier-crash",
+		Seed:              *chaosSeed,
+		Brokers:           3,
+		Replication:       3,
+		TierInterval:      25 * time.Millisecond,
+		RetentionInterval: 25 * time.Millisecond,
+		Spec: &wire.TopicSpec{
+			SegmentBytes:      4 << 10,
+			Tiered:            true,
+			HotRetentionMs:    -1,
+			HotRetentionBytes: 8 << 10,
+			RetentionMs:       -1,
+			RetentionBytes:    -1,
+		},
+		TierUploadHook: func(topic string, partition int32, path string) error {
+			if !failUploads.Load() {
+				return nil
+			}
+			once.Do(func() { close(windowReached) })
+			return errInjectedTierCrash
+		},
+	})
+	if err != nil {
+		failSeed(t, *chaosSeed, "start: %v", err)
+	}
+	defer sc.Close()
+
+	sc.StartProducers()
+	// Enough acked volume to seal several 4 KiB segments and trigger the
+	// first offload attempt (each record is ~40 payload bytes).
+	if err := sc.AwaitAcked(300, 20*time.Second); err != nil {
+		failSeed(t, sc.Cfg.Seed, "%v", err)
+	}
+	select {
+	case <-windowReached:
+	case <-time.After(20 * time.Second):
+		failSeed(t, sc.Cfg.Seed, "offloader never reached the upload window")
+	}
+	sc.MarkPreFault()
+	old, err := sc.KillLeader(0)
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "kill leader: %v", err)
+	}
+	// Only now may offloads succeed: the dead leader never commits, the
+	// new one recovers and re-offloads.
+	failUploads.Store(false)
+	if _, err := sc.AwaitLeaderChange(0, old, 20*time.Second); err != nil {
+		failSeed(t, sc.Cfg.Seed, "%v", err)
+	}
+	// Keep the workload running through recovery, then let the new leader
+	// offload for a few ticks before the final scan.
+	if err := sc.AwaitAcked(sc.Ledger.Len()+200, 30*time.Second); err != nil {
+		failSeed(t, sc.Cfg.Seed, "%v", err)
+	}
+	awaitTierRecovery(t, sc)
+	mustFinish(t, sc)
+
+	// No duplicate tiered segments: the manifest must be gapless with
+	// non-overlapping ranges, and every committed file on the DFS must be
+	// referenced by it (the orphan from the crash window was swept).
+	man, err := tier.LoadManifest(sc.Stack.TierFS(), "/tier", sc.Cfg.Topic, 0)
+	if err != nil {
+		failSeed(t, sc.Cfg.Seed, "load tier manifest: %v", err)
+	}
+	if len(man.Segments) == 0 {
+		failSeed(t, sc.Cfg.Seed, "new leader never offloaded after recovery")
+	}
+	want := man.StartOffset
+	referenced := make(map[string]bool, len(man.Segments))
+	for _, s := range man.Segments {
+		if s.BaseOffset != want {
+			failSeed(t, sc.Cfg.Seed, "tiered segment %s starts at %d, want %d (gap or duplicate)",
+				s.Path, s.BaseOffset, want)
+		}
+		want = s.LastOffset + 1
+		referenced[s.Path] = true
+	}
+	if man.NextOffset != want {
+		failSeed(t, sc.Cfg.Seed, "manifest NextOffset %d, want %d", man.NextOffset, want)
+	}
+	for _, info := range sc.Stack.TierFS().List(tier.SegmentsPrefix("/tier", sc.Cfg.Topic)) {
+		if strings.HasSuffix(info.Path, ".tmp") {
+			failSeed(t, sc.Cfg.Seed, "tmp upload survived recovery: %s", info.Path)
+		}
+		if strings.HasSuffix(info.Path, ".seg") && !referenced[info.Path] {
+			failSeed(t, sc.Cfg.Seed, "orphan tiered segment survived recovery: %s", info.Path)
+		}
+	}
+}
+
+// awaitTierRecovery blocks until the hand-over leader has offloaded past
+// the crash point (cold segments exist and the local start advanced), so
+// the final scan genuinely crosses the cold→hot boundary.
+func awaitTierRecovery(t *testing.T, sc *Scenario) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		sts, err := sc.Stack.TierStatus(sc.Cfg.Topic)
+		if err == nil && len(sts) == 1 && sts[0].TieredSegments > 0 && sts[0].LocalStartOffset > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			failSeed(t, sc.Cfg.Seed, "tier never recovered after failover: %+v (err %v)", sts, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// errInjectedTierCrash marks offloads suppressed while the crash window is
+// held open.
+var errInjectedTierCrash = errInjected{}
+
+type errInjected struct{}
+
+func (errInjected) Error() string { return "chaos: injected tier upload crash" }

@@ -351,6 +351,61 @@ func (c *Client) ListOffset(topic string, partition int32, timestamp int64) (int
 	return offset, err
 }
 
+// TierStatus returns the tiered-storage status of every partition of a
+// topic, each answered by its current leader: hot/cold segment counts,
+// tiered bytes, and the local vs tiered start offsets. Works on non-tiered
+// topics too (the tiered fields are zero and Tiered is false). Each
+// broker's response answers every partition it leads at once, so the call
+// costs one round trip per leader, not per partition.
+func (c *Client) TierStatus(topic string) ([]wire.TierStatusPartition, error) {
+	n, err := c.PartitionCount(topic)
+	if err != nil {
+		return nil, err
+	}
+	statuses := make([]*wire.TierStatusPartition, n)
+	for p := int32(0); p < n; p++ {
+		if statuses[p] != nil {
+			continue // already answered by an earlier leader's response
+		}
+		err := c.withLeaderRetry(topic, p, func(conn *Conn) (wire.ErrorCode, error) {
+			req := &wire.TierStatusRequest{Topics: []string{topic}}
+			var resp wire.TierStatusResponse
+			if err := conn.RoundTrip(wire.APITierStatus, req, &resp); err != nil {
+				return wire.ErrNone, err
+			}
+			// Retry p if unanswered (the leader moved between metadata
+			// and the request); keep every good answer either way.
+			code := wire.ErrNotLeaderForPartition
+			for i := range resp.Topics {
+				if resp.Topics[i].Name != topic {
+					continue
+				}
+				for j := range resp.Topics[i].Partitions {
+					q := resp.Topics[i].Partitions[j]
+					if q.Partition == p {
+						code = q.Err
+					}
+					if q.Err == wire.ErrNone && q.Partition >= 0 && q.Partition < n && statuses[q.Partition] == nil {
+						statuses[q.Partition] = &q
+					}
+				}
+			}
+			return code, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if statuses[p] == nil {
+			return nil, fmt.Errorf("client: no tier status for %s/%d", topic, p)
+		}
+	}
+	out := make([]wire.TierStatusPartition, n)
+	for i, s := range statuses {
+		out[i] = *s
+	}
+	return out, nil
+}
+
 // withLeaderRetry runs fn against the partition leader, retrying retriable
 // protocol codes and connection failures with metadata refreshes.
 func (c *Client) withLeaderRetry(topic string, partition int32, fn func(*Conn) (wire.ErrorCode, error)) error {

@@ -12,7 +12,9 @@ import (
 
 // Special start offsets for Consumer.Assign.
 const (
-	// StartEarliest begins at the log start offset.
+	// StartEarliest begins at the earliest available offset: the
+	// tiered-earliest on topics with tiered log storage (rewinding past
+	// local retention into the cold tier), the log start otherwise.
 	StartEarliest int64 = -2
 	// StartLatest begins at the current log end (only new data).
 	StartLatest int64 = -1
@@ -24,7 +26,8 @@ type OffsetResetPolicy int
 
 // Reset policies.
 const (
-	// ResetEarliest jumps to the oldest retained offset.
+	// ResetEarliest jumps to the earliest available offset (the
+	// tiered-earliest when tiering is on, the local log start otherwise).
 	ResetEarliest OffsetResetPolicy = iota
 	// ResetLatest jumps to the log end.
 	ResetLatest
@@ -325,12 +328,16 @@ func (c *Consumer) advance(key string, next int64) {
 	}
 }
 
-// handleReset applies the out-of-range policy.
-func (c *Consumer) handleReset(topic string, partition int32, logStart int64) error {
+// handleReset applies the out-of-range policy. earliest is what the broker
+// reported as the earliest AVAILABLE offset — tiered-earliest when the
+// partition has cold segments — so the consumer resumes exactly where data
+// begins instead of guessing.
+func (c *Consumer) handleReset(topic string, partition int32, earliest int64) error {
 	switch c.cfg.OnReset {
 	case ResetEarliest:
-		// The fetch response already carries the log start offset.
-		return c.Seek(topic, partition, logStart)
+		// The fetch response already carries the earliest available
+		// offset.
+		return c.Seek(topic, partition, earliest)
 	case ResetLatest:
 		off, err := c.c.ListOffset(topic, partition, wire.TimestampLatest)
 		if err != nil {

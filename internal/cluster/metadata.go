@@ -38,7 +38,9 @@ type BrokerInfo struct {
 // Addr renders host:port.
 func (b BrokerInfo) Addr() string { return fmt.Sprintf("%s:%d", b.Host, b.Port) }
 
-// TopicConfig carries per-topic log settings.
+// TopicConfig carries per-topic log settings. For tiered topics,
+// RetentionMs/RetentionBytes bound the TOTAL (hot local + cold tiered)
+// horizon and HotRetentionMs/HotRetentionBytes bound the local one.
 type TopicConfig struct {
 	NumPartitions     int32 `json:"numPartitions"`
 	ReplicationFactor int16 `json:"replicationFactor"`
@@ -46,6 +48,11 @@ type TopicConfig struct {
 	RetentionBytes    int64 `json:"retentionBytes"`
 	SegmentBytes      int32 `json:"segmentBytes"`
 	Compacted         bool  `json:"compacted"`
+	// Tiered enables tiered log storage (internal/tier): leaders offload
+	// sealed segments to the DFS and serve unbounded rewind transparently.
+	Tiered            bool  `json:"tiered,omitempty"`
+	HotRetentionMs    int64 `json:"hotRetentionMs,omitempty"`
+	HotRetentionBytes int64 `json:"hotRetentionBytes,omitempty"`
 }
 
 // TopicInfo is a topic's full metadata: configuration plus the replica

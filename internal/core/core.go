@@ -81,6 +81,19 @@ type Config struct {
 	// consume behaviour on real hardware that would otherwise hide in
 	// RAM.
 	PageCache *cache.Config
+	// TierInterval is how often partition leaders of tiered topics offload
+	// sealed segments to the DFS and enforce the total retention horizon
+	// (default 500ms; negative disables the loop). Tiered topics are
+	// created with TopicSpec.Tiered; their cold tier lives on a DFS under
+	// DataDir()/tier shared by every broker in the stack.
+	TierInterval time.Duration
+	// TierCacheBytes bounds each broker's cold-reader LRU (the §4.1
+	// page-cache model's cold-tier analogue); 0 uses the default.
+	TierCacheBytes int64
+	// TierUploadHook is a crash-injection hook for recovery tests: it runs
+	// on a partition leader after a cold segment upload and before its
+	// manifest commit. Nil in production.
+	TierUploadHook func(topic string, partition int32, path string) error
 	// Chaos, when non-nil, routes every listener and dial in the stack
 	// through the injected fault network (internal/chaos), enabling the
 	// §4.3 failure experiments: severed links, asymmetric partitions,
@@ -137,6 +150,7 @@ type Stack struct {
 	jobs       []*processing.Job
 	archivers  []*archive.Archiver
 	archFS     *dfs.FS
+	tierFS     *dfs.FS
 	stopped    bool
 }
 
@@ -163,6 +177,15 @@ func Start(cfg Config) (*Stack, error) {
 		dataRoot:   dataRoot,
 		ownsData:   ownsData,
 	}
+	// The tier DFS is shared by every broker (the cold tier of tiered
+	// topics survives any single broker, like a real DFS would); it must
+	// exist before brokers start so leaders can adopt tier state.
+	tierFS, err := dfs.Open(dfs.Config{Dir: filepath.Join(dataRoot, "tier")})
+	if err != nil {
+		s.Shutdown()
+		return nil, fmt.Errorf("core: tier fs: %w", err)
+	}
+	s.tierFS = tierFS
 	for i := 0; i < cfg.Brokers; i++ {
 		id := int32(i + 1)
 		bcfg := broker.Config{
@@ -178,6 +201,10 @@ func Start(cfg Config) (*Stack, error) {
 			DefaultRetentionMs:    cfg.DefaultRetentionMs,
 			DefaultRetentionBytes: cfg.DefaultRetentionBytes,
 			PageCache:             cfg.PageCache,
+			TierFS:                tierFS,
+			TierInterval:          cfg.TierInterval,
+			TierCacheBytes:        cfg.TierCacheBytes,
+			TierUploadHook:        cfg.TierUploadHook,
 			Now:                   cfg.Clock,
 			Logger:                cfg.Logger,
 			Metrics:               cfg.Metrics,
@@ -256,6 +283,27 @@ func (s *Stack) CreateFeed(name string, partitions int32, replication int16) err
 	})
 }
 
+// CreateTieredFeed creates a feed with tiered log storage: leaders offload
+// sealed segments to the stack's tier DFS and serve unbounded rewind
+// through the ordinary fetch API. hotRetentionBytes bounds the local (hot)
+// log per partition; the topic's RetentionMs/RetentionBytes defaults bound
+// the total tiered horizon.
+func (s *Stack) CreateTieredFeed(name string, partitions int32, replication int16, hotRetentionBytes int64) error {
+	return s.cli.CreateTopic(wire.TopicSpec{
+		Name:              name,
+		NumPartitions:     partitions,
+		ReplicationFactor: replication,
+		Tiered:            true,
+		HotRetentionBytes: hotRetentionBytes,
+	})
+}
+
+// TierStatus returns the tiered-storage status of a topic's partitions,
+// each answered by its current leader.
+func (s *Stack) TierStatus(topic string) ([]wire.TierStatusPartition, error) {
+	return s.cli.TierStatus(topic)
+}
+
 // NewProducer returns a producer on the shared client.
 func (s *Stack) NewProducer(cfg client.ProducerConfig) *client.Producer {
 	return client.NewProducer(s.cli, cfg)
@@ -285,6 +333,10 @@ func (s *Stack) RunJob(cfg processing.JobConfig) (*processing.Job, error) {
 	s.jobs = append(s.jobs, job)
 	return job, nil
 }
+
+// TierFS returns the stack's tiered-storage file system (the cold tier of
+// tiered topics, under DataDir()/tier). It is shared by every broker.
+func (s *Stack) TierFS() *dfs.FS { return s.tierFS }
 
 // ArchiveFS returns the stack's archive file system, opening it lazily
 // under DataDir()/archive. It is the offline substrate the archival bridge
@@ -485,6 +537,9 @@ func (s *Stack) Shutdown() {
 	}
 	for _, b := range s.brokers {
 		b.Stop()
+	}
+	if s.tierFS != nil {
+		s.tierFS.Close() // after brokers: housekeeping may be offloading
 	}
 	if s.stopExpiry != nil {
 		s.stopExpiry()

@@ -38,6 +38,13 @@ type Config struct {
 	// Compacted marks the log for key-based compaction instead of
 	// deletion-based retention.
 	Compacted bool
+	// Tiered marks the log as the hot tier of a tiered partition: the
+	// retention settings above become the HOT horizon (local bytes/age),
+	// and EnforceRetention refuses to delete a segment until the tier
+	// engine has raised the offload guard past it (SetOffloadedTo) — local
+	// deletion must never outrun the offloader, or records acked below the
+	// high watermark could vanish from both tiers.
+	Tiered bool
 	// Tracker optionally observes segment I/O for page-cache modelling.
 	Tracker PageTracker
 }
@@ -87,7 +94,8 @@ type Log struct {
 
 	mu          sync.RWMutex
 	segments    []*segment // ascending base offset; last is active
-	startOffset int64      // first retained offset
+	startOffset int64      // first locally retained offset
+	offloadedTo int64      // tiered logs: offsets below this are durably tiered
 	closed      bool
 
 	appendsSinceFlush int64
@@ -178,11 +186,34 @@ func (l *Log) NextOffset() int64 {
 	return l.active().nextOffset
 }
 
-// StartOffset returns the first retained offset.
+// StartOffset returns the first locally retained offset (the local log
+// start; on a tiered log, older offsets may still be served from the cold
+// tier).
 func (l *Log) StartOffset() int64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.startOffset
+}
+
+// SetOffloadedTo raises the offload guard: offsets below the given offset
+// are durably tiered (segment uploaded and manifest committed), so hot
+// retention may delete their local copies. The guard is monotonic; lower
+// values are ignored. Leaders raise it after each manifest commit;
+// followers adopt the leader's local log start from fetch responses (the
+// leader only advances it past offloaded data).
+func (l *Log) SetOffloadedTo(offset int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset > l.offloadedTo {
+		l.offloadedTo = offset
+	}
+}
+
+// OffloadedTo returns the current offload guard.
+func (l *Log) OffloadedTo() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.offloadedTo
 }
 
 // Size returns the total byte size of all segments.
@@ -507,6 +538,13 @@ func (l *Log) EnforceRetention(now time.Time) (int, error) {
 		}
 		oversize := l.cfg.RetentionBytes > 0 && total > l.cfg.RetentionBytes
 		if !expired && !oversize {
+			break
+		}
+		// Tiered logs: never delete a record the offloader has not
+		// committed to the tier manifest, regardless of how far the hot
+		// horizon is exceeded. Segments are ordered, so the first
+		// un-offloaded one stops the pass.
+		if l.cfg.Tiered && oldest.nextOffset > l.offloadedTo {
 			break
 		}
 		if err := oldest.remove(); err != nil {

@@ -1,0 +1,157 @@
+package log
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/storage/record"
+)
+
+// fillSegments appends records until the log has at least want segments.
+func fillSegments(t *testing.T, l *Log, want int) {
+	t.Helper()
+	for i := 0; l.SegmentCount() < want; i++ {
+		if _, err := l.Append([]record.Record{{
+			Key:       []byte(fmt.Sprintf("k-%05d", i)),
+			Value:     []byte(fmt.Sprintf("v-%05d", i)),
+			Timestamp: 1, // ancient: always expired by any time horizon
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTieredRetentionNeverOutrunsOffloader is the invariant the tiered
+// design stands on: hot retention may delete a local segment only after the
+// offloader committed it to the tier manifest (SetOffloadedTo), no matter
+// how far the hot horizon is exceeded.
+func TestTieredRetentionNeverOutrunsOffloader(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{
+		SegmentBytes:   2 << 10,
+		Tiered:         true,
+		RetentionMs:    -1, // no time horizon: the bytes path is under test
+		RetentionBytes: 1,  // hot horizon exceeded from the first append
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fillSegments(t, l, 5)
+
+	// Guard at zero: nothing offloaded, nothing deletable.
+	if n, err := l.EnforceRetention(time.Now()); err != nil || n != 0 {
+		t.Fatalf("retention with zero guard deleted %d segments (err %v), want 0", n, err)
+	}
+	if l.StartOffset() != 0 {
+		t.Fatalf("start offset moved to %d with nothing offloaded", l.StartOffset())
+	}
+
+	// A partial guard frees exactly the fully covered segments.
+	segs := l.Segments()
+	guard := segs[2].BaseOffset // first two segments fully tiered
+	l.SetOffloadedTo(guard)
+	n, err := l.EnforceRetention(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("deleted %d segments, want 2 (the offloaded prefix)", n)
+	}
+	if got := l.StartOffset(); got != guard {
+		t.Fatalf("local start %d, want %d", got, guard)
+	}
+
+	// Records at and beyond the guard still read back locally.
+	if _, err := l.Read(guard, 1024); err != nil {
+		t.Fatalf("read at new local start: %v", err)
+	}
+	if _, err := l.Read(guard-1, 1024); err == nil {
+		t.Fatal("read below local start should fail (the cold tier owns it now)")
+	}
+}
+
+// TestTieredRetentionTimeHorizonGuarded covers the RetentionMs path: every
+// segment is long expired by age, but only the offloaded prefix may go.
+func TestTieredRetentionTimeHorizonGuarded(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{
+		SegmentBytes:   2 << 10,
+		Tiered:         true,
+		RetentionMs:    1, // 1ms horizon: all timestamps (1) are expired
+		RetentionBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fillSegments(t, l, 4)
+	if n, err := l.EnforceRetention(time.Now()); err != nil || n != 0 {
+		t.Fatalf("expired-but-unoffloaded segments deleted: %d (err %v)", n, err)
+	}
+	segs := l.Segments()
+	l.SetOffloadedTo(segs[1].BaseOffset)
+	if n, err := l.EnforceRetention(time.Now()); err != nil || n != 1 {
+		t.Fatalf("deleted %d segments, want 1", n)
+	}
+}
+
+// TestTieredRetentionUnlimitedHot covers RetentionMs=-1 + RetentionBytes=-1
+// on a tiered log: offload raises the guard, but with no hot horizon
+// nothing is ever deleted locally.
+func TestTieredRetentionUnlimitedHot(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{
+		SegmentBytes:   2 << 10,
+		Tiered:         true,
+		RetentionMs:    -1,
+		RetentionBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fillSegments(t, l, 4)
+	l.SetOffloadedTo(l.NextOffset())
+	if n, err := l.EnforceRetention(time.Now()); err != nil || n != 0 {
+		t.Fatalf("unlimited hot horizon deleted %d segments (err %v)", n, err)
+	}
+	if l.SegmentCount() != 4 {
+		t.Fatalf("segment count %d, want 4", l.SegmentCount())
+	}
+}
+
+// TestNonTieredRetentionUnaffected pins the default path: without Tiered,
+// the guard plays no part and retention behaves exactly as before.
+func TestNonTieredRetentionUnaffected(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{
+		SegmentBytes:   2 << 10,
+		RetentionMs:    -1,
+		RetentionBytes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fillSegments(t, l, 4)
+	n, err := l.EnforceRetention(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // everything but the active segment
+		t.Fatalf("deleted %d segments, want 3", n)
+	}
+}
+
+// TestOffloadGuardMonotonic pins SetOffloadedTo's monotonicity: a stale
+// follower adopting an older leader start cannot lower the guard.
+func TestOffloadGuardMonotonic(t *testing.T) {
+	l, err := Open(t.TempDir(), Config{Tiered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetOffloadedTo(100)
+	l.SetOffloadedTo(50)
+	if got := l.OffloadedTo(); got != 100 {
+		t.Fatalf("guard = %d, want 100", got)
+	}
+}

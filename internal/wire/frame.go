@@ -118,6 +118,8 @@ func NewRequestBody(api APIKey) (Message, bool) {
 		return &SyncGroupRequest{}, true
 	case APIOffsetQuery:
 		return &OffsetQueryRequest{}, true
+	case APITierStatus:
+		return &TierStatusRequest{}, true
 	}
 	return nil, false
 }

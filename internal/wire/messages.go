@@ -21,6 +21,10 @@ const (
 	APILeaveGroup      APIKey = 13
 	APISyncGroup       APIKey = 14
 	APIOffsetQuery     APIKey = 40
+	// APITierStatus is Liquid-specific: per-partition tiered-storage
+	// status (hot/cold segment counts and the local vs tiered start
+	// offsets) served by each partition's leader.
+	APITierStatus APIKey = 41
 )
 
 // Message is any protocol body that can encode and decode itself.
@@ -546,6 +550,14 @@ type TopicSpec struct {
 	RetentionBytes    int64 // 0 = broker default, -1 = unlimited
 	SegmentBytes      int32 // 0 = broker default
 	Compacted         bool
+	// Tiered enables tiered log storage: the partition leader offloads
+	// sealed segments to the DFS and serves reads below the local log
+	// start from the cold tier. RetentionMs/RetentionBytes then bound the
+	// TOTAL (hot + cold) horizon and HotRetention* bound the local one.
+	// Mutually exclusive with Compacted.
+	Tiered            bool
+	HotRetentionMs    int64 // 0 = broker default, -1 = unlimited
+	HotRetentionBytes int64 // 0 = broker default, -1 = unlimited
 }
 
 // CreateTopicsRequest creates one or more topics cluster-wide.
@@ -565,6 +577,9 @@ func (m *CreateTopicsRequest) Encode(w *Writer) {
 		w.Int64(t.RetentionBytes)
 		w.Int32(t.SegmentBytes)
 		w.Bool(t.Compacted)
+		w.Bool(t.Tiered)
+		w.Int64(t.HotRetentionMs)
+		w.Int64(t.HotRetentionBytes)
 	}
 }
 
@@ -581,6 +596,9 @@ func (m *CreateTopicsRequest) Decode(r *Reader) {
 		t.RetentionBytes = r.Int64()
 		t.SegmentBytes = r.Int32()
 		t.Compacted = r.Bool()
+		t.Tiered = r.Bool()
+		t.HotRetentionMs = r.Int64()
+		t.HotRetentionBytes = r.Int64()
 		m.Topics = append(m.Topics, t)
 	}
 }
@@ -1153,3 +1171,102 @@ func (m *LeaveGroupResponse) Encode(w *Writer) { w.Int16(int16(m.Err)) }
 
 // Decode implements Message.
 func (m *LeaveGroupResponse) Decode(r *Reader) { m.Err = ErrorCode(r.Int16()) }
+
+// ------------------------------------------------------------ tier status
+
+// TierStatusRequest asks a broker for the tiered-storage status of the
+// partitions it leads. An empty Topics list means every tiered topic the
+// broker hosts.
+type TierStatusRequest struct {
+	Topics []string
+}
+
+// Encode implements Message.
+func (m *TierStatusRequest) Encode(w *Writer) { w.StringArray(m.Topics) }
+
+// Decode implements Message.
+func (m *TierStatusRequest) Decode(r *Reader) { m.Topics = r.StringArray() }
+
+// TierStatusResponse carries per-partition tier state.
+type TierStatusResponse struct {
+	Topics []TierStatusTopic
+}
+
+// TierStatusTopic groups one topic's partition statuses.
+type TierStatusTopic struct {
+	Name       string
+	Partitions []TierStatusPartition
+}
+
+// TierStatusPartition is one partition's tiered-storage status as seen by
+// its leader. EarliestOffset is the earliest offset a consumer can rewind
+// to (tiered-earliest when cold segments exist, the local log start
+// otherwise); LocalStartOffset is the first offset still held locally.
+type TierStatusPartition struct {
+	Partition        int32
+	Err              ErrorCode
+	Tiered           bool
+	EarliestOffset   int64
+	LocalStartOffset int64
+	NextOffset       int64 // log end offset
+	TieredNextOffset int64 // offload frontier: offsets below are tiered
+	LocalSegments    int32
+	LocalBytes       int64
+	TieredSegments   int32
+	TieredBytes      int64
+	TieredRecords    int64
+}
+
+// Encode implements Message.
+func (m *TierStatusResponse) Encode(w *Writer) {
+	w.ArrayLen(len(m.Topics))
+	for i := range m.Topics {
+		t := &m.Topics[i]
+		w.String(t.Name)
+		w.ArrayLen(len(t.Partitions))
+		for j := range t.Partitions {
+			p := &t.Partitions[j]
+			w.Int32(p.Partition)
+			w.Int16(int16(p.Err))
+			w.Bool(p.Tiered)
+			w.Int64(p.EarliestOffset)
+			w.Int64(p.LocalStartOffset)
+			w.Int64(p.NextOffset)
+			w.Int64(p.TieredNextOffset)
+			w.Int32(p.LocalSegments)
+			w.Int64(p.LocalBytes)
+			w.Int32(p.TieredSegments)
+			w.Int64(p.TieredBytes)
+			w.Int64(p.TieredRecords)
+		}
+	}
+}
+
+// Decode implements Message.
+func (m *TierStatusResponse) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Topics = make([]TierStatusTopic, 0, n)
+	for i := 0; i < n; i++ {
+		var t TierStatusTopic
+		t.Name = r.String()
+		np := r.ArrayLen()
+		t.Partitions = make([]TierStatusPartition, 0, np)
+		for j := 0; j < np; j++ {
+			var p TierStatusPartition
+			p.Partition = r.Int32()
+			p.Err = ErrorCode(r.Int16())
+			p.Tiered = r.Bool()
+			p.EarliestOffset = r.Int64()
+			p.LocalStartOffset = r.Int64()
+			p.NextOffset = r.Int64()
+			p.TieredNextOffset = r.Int64()
+			p.LocalSegments = r.Int32()
+			p.LocalBytes = r.Int64()
+			p.TieredSegments = r.Int32()
+			p.TieredBytes = r.Int64()
+			p.TieredRecords = r.Int64()
+			t.Partitions = append(t.Partitions, p)
+		}
+		m.Topics = append(m.Topics, t)
+	}
+}

@@ -394,3 +394,37 @@ func TestQuickProduceRequestRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTierMessageRoundTrips(t *testing.T) {
+	roundTrip(t, &TierStatusRequest{Topics: []string{"events", "logs"}}, &TierStatusRequest{})
+	roundTrip(t, &TierStatusResponse{
+		Topics: []TierStatusTopic{{
+			Name: "events",
+			Partitions: []TierStatusPartition{{
+				Partition:        2,
+				Err:              ErrNotLeaderForPartition,
+				Tiered:           true,
+				EarliestOffset:   7,
+				LocalStartOffset: 4000,
+				NextOffset:       9000,
+				TieredNextOffset: 4200,
+				LocalSegments:    3,
+				LocalBytes:       1 << 20,
+				TieredSegments:   40,
+				TieredBytes:      9 << 20,
+				TieredRecords:    123456,
+			}},
+		}},
+	}, &TierStatusResponse{})
+	roundTrip(t, &CreateTopicsRequest{Topics: []TopicSpec{{
+		Name:              "tiered",
+		NumPartitions:     4,
+		ReplicationFactor: 3,
+		RetentionMs:       -1,
+		RetentionBytes:    1 << 40,
+		SegmentBytes:      1 << 20,
+		Tiered:            true,
+		HotRetentionMs:    3600_000,
+		HotRetentionBytes: 64 << 20,
+	}}}, &CreateTopicsRequest{})
+}

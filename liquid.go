@@ -61,6 +61,7 @@ import (
 	"repro/internal/processing"
 	"repro/internal/state"
 	"repro/internal/storage/record"
+	"repro/internal/tier"
 	"repro/internal/wire"
 )
 
@@ -283,3 +284,34 @@ func EncodeAnnotations(a map[string]string) string { return client.EncodeAnnotat
 
 // DecodeAnnotations parses offset-manager metadata into annotations.
 func DecodeAnnotations(s string) map[string]string { return client.DecodeAnnotations(s) }
+
+// Tiered log storage (internal/tier): topics created with
+// TopicSpec.Tiered (or Stack.CreateTieredFeed) keep a small hot log on the
+// brokers and offload sealed segments to the DFS; consumers rewind past
+// local retention through the same fetch API — StartEarliest and
+// ResetEarliest mean the tiered-earliest offset.
+type (
+	// TierStatusPartition is one partition's tiered-storage status
+	// (Client.TierStatus / Stack.TierStatus): hot/cold segment counts,
+	// tiered bytes, and the local vs tiered start offsets.
+	TierStatusPartition = wire.TierStatusPartition
+	// TierManifest is the committed cold-tier state of one partition.
+	TierManifest = tier.Manifest
+	// TierSegmentInfo describes one committed cold segment.
+	TierSegmentInfo = tier.SegmentInfo
+)
+
+// TierManifests loads the newest tier manifest of every partition of a
+// topic directly from a tier DFS (cmd/liquid-admin reads a broker's tier
+// directory this way; online status goes through Client.TierStatus).
+func TierManifests(fs *dfs.FS, root, topic string, partitions int32) ([]*TierManifest, error) {
+	out := make([]*TierManifest, 0, partitions)
+	for p := int32(0); p < partitions; p++ {
+		m, err := tier.LoadManifest(fs, root, topic, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
