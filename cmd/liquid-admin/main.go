@@ -10,6 +10,9 @@
 //	liquid-admin -bootstrap host:port delete -topic events
 //	liquid-admin -bootstrap host:port offsets -topic events -partition 0
 //	liquid-admin -bootstrap host:port tier ls events
+//	liquid-admin -bootstrap host:port quota set -principal tenant-a -produce-bps 1048576 -req-rate 100
+//	liquid-admin -bootstrap host:port quota ls
+//	liquid-admin -bootstrap host:port quota rm -principal tenant-a
 //	liquid-admin -bootstrap host:port checkpoint -group job-x -topic events -partition 0 -key version -value v1
 package main
 
@@ -28,7 +31,7 @@ func main() {
 	bootstrap := flag.String("bootstrap", "127.0.0.1:9092", "comma-separated broker addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("liquid-admin: need a subcommand: create | delete | describe | offsets | tier | checkpoint")
+		log.Fatal("liquid-admin: need a subcommand: create | delete | describe | offsets | tier | quota | checkpoint")
 	}
 	cli, err := liquid.NewClient(liquid.ClientConfig{
 		Bootstrap: strings.Split(*bootstrap, ","),
@@ -51,6 +54,8 @@ func main() {
 		runOffsets(cli, args)
 	case "tier":
 		runTier(cli, args)
+	case "quota":
+		runQuota(cli, args)
 	case "checkpoint":
 		runCheckpoint(cli, args)
 	default:
@@ -187,6 +192,67 @@ func runTier(cli *liquid.Client, args []string) {
 		fmt.Printf("  %-4d %-7t %-9d %-9d %-9d %-10d %-10d %-9d %-12d %d\n",
 			p.Partition, p.Tiered, p.EarliestOffset, p.LocalStartOffset, p.TieredNextOffset,
 			p.NextOffset, p.LocalSegments, p.LocalBytes, p.TieredSegments, p.TieredBytes)
+	}
+}
+
+// runQuota manages per-principal (client-id) rate quotas: `quota set`
+// persists limits cluster-wide (all brokers converge through the
+// coordination service and enforce them as ThrottleTimeMs backpressure),
+// `quota ls` lists persisted quotas, `quota rm` removes one.
+func runQuota(cli *liquid.Client, args []string) {
+	if len(args) < 1 {
+		log.Fatal("quota: usage: quota set|ls|rm ...")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "set":
+		fs := flag.NewFlagSet("quota set", flag.ExitOnError)
+		principal := fs.String("principal", "", "client-id the quota applies to")
+		produce := fs.Int64("produce-bps", 0, "produce byte-rate limit in bytes/sec (0 = unlimited)")
+		fetch := fs.Int64("fetch-bps", 0, "fetch byte-rate limit in bytes/sec (0 = unlimited)")
+		reqRate := fs.Int64("req-rate", 0, "request-rate limit in requests/sec (0 = unlimited)")
+		fs.Parse(rest)
+		if *principal == "" {
+			log.Fatal("quota set: -principal is required")
+		}
+		err := cli.SetQuota(liquid.QuotaEntry{
+			Principal:          *principal,
+			ProduceBytesPerSec: *produce,
+			FetchBytesPerSec:   *fetch,
+			RequestsPerSec:     *reqRate,
+		})
+		if err != nil {
+			log.Fatalf("quota set: %v", err)
+		}
+		fmt.Printf("quota set for %s (produce %d B/s, fetch %d B/s, %d req/s; 0 = unlimited)\n",
+			*principal, *produce, *fetch, *reqRate)
+	case "ls":
+		entries, err := cli.DescribeQuotas(rest...)
+		if err != nil {
+			log.Fatalf("quota ls: %v", err)
+		}
+		if len(entries) == 0 {
+			fmt.Println("no quotas configured")
+			return
+		}
+		fmt.Printf("%-24s %-14s %-14s %s\n", "principal", "produce-B/s", "fetch-B/s", "req/s")
+		for _, e := range entries {
+			fmt.Printf("%-24s %-14d %-14d %d\n",
+				e.Principal, e.ProduceBytesPerSec, e.FetchBytesPerSec, e.RequestsPerSec)
+		}
+	case "rm":
+		fs := flag.NewFlagSet("quota rm", flag.ExitOnError)
+		principal := fs.String("principal", "", "client-id to remove the quota of")
+		fs.Parse(rest)
+		if *principal == "" {
+			log.Fatal("quota rm: -principal is required")
+		}
+		if err := cli.DeleteQuota(*principal); err != nil {
+			log.Fatalf("quota rm: %v", err)
+		}
+		fmt.Printf("quota removed for %s\n", *principal)
+	default:
+		log.Fatalf("quota: unknown subcommand %q (set | ls | rm)", sub)
 	}
 }
 

@@ -213,6 +213,7 @@ func All(scale Scale) []Table {
 		E16Compression(scale),
 		E17Availability(scale),
 		E18RewindScan(scale),
+		E19NoisyNeighbor(scale),
 	}
 }
 
@@ -237,6 +238,7 @@ func ByID(id string) (func(Scale) Table, bool) {
 		"E16": E16Compression,
 		"E17": E17Availability,
 		"E18": E18RewindScan,
+		"E19": E19NoisyNeighbor,
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

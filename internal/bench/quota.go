@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// E19NoisyNeighbor measures the multi-tenant isolation the broker quotas
+// buy (§3.2/§4.4 "ETL-as-a-service"): a victim tenant's produce latency is
+// sampled three ways — unloaded, under an unthrottled aggressor flooding
+// the same partition leader with large values, and under the same flood
+// with a produce-byte quota on the aggressor. The target shape: without
+// quotas the victim's p99 degrades with the aggressor's volume; with
+// quotas the aggressor is paced by ThrottleTimeMs backpressure (honored
+// client-side) and the victim's p99 returns to within 2x its unloaded
+// baseline.
+func E19NoisyNeighbor(scale Scale) Table {
+	t := Table{
+		ID:      "E19",
+		Title:   "noisy neighbor: victim produce latency with and without broker quotas",
+		Claim:   "§3.2/§4.4: many teams share one nearline stack as a service, so a runaway producer must not degrade co-located tenants; per-principal rate quotas with client-honored backpressure bound the interference",
+		Headers: []string{"phase", "victim produces", "victim p50 ms", "victim p99 ms", "aggressor MB/s"},
+	}
+	s, err := newStack(1, nil)
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer s.Shutdown()
+	const topic = "shared"
+	if err := s.CreateFeed(topic, 1, 1); err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+
+	const (
+		victimID  = "tenant-victim"
+		aggrID    = "tenant-aggr"
+		aggrBytes = 64 << 10
+		quotaBps  = 64 << 10 // aggressor budget once quotas are on: one large append per second
+	)
+	victimCli, err := s.NewClient(victimID)
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer victimCli.Close()
+	victim := client.NewProducer(victimCli, client.ProducerConfig{})
+	defer victim.Close()
+	aggrCli, err := s.NewClient(aggrID)
+	if err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		return t
+	}
+	defer aggrCli.Close()
+	aggr := client.NewProducer(aggrCli, client.ProducerConfig{})
+	defer aggr.Close()
+
+	// Payloads come from the multi-tenant workload generator: one stream
+	// per tenant, deterministic under the seed.
+	var genMu sync.Mutex
+	victimGen := workload.NewMultiTenant(workload.MultiTenantConfig{
+		Seed:    19,
+		Tenants: []workload.TenantSpec{{ID: victimID, ValueBytes: 100}},
+	})
+	aggrGen := workload.NewMultiTenant(workload.MultiTenantConfig{
+		Seed:    191,
+		Tenants: []workload.TenantSpec{{ID: aggrID, ValueBytes: aggrBytes}},
+	})
+
+	// The victim is a modest tenant: probes are paced a few ms apart, and
+	// each loaded phase runs for a minimum window so the aggressor-rate
+	// measurement spans several quota refill periods, not microseconds.
+	n := scale.pick(120, 600)
+	minWindow := scale.pick(1, 3)
+	measureVictim := func(pinWindow bool) (durations, time.Duration) {
+		var lat durations
+		window := time.Duration(0)
+		if pinWindow {
+			window = time.Duration(minWindow) * time.Second
+		}
+		start := time.Now()
+		for i := 0; (len(lat) < n || time.Since(start) < window) && i < n*100; i++ {
+			genMu.Lock()
+			ev := victimGen.Next()
+			genMu.Unlock()
+			t0 := time.Now()
+			if _, err := victim.SendSync(client.Message{Topic: topic, Key: []byte(ev.Tenant), Value: ev.Payload}); err == nil {
+				lat = append(lat, time.Since(t0))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return lat, time.Since(start)
+	}
+
+	// Phase 1 — unloaded baseline.
+	baseline, baseDur := measureVictim(false)
+
+	// Start the aggressor flood: G goroutines producing large values in a
+	// tight loop on the victim's partition leader.
+	var aggrAcked atomic.Int64
+	stopFlood := make(chan struct{})
+	var floodWG sync.WaitGroup
+	const floodGoroutines = 4
+	for g := 0; g < floodGoroutines; g++ {
+		floodWG.Add(1)
+		go func() {
+			defer floodWG.Done()
+			for {
+				select {
+				case <-stopFlood:
+					return
+				default:
+				}
+				genMu.Lock()
+				ev := aggrGen.Next()
+				genMu.Unlock()
+				if _, err := aggr.SendSync(client.Message{Topic: topic, Key: []byte(ev.Tenant), Value: ev.Payload}); err == nil {
+					aggrAcked.Add(int64(len(ev.Payload)))
+				}
+			}
+		}()
+	}
+
+	// Phase 2 — flood, quotas off: the aggressor runs at whatever rate the
+	// leader absorbs.
+	time.Sleep(200 * time.Millisecond) // let the flood reach steady state
+	floodMark := aggrAcked.Load()
+	floodStart := time.Now()
+	flood, _ := measureVictim(true)
+	floodDur := time.Since(floodStart)
+	floodRate := float64(aggrAcked.Load()-floodMark) / floodDur.Seconds() / (1 << 20)
+
+	// Phase 3 — flood, quota on: same flood, but the aggressor principal
+	// is held to quotaBps. The broker charges and answers immediately; the
+	// aggressor's own client honors the ThrottleTimeMs verdicts.
+	stopAggressor := func() {
+		close(stopFlood)
+		// Close before waiting: a flood goroutine can be deep in a
+		// throttle await (verdicts reach 30s by now) and only the
+		// producer's done channel releases it promptly.
+		aggr.Close()
+		floodWG.Wait()
+	}
+	if err := s.SetQuota(aggrID, cluster.QuotaConfig{ProduceBytesPerSec: quotaBps}); err != nil {
+		t.Notes = append(t.Notes, "failed: "+err.Error())
+		stopAggressor()
+		return t
+	}
+	time.Sleep(500 * time.Millisecond) // drain the pre-quota burst
+	quotaMark := aggrAcked.Load()
+	quotaStart := time.Now()
+	quotaOn, _ := measureVictim(true)
+	quotaDur := time.Since(quotaStart)
+	quotaRate := float64(aggrAcked.Load()-quotaMark) / quotaDur.Seconds() / (1 << 20)
+	stopAggressor()
+	throttled := aggr.Throttled()
+
+	row := func(phase string, lat durations, rate float64) []string {
+		return []string{phase, fmt.Sprint(len(lat)), ms(lat.p(0.5)), ms(lat.p(0.99)), fmt.Sprintf("%.1f", rate)}
+	}
+	t.Rows = append(t.Rows,
+		row("unloaded baseline", baseline, 0),
+		row("flood, quotas off", flood, floodRate),
+		row("flood, quota "+fmt.Sprint(quotaBps>>10)+"KiB/s", quotaOn, quotaRate),
+	)
+	result := func(name string, lat durations, dur time.Duration, extra map[string]string) Result {
+		return Result{
+			Name:          name,
+			RecordsPerSec: float64(len(lat)) / dur.Seconds(),
+			P50Ms:         float64(lat.p(0.5)) / float64(time.Millisecond),
+			P99Ms:         float64(lat.p(0.99)) / float64(time.Millisecond),
+			Extra:         extra,
+		}
+	}
+	ratio := func(lat durations) string {
+		if baseline.p(0.99) == 0 {
+			return "inf"
+		}
+		return fmt.Sprintf("%.2f", float64(lat.p(0.99))/float64(baseline.p(0.99)))
+	}
+	t.Results = append(t.Results,
+		result("baseline", baseline, baseDur, nil),
+		result("flood-no-quota", flood, floodDur, map[string]string{
+			"aggressor_mb_per_sec":   fmt.Sprintf("%.1f", floodRate),
+			"victim_p99_vs_baseline": ratio(flood),
+		}),
+		result("flood-quota-on", quotaOn, quotaDur, map[string]string{
+			"aggressor_mb_per_sec":    fmt.Sprintf("%.1f", quotaRate),
+			"victim_p99_vs_baseline":  ratio(quotaOn),
+			"quota_bytes_per_sec":     fmt.Sprint(quotaBps),
+			"aggressor_throttles":     fmt.Sprint(throttled.Count),
+			"aggressor_throttled_for": throttled.Delay.Round(time.Millisecond).String(),
+		}),
+	)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("aggressor: %d goroutines x %dKiB values on the victim's partition; throttled %d times for %s total once the quota was on",
+			floodGoroutines, aggrBytes>>10, throttled.Count, throttled.Delay.Round(time.Millisecond)),
+		"expected shape: flood degrades victim p99 unboundedly; with the quota on, victim p99 returns to within 2x the unloaded baseline while the aggressor is held near its budget")
+	return t
+}

@@ -87,6 +87,11 @@ type Config struct {
 	// commit. Returning an error aborts the offload there, leaving the
 	// on-DFS state a crashed leader leaves behind. Nil in production.
 	TierUploadHook func(topic string, partition int32, path string) error
+	// DefaultQuota is the rate quota applied to every principal
+	// (client-id) that has no per-principal quota persisted in the
+	// coordination service (cmd/liquid-admin `quota set`). The zero value
+	// disables default governance. Replication fetches are always exempt.
+	DefaultQuota cluster.QuotaConfig
 	// Listen binds the broker's listener; nil means plain TCP net.Listen.
 	// Chaos harnesses (internal/chaos) substitute a listener factory that
 	// registers the broker on an injected network so its links can be
@@ -178,6 +183,7 @@ type Broker struct {
 	fetchers *fetcherManager
 	groups   *groupCoordinator
 	offsets  *offsetManager
+	quotas   *quotaManager
 
 	tierCache *tier.Cache // shared cold-reader LRU (nil without TierFS)
 
@@ -216,6 +222,7 @@ func Start(store *coord.Store, cfg Config) (*Broker, error) {
 	b.fetchers = newFetcherManager(b)
 	b.groups = newGroupCoordinator(b)
 	b.offsets = newOffsetManager(b)
+	b.quotas = newQuotaManager(b, cfg.DefaultQuota)
 	if cfg.TierFS != nil {
 		b.tierCache = tier.NewCache(cfg.TierCacheBytes, cfg.Metrics)
 	}
@@ -522,6 +529,7 @@ func (b *Broker) watchLoop(events <-chan coord.Event) {
 					old()
 				}
 				b.syncAllTopics()
+				b.quotas.invalidateAll()
 				continue
 			}
 			b.handleEvent(ev)
@@ -545,6 +553,12 @@ func (b *Broker) handleEvent(ev coord.Event) {
 		if ev.Type == coord.EventCreated || ev.Type == coord.EventUpdated {
 			b.applyPartitionState(tp{topic: topic, partition: partition})
 		}
+		return
+	}
+	if principal, ok := cluster.ParseQuotaPath(ev.Path); ok {
+		// Quota changed (or was removed) through any broker: drop the
+		// cached governor so the next charge re-reads the registry.
+		b.quotas.invalidate(principal)
 		return
 	}
 }

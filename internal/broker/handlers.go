@@ -72,8 +72,25 @@ func (b *Broker) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		resp, reply := b.dispatch(hdr, body)
+		resp, reply, delay := b.dispatch(hdr, body)
 		if !reply {
+			// Fire-and-forget (acks=0) has no response frame to carry a
+			// ThrottleTimeMs verdict, so the quota penalty is applied as
+			// socket-level backpressure instead: delay reading this
+			// connection's next frame. Only this principal's own
+			// connection goroutine sleeps — shared broker state is
+			// untouched — which is what keeps an acks=0 flood from
+			// bypassing quotas entirely.
+			if delay > 0 {
+				if delay > maxThrottle {
+					delay = maxThrottle
+				}
+				select {
+				case <-time.After(delay):
+				case <-b.stopCh:
+					return
+				}
+			}
 			continue
 		}
 		if err := wire.WriteResponseFrame(conn, hdr.CorrelationID, resp); err != nil {
@@ -83,57 +100,89 @@ func (b *Broker) serveConn(conn net.Conn) {
 }
 
 // dispatch decodes and routes one request. reply=false means the request
-// is fire-and-forget (acks=0 produce) and no response frame is written.
-func (b *Broker) dispatch(hdr wire.RequestHeader, r *wire.Reader) (wire.Message, bool) {
+// is fire-and-forget (acks=0 produce) and no response frame is written;
+// delay then carries the quota penalty the serve loop must apply as
+// socket-level backpressure (it is always 0 when reply is true).
+func (b *Broker) dispatch(hdr wire.RequestHeader, r *wire.Reader) (wire.Message, bool, time.Duration) {
 	body, ok := wire.NewRequestBody(hdr.API)
 	if !ok {
-		return &wire.ProduceResponse{}, true // unknown API: empty response
+		return &wire.ProduceResponse{}, true, 0 // unknown API: empty response
 	}
 	body.Decode(r)
 	if r.Err() != nil {
-		return &wire.ProduceResponse{}, true
+		return &wire.ProduceResponse{}, true, 0
 	}
 	b.cfg.Metrics.Counter("broker.requests").Inc()
+	// Every request charges the principal's request-rate quota — except
+	// replication fetches, which are exempt end to end (throttling a
+	// follower would starve the ISR, not the tenant causing the load).
+	// The penalty is surfaced on produce/fetch responses
+	// (ThrottleTimeMs); for other APIs the charge still drains the
+	// bucket, so a flood of metadata or offset traffic shows up on the
+	// next produce/fetch.
+	var reqPenalty time.Duration
+	if f, ok := body.(*wire.FetchRequest); !ok || f.ReplicaID < 0 {
+		reqPenalty = b.quotas.chargeRequest(hdr.ClientID)
+	}
 	switch req := body.(type) {
 	case *wire.ProduceRequest:
-		resp := b.handleProduce(req)
-		return resp, req.RequiredAcks != 0
+		resp := b.handleProduce(req, hdr.ClientID, reqPenalty)
+		if req.RequiredAcks == 0 {
+			return resp, false, time.Duration(resp.ThrottleTimeMs) * time.Millisecond
+		}
+		return resp, true, 0
 	case *wire.FetchRequest:
-		return b.handleFetch(req), true
+		return b.handleFetch(req, hdr.ClientID, reqPenalty), true, 0
 	case *wire.ListOffsetsRequest:
-		return b.handleListOffsets(req), true
+		return b.handleListOffsets(req), true, 0
 	case *wire.MetadataRequest:
-		return b.handleMetadata(req), true
+		return b.handleMetadata(req), true, 0
 	case *wire.CreateTopicsRequest:
-		return b.handleCreateTopics(req), true
+		return b.handleCreateTopics(req), true, 0
 	case *wire.DeleteTopicsRequest:
-		return b.handleDeleteTopics(req), true
+		return b.handleDeleteTopics(req), true, 0
 	case *wire.OffsetCommitRequest:
-		return b.handleOffsetCommit(req), true
+		return b.handleOffsetCommit(req), true, 0
 	case *wire.OffsetFetchRequest:
-		return b.handleOffsetFetch(req), true
+		return b.handleOffsetFetch(req), true, 0
 	case *wire.OffsetQueryRequest:
-		return b.offsets.query(req), true
+		return b.offsets.query(req), true, 0
 	case *wire.TierStatusRequest:
-		return b.handleTierStatus(req), true
+		return b.handleTierStatus(req), true, 0
+	case *wire.DescribeQuotasRequest:
+		return b.handleDescribeQuotas(req), true, 0
+	case *wire.AlterQuotasRequest:
+		return b.handleAlterQuotas(req), true, 0
 	case *wire.FindCoordinatorRequest:
-		return b.handleFindCoordinator(req), true
+		return b.handleFindCoordinator(req), true, 0
 	case *wire.JoinGroupRequest:
-		return <-b.groups.handleJoin(req, hdr.ClientID), true
+		return <-b.groups.handleJoin(req, hdr.ClientID), true, 0
 	case *wire.SyncGroupRequest:
-		return <-b.groups.handleSync(req), true
+		return <-b.groups.handleSync(req), true, 0
 	case *wire.HeartbeatRequest:
-		return &wire.HeartbeatResponse{Err: b.groups.handleHeartbeat(req)}, true
+		return &wire.HeartbeatResponse{Err: b.groups.handleHeartbeat(req)}, true, 0
 	case *wire.LeaveGroupRequest:
-		return &wire.LeaveGroupResponse{Err: b.groups.handleLeave(req)}, true
+		return &wire.LeaveGroupResponse{Err: b.groups.handleLeave(req)}, true, 0
 	}
-	return &wire.ProduceResponse{}, true
+	return &wire.ProduceResponse{}, true, 0
 }
 
 // ------------------------------------------------------------- produce
 
-func (b *Broker) handleProduce(req *wire.ProduceRequest) *wire.ProduceResponse {
+func (b *Broker) handleProduce(req *wire.ProduceRequest, principal string, reqPenalty time.Duration) *wire.ProduceResponse {
 	resp := &wire.ProduceResponse{}
+	// Charge the produce byte quota for the whole payload up front —
+	// rejected batches cost the broker validation work too — and answer
+	// immediately with the penalty; the handler never sleeps (the client
+	// honors ThrottleTimeMs before its next request).
+	payloadBytes := 0
+	for _, t := range req.Topics {
+		for _, p := range t.Partitions {
+			payloadBytes += len(p.Records)
+		}
+	}
+	penalty := maxDuration(reqPenalty, b.quotas.chargeProduce(principal, payloadBytes))
+	resp.ThrottleTimeMs = throttleMs(penalty)
 	type pending struct {
 		topic int
 		part  int
@@ -217,7 +266,7 @@ func splitProducePayload(data []byte) ([][]byte, int, error) {
 
 // --------------------------------------------------------------- fetch
 
-func (b *Broker) handleFetch(req *wire.FetchRequest) *wire.FetchResponse {
+func (b *Broker) handleFetch(req *wire.FetchRequest, principal string, reqPenalty time.Duration) *wire.FetchResponse {
 	isFollower := req.ReplicaID >= 0
 	maxWait := time.Duration(req.MaxWaitMs) * time.Millisecond
 	if maxWait < 0 {
@@ -241,6 +290,12 @@ func (b *Broker) handleFetch(req *wire.FetchRequest) *wire.FetchResponse {
 		if total >= minBytes || hasError || !time.Now().Before(deadline) {
 			if total > 0 {
 				b.cfg.Metrics.Counter("broker.fetch.bytes").Add(int64(total))
+			}
+			// Replication fetches are quota-exempt: throttling a follower
+			// would slow the ISR, not the tenant that caused the load.
+			if !isFollower {
+				penalty := maxDuration(reqPenalty, b.quotas.chargeFetch(principal, total))
+				resp.ThrottleTimeMs = throttleMs(penalty)
 			}
 			return resp
 		}

@@ -1,0 +1,280 @@
+package broker
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/isolation"
+	"repro/internal/wire"
+)
+
+// maxThrottle caps the backpressure penalty handed to a client in one
+// response. The deficit itself is unbounded — a principal that keeps
+// flooding keeps accruing it — but each response asks for at most this
+// much delay so a throttled client can still observe config changes.
+const maxThrottle = 30 * time.Second
+
+// quotaManager enforces per-principal (client-id) rate quotas in the
+// broker request path — the broker-side half of the "ETL-as-a-service"
+// isolation story (paper §3.2, §4.4): internal/isolation governs a job's
+// CPU/memory on the processing layer, this governs a tenant's produce
+// bytes, fetch bytes and request rate on the messaging layer. It reuses
+// the same token-bucket machinery (isolation.Rate) in its non-blocking
+// form: handlers charge, receive a penalty, and surface it to the client
+// as ThrottleTimeMs — the server never sleeps in its handler goroutine.
+//
+// Per-principal configs live in the coordination service (cluster
+// QuotasPrefix), so every broker converges on the same limits and they
+// survive leader failover; principals without a persisted config run at
+// the broker's default quota. Governors are cached per principal and
+// invalidated by the registry watch when a quota changes.
+type quotaManager struct {
+	b   *Broker
+	def cluster.QuotaConfig
+
+	mu      sync.Mutex
+	tenants map[string]*tenantGovernor
+	// gen increments on every invalidation. A governor built from a
+	// registry read that started before an invalidation landed must not
+	// enter the cache (it may encode the pre-change config): governor()
+	// snapshots gen before reading the registry and only caches when it
+	// is unchanged, so a concurrent `quota set` can never be masked by a
+	// stale cache entry.
+	gen uint64
+}
+
+// maxCachedTenants bounds the governor cache: client-ids are untrusted
+// input, and a client cycling unique ids must not grow broker memory
+// without bound. Past the cap the cache is reset wholesale — governed
+// principals rebuild their buckets (with a fresh burst) on next charge,
+// which is a far smaller distortion than unbounded growth.
+const maxCachedTenants = 4096
+
+// ungoverned is the shared governor for principals with no limits at all:
+// all-nil buckets charge nothing, so every such principal caches the same
+// instance (one map entry, no per-principal bucket state).
+var ungoverned = &tenantGovernor{}
+
+// tenantGovernor holds one principal's rate buckets. Unlimited dimensions
+// have nil buckets (a nil isolation.Rate charges nothing). persisted marks
+// governors built from an operator-set registry quota: those survive a
+// cache reset, so a named principal's accrued deficit can never be
+// forgiven by other client-ids churning the cache.
+type tenantGovernor struct {
+	cfg       cluster.QuotaConfig
+	persisted bool
+	produce   *isolation.Rate
+	fetch     *isolation.Rate
+	requests  *isolation.Rate
+}
+
+func newQuotaManager(b *Broker, def cluster.QuotaConfig) *quotaManager {
+	return &quotaManager{b: b, def: def, tenants: make(map[string]*tenantGovernor)}
+}
+
+// governor returns the cached governor for a principal, resolving its
+// config from the registry (falling back to the broker default) on miss.
+func (m *quotaManager) governor(principal string) *tenantGovernor {
+	m.mu.Lock()
+	g, ok := m.tenants[principal]
+	gen := m.gen
+	m.mu.Unlock()
+	if ok {
+		return g
+	}
+	cfg, persisted := m.def, false
+	if q, found, err := m.b.reg.GetQuota(principal); err == nil && found {
+		cfg, persisted = q, true
+	}
+	if cfg.IsZero() {
+		g = ungoverned // nothing to enforce; cache the shared instance
+	} else {
+		g = m.newGovernor(cfg)
+		g.persisted = persisted
+	}
+	m.mu.Lock()
+	switch cached, ok := m.tenants[principal]; {
+	case ok:
+		g = cached // lost a build race; keep the existing buckets
+	case m.gen != gen:
+		// An invalidation landed while we read the registry: our config
+		// may be stale. Serve this one charge from it but do not cache —
+		// the next charge re-reads the registry.
+	default:
+		if len(m.tenants) >= maxCachedTenants {
+			// Shed only non-persisted entries (shared ungoverned markers
+			// and default-quota buckets): operator-set quotas keep their
+			// buckets — and their accrued deficits — no matter how many
+			// throwaway client-ids churn the cache.
+			kept := make(map[string]*tenantGovernor)
+			for p, t := range m.tenants {
+				if t.persisted {
+					kept[p] = t
+				}
+			}
+			m.tenants = kept
+		}
+		m.tenants[principal] = g
+	}
+	m.mu.Unlock()
+	return g
+}
+
+func (m *quotaManager) newGovernor(cfg cluster.QuotaConfig) *tenantGovernor {
+	g := &tenantGovernor{cfg: cfg}
+	now := m.b.cfg.Now
+	if cfg.ProduceBytesPerSec > 0 {
+		g.produce = isolation.NewRate(isolation.RateConfig{PerSec: float64(cfg.ProduceBytesPerSec), Now: now})
+	}
+	if cfg.FetchBytesPerSec > 0 {
+		g.fetch = isolation.NewRate(isolation.RateConfig{PerSec: float64(cfg.FetchBytesPerSec), Now: now})
+	}
+	if cfg.RequestsPerSec > 0 {
+		g.requests = isolation.NewRate(isolation.RateConfig{PerSec: float64(cfg.RequestsPerSec), Now: now})
+	}
+	return g
+}
+
+// invalidate drops a principal's cached governor so the next charge
+// rebuilds it from the registry. Called from the broker's watch loop on
+// /quotas/ events — this is how an AlterQuotas accepted by any broker
+// reaches every broker's hot path.
+func (m *quotaManager) invalidate(principal string) {
+	m.mu.Lock()
+	m.gen++
+	delete(m.tenants, principal)
+	m.mu.Unlock()
+}
+
+// invalidateAll drops every cached governor — used when the registry
+// watch overflows and individual quota events may have been lost.
+func (m *quotaManager) invalidateAll() {
+	m.mu.Lock()
+	m.gen++
+	m.tenants = make(map[string]*tenantGovernor)
+	m.mu.Unlock()
+}
+
+// chargeRequest charges one request against the principal's request-rate
+// bucket and returns the penalty.
+func (m *quotaManager) chargeRequest(principal string) time.Duration {
+	return m.note("request", m.governor(principal).requests.Charge(1))
+}
+
+// chargeProduce charges appended payload bytes.
+func (m *quotaManager) chargeProduce(principal string, bytes int) time.Duration {
+	return m.note("produce", m.governor(principal).produce.Charge(float64(bytes)))
+}
+
+// chargeFetch charges fetched response bytes.
+func (m *quotaManager) chargeFetch(principal string, bytes int) time.Duration {
+	return m.note("fetch", m.governor(principal).fetch.Charge(float64(bytes)))
+}
+
+// note records throttle metrics and passes the penalty through.
+func (m *quotaManager) note(kind string, penalty time.Duration) time.Duration {
+	if penalty > 0 {
+		m.b.cfg.Metrics.Counter("broker.quota.throttles." + kind).Inc()
+		m.b.cfg.Metrics.Histogram("broker.quota.throttle").Observe(int64(penalty))
+	}
+	return penalty
+}
+
+// throttleMs converts a penalty into the wire ThrottleTimeMs field:
+// capped, rounded up so sub-millisecond penalties are not lost.
+func throttleMs(d time.Duration) int32 {
+	if d <= 0 {
+		return 0
+	}
+	if d > maxThrottle {
+		d = maxThrottle
+	}
+	return int32((d + time.Millisecond - 1) / time.Millisecond)
+}
+
+// maxDuration returns the larger of two penalties: a client only needs to
+// honor the worst verdict, the buckets have already been charged.
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------- admin APIs
+
+// handleDescribeQuotas returns the persisted quota entries (all of them
+// when no principals are named). Principals without a persisted quota are
+// omitted: they run at the broker default.
+func (b *Broker) handleDescribeQuotas(req *wire.DescribeQuotasRequest) *wire.DescribeQuotasResponse {
+	resp := &wire.DescribeQuotasResponse{}
+	if len(req.Principals) == 0 {
+		all := b.reg.Quotas()
+		names := make([]string, 0, len(all))
+		for principal := range all {
+			names = append(names, principal)
+		}
+		sort.Strings(names)
+		for _, principal := range names {
+			resp.Entries = append(resp.Entries, quotaEntry(principal, all[principal]))
+		}
+		return resp
+	}
+	for _, principal := range req.Principals {
+		q, ok, err := b.reg.GetQuota(principal)
+		if err != nil {
+			resp.Err = wire.ErrUnknown
+			return resp
+		}
+		if ok {
+			resp.Entries = append(resp.Entries, quotaEntry(principal, q))
+		}
+	}
+	return resp
+}
+
+// handleAlterQuotas upserts or removes quotas through the registry. Any
+// broker accepts the request; the others converge through their watches.
+func (b *Broker) handleAlterQuotas(req *wire.AlterQuotasRequest) *wire.AlterQuotasResponse {
+	resp := &wire.AlterQuotasResponse{}
+	for _, op := range req.Ops {
+		code := b.alterQuota(op)
+		resp.Results = append(resp.Results, wire.TopicResult{Name: op.Entry.Principal, Err: code})
+	}
+	return resp
+}
+
+func (b *Broker) alterQuota(op wire.AlterQuotaOp) wire.ErrorCode {
+	e := op.Entry
+	if e.Principal == "" || e.ProduceBytesPerSec < 0 || e.FetchBytesPerSec < 0 || e.RequestsPerSec < 0 {
+		return wire.ErrInvalidRequest
+	}
+	var err error
+	if op.Remove {
+		err = b.reg.DeleteQuota(e.Principal)
+	} else {
+		err = b.reg.SetQuota(e.Principal, cluster.QuotaConfig{
+			ProduceBytesPerSec: e.ProduceBytesPerSec,
+			FetchBytesPerSec:   e.FetchBytesPerSec,
+			RequestsPerSec:     e.RequestsPerSec,
+		})
+	}
+	if err != nil {
+		return wire.ErrUnknown
+	}
+	// The watch invalidates too, but asynchronously; dropping the local
+	// cache here makes the accepting broker enforce the change immediately.
+	b.quotas.invalidate(e.Principal)
+	return wire.ErrNone
+}
+
+func quotaEntry(principal string, q cluster.QuotaConfig) wire.QuotaEntry {
+	return wire.QuotaEntry{
+		Principal:          principal,
+		ProduceBytesPerSec: q.ProduceBytesPerSec,
+		FetchBytesPerSec:   q.FetchBytesPerSec,
+		RequestsPerSec:     q.RequestsPerSec,
+	}
+}

@@ -1,0 +1,258 @@
+package broker_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/wire"
+)
+
+// quotaClient builds a client whose ClientID is the quota principal under
+// test.
+func (tc *testCluster) quotaClient(t *testing.T, principal string) *client.Client {
+	t.Helper()
+	c, err := client.New(client.Config{
+		Bootstrap:    tc.addrs,
+		ClientID:     principal,
+		MaxRetries:   60,
+		RetryBackoff: 25 * time.Millisecond,
+		MetadataTTL:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestQuotaAlterDescribeRoundTrip(t *testing.T) {
+	tc := startCluster(t, 1)
+	c := tc.newClient(t)
+
+	if got, err := c.DescribeQuotas(); err != nil || len(got) != 0 {
+		t.Fatalf("initial DescribeQuotas = %v, %v", got, err)
+	}
+	entry := wire.QuotaEntry{Principal: "tenant-a", ProduceBytesPerSec: 1 << 20, RequestsPerSec: 100}
+	if err := c.SetQuota(entry); err != nil {
+		t.Fatalf("SetQuota: %v", err)
+	}
+	if err := c.SetQuota(wire.QuotaEntry{Principal: "tenant-b", FetchBytesPerSec: 2 << 20}); err != nil {
+		t.Fatalf("SetQuota b: %v", err)
+	}
+	all, err := c.DescribeQuotas()
+	if err != nil || len(all) != 2 {
+		t.Fatalf("DescribeQuotas = %v, %v", all, err)
+	}
+	if all[0] != entry {
+		t.Fatalf("entry round trip: %+v != %+v", all[0], entry)
+	}
+	one, err := c.DescribeQuotas("tenant-b", "unconfigured")
+	if err != nil || len(one) != 1 || one[0].Principal != "tenant-b" {
+		t.Fatalf("selective DescribeQuotas = %v, %v", one, err)
+	}
+	if err := c.DeleteQuota("tenant-a"); err != nil {
+		t.Fatalf("DeleteQuota: %v", err)
+	}
+	if got, _ := c.DescribeQuotas(); len(got) != 1 {
+		t.Fatalf("after delete: %v", got)
+	}
+
+	// Invalid alters are rejected with ErrInvalidRequest.
+	if err := c.SetQuota(wire.QuotaEntry{Principal: ""}); err == nil {
+		t.Fatal("empty principal accepted")
+	}
+	if err := c.SetQuota(wire.QuotaEntry{Principal: "x", ProduceBytesPerSec: -1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+// TestProduceThrottledByQuota exercises the produce charge point end to
+// end: an aggressor principal with a tight byte quota sees ThrottleTimeMs
+// verdicts (visible in Producer.Throttled) while a co-located principal
+// without a quota never does.
+func TestProduceThrottledByQuota(t *testing.T) {
+	tc := startCluster(t, 1)
+	admin := tc.newClient(t)
+	createTopic(t, admin, "shared", 1, 1)
+
+	if err := admin.SetQuota(wire.QuotaEntry{Principal: "aggr", ProduceBytesPerSec: 64 << 10}); err != nil {
+		t.Fatalf("SetQuota: %v", err)
+	}
+
+	aggr := client.NewProducer(tc.quotaClient(t, "aggr"), client.ProducerConfig{})
+	defer aggr.Close()
+	victim := client.NewProducer(tc.quotaClient(t, "victim"), client.ProducerConfig{})
+	defer victim.Close()
+
+	// ~4x the aggressor's per-second budget, sent as fast as the quota
+	// allows: the bucket must run dry and the broker must answer with
+	// throttle verdicts the client honors.
+	value := bytes.Repeat([]byte("x"), 32<<10)
+	for i := 0; i < 8; i++ {
+		if _, err := aggr.SendSync(client.Message{Topic: "shared", Value: value}); err != nil {
+			t.Fatalf("aggr send %d: %v", i, err)
+		}
+		if _, err := victim.SendSync(client.Message{Topic: "shared", Value: []byte("small")}); err != nil {
+			t.Fatalf("victim send %d: %v", i, err)
+		}
+	}
+	if st := aggr.Throttled(); st.Count == 0 || st.Delay == 0 {
+		t.Fatalf("aggressor was never throttled: %+v", st)
+	}
+	if st := victim.Throttled(); st.Count != 0 {
+		t.Fatalf("victim was throttled: %+v", st)
+	}
+}
+
+// TestAcksNoneProduceThrottledByQuota covers the fire-and-forget gap:
+// acks=0 produces have no response frame to carry ThrottleTimeMs, so the
+// broker applies the penalty as socket-level backpressure — it delays
+// reading the connection's next frame. A quota-busting acks=0 flood must
+// therefore take at least its budgeted time to land, instead of bypassing
+// quotas entirely.
+func TestAcksNoneProduceThrottledByQuota(t *testing.T) {
+	tc := startCluster(t, 1)
+	admin := tc.newClient(t)
+	createTopic(t, admin, "fire", 1, 1)
+	if err := admin.SetQuota(wire.QuotaEntry{Principal: "fire-hose", ProduceBytesPerSec: 64 << 10}); err != nil {
+		t.Fatalf("SetQuota: %v", err)
+	}
+
+	p := client.NewProducer(tc.quotaClient(t, "fire-hose"), client.ProducerConfig{
+		Acks:       client.AcksNone,
+		BatchBytes: 1 << 30, // no size-triggered flushes; we flush explicitly
+		Linger:     time.Hour,
+	})
+	defer p.Close()
+
+	// 5 x 64KiB at 64KiB/s: the burst absorbs the first, the serve loop
+	// must hold the connection ~1s per following frame.
+	value := bytes.Repeat([]byte("f"), 64<<10)
+	const n = 5
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := p.Send(client.Message{Topic: "fire", Value: value}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		if err := p.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	// All records must land despite fire-and-forget + throttling.
+	cons := client.NewConsumer(tc.newClient(t), client.ConsumerConfig{})
+	defer cons.Close()
+	if err := cons.Assign("fire", 0, client.StartEarliest); err != nil {
+		t.Fatalf("assign: %v", err)
+	}
+	got := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for got < n && time.Now().Before(deadline) {
+		msgs, err := cons.Poll(250 * time.Millisecond)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		got += len(msgs)
+	}
+	elapsed := time.Since(start)
+	if got != n {
+		t.Fatalf("only %d/%d acks=0 records landed", got, n)
+	}
+	if elapsed < 1500*time.Millisecond {
+		t.Fatalf("acks=0 flood landed in %v — socket backpressure not applied", elapsed)
+	}
+	if v := tc.brokers[0].Metrics().Counter("broker.quota.throttles.produce").Value(); v == 0 {
+		t.Fatal("no produce throttles recorded for the acks=0 flood")
+	}
+}
+
+// TestFetchThrottledByQuota exercises the fetch charge point: a reader
+// with a tight fetch-byte quota gets throttled draining a backlog, and the
+// cluster keeps serving (all records still arrive).
+func TestFetchThrottledByQuota(t *testing.T) {
+	tc := startCluster(t, 1)
+	admin := tc.newClient(t)
+	createTopic(t, admin, "backlog", 1, 1)
+
+	p := client.NewProducer(tc.newClient(t), client.ProducerConfig{BatchBytes: 256 << 10})
+	defer p.Close()
+	value := bytes.Repeat([]byte("y"), 8<<10)
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := p.Send(client.Message{Topic: "backlog", Value: value}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	if err := admin.SetQuota(wire.QuotaEntry{Principal: "reader", FetchBytesPerSec: 64 << 10}); err != nil {
+		t.Fatalf("SetQuota: %v", err)
+	}
+	cons := client.NewConsumer(tc.quotaClient(t, "reader"), client.ConsumerConfig{MaxBytes: 64 << 10})
+	defer cons.Close()
+	if err := cons.Assign("backlog", 0, client.StartEarliest); err != nil {
+		t.Fatalf("assign: %v", err)
+	}
+	got := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for got < n && time.Now().Before(deadline) {
+		msgs, err := cons.Poll(250 * time.Millisecond)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		got += len(msgs)
+	}
+	if got != n {
+		t.Fatalf("reader drained %d/%d records", got, n)
+	}
+	if st := cons.Throttled(); st.Count == 0 {
+		t.Fatalf("reader was never throttled draining 256KiB at 64KiB/s: %+v", st)
+	}
+}
+
+// TestQuotaChangeConvergesViaWatch verifies the cache-invalidation path:
+// once a principal's quota is lifted, its cached governor is dropped (via
+// the /quotas/ registry watch) and throttling stops.
+func TestQuotaChangeConvergesViaWatch(t *testing.T) {
+	tc := startCluster(t, 1)
+	admin := tc.newClient(t)
+	createTopic(t, admin, "conv", 1, 1)
+	if err := admin.SetQuota(wire.QuotaEntry{Principal: "conv-tenant", ProduceBytesPerSec: 16 << 10}); err != nil {
+		t.Fatalf("SetQuota: %v", err)
+	}
+
+	p := client.NewProducer(tc.quotaClient(t, "conv-tenant"), client.ProducerConfig{})
+	defer p.Close()
+	value := bytes.Repeat([]byte("z"), 16<<10)
+	for i := 0; i < 4; i++ {
+		if _, err := p.SendSync(client.Message{Topic: "conv", Value: value}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	before := p.Throttled()
+	if before.Count == 0 {
+		t.Fatalf("tenant was never throttled under the tight quota")
+	}
+
+	// Lift the quota; the broker's watch must invalidate the cached
+	// governor, after which produces stop accruing throttle verdicts.
+	if err := admin.DeleteQuota("conv-tenant"); err != nil {
+		t.Fatalf("DeleteQuota: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mark := p.Throttled()
+		if _, err := p.SendSync(client.Message{Topic: "conv", Value: value}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		if p.Throttled() == mark {
+			return // an unthrottled produce went through
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant still throttled after quota removal: %+v", p.Throttled())
+		}
+	}
+}

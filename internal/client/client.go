@@ -328,6 +328,52 @@ func (c *Client) DeleteTopic(name string) error {
 	return resp.Results[0].Err.Err()
 }
 
+// SetQuota persists a principal's (client-id's) rate quota cluster-wide.
+// Any broker accepts the write; all brokers converge through the
+// coordination service, and the quota survives broker failover. Zero
+// fields mean unlimited on that dimension.
+func (c *Client) SetQuota(entry wire.QuotaEntry) error {
+	return c.alterQuota(wire.AlterQuotaOp{Entry: entry})
+}
+
+// DeleteQuota removes a principal's quota; the principal falls back to the
+// broker default.
+func (c *Client) DeleteQuota(principal string) error {
+	return c.alterQuota(wire.AlterQuotaOp{Entry: wire.QuotaEntry{Principal: principal}, Remove: true})
+}
+
+func (c *Client) alterQuota(op wire.AlterQuotaOp) error {
+	conn, err := c.dialAny()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var resp wire.AlterQuotasResponse
+	if err := conn.RoundTrip(wire.APIAlterQuotas, &wire.AlterQuotasRequest{Ops: []wire.AlterQuotaOp{op}}, &resp); err != nil {
+		return err
+	}
+	if len(resp.Results) != 1 {
+		return errors.New("client: malformed alter quotas response")
+	}
+	return resp.Results[0].Err.Err()
+}
+
+// DescribeQuotas returns the persisted quota entries for the named
+// principals, or every persisted quota when none are named. Principals
+// without a persisted quota are omitted (they run at the broker default).
+func (c *Client) DescribeQuotas(principals ...string) ([]wire.QuotaEntry, error) {
+	conn, err := c.dialAny()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	var resp wire.DescribeQuotasResponse
+	if err := conn.RoundTrip(wire.APIDescribeQuotas, &wire.DescribeQuotasRequest{Principals: principals}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Entries, resp.Err.Err()
+}
+
 // ListOffset resolves a timestamp to an offset on the partition leader.
 // Use wire.TimestampEarliest / wire.TimestampLatest for the log ends.
 func (c *Client) ListOffset(topic string, partition int32, timestamp int64) (int64, error) {

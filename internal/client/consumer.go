@@ -74,6 +74,11 @@ type Consumer struct {
 	assigned map[string]*consumerTP // "topic/partition" -> state
 	conns    map[int32]*Conn        // dedicated fetch conns by broker id
 	closed   bool
+
+	// throttle holds broker quota verdicts (ThrottleTimeMs on fetch
+	// responses), keyed by broker id; the next fetch to that broker
+	// honors them.
+	throttle throttleTracker
 }
 
 // NewConsumer creates a consumer on a client.
@@ -250,8 +255,23 @@ func (c *Consumer) fetchConn(leader int32) (*Conn, error) {
 	return conn, nil
 }
 
-// fetchFrom issues one fetch to a leader for its partitions.
+// Throttled reports how often the consumer was throttled by broker quotas
+// and the cumulative delay it honored.
+func (c *Consumer) Throttled() ThrottleStats { return c.throttle.throttled() }
+
+// fetchFrom issues one fetch to a leader for its partitions. An
+// outstanding quota verdict from that broker is honored first, and the
+// honored wait plus the long-poll budget together never exceed the
+// caller's maxWait: a verdict longer than the budget makes this round
+// yield nothing (the remainder is honored on later polls), a shorter one
+// shrinks the long-poll window by the time already spent — so Poll's
+// latency contract holds even under a 30s verdict.
 func (c *Consumer) fetchFrom(leader int32, parts []*consumerTP, maxWait time.Duration) ([]Message, error) {
+	slept, honored := c.throttle.await(leader, maxWait, nil)
+	if !honored {
+		return nil, nil // still throttled; this poll round yields nothing
+	}
+	maxWait -= slept
 	conn, err := c.fetchConn(leader)
 	if err != nil {
 		c.c.InvalidateMetadata()
@@ -287,6 +307,7 @@ func (c *Consumer) fetchFrom(leader int32, parts []*consumerTP, maxWait time.Dur
 		c.c.InvalidateMetadata()
 		return nil, err
 	}
+	c.throttle.note(leader, resp.ThrottleTimeMs)
 	var out []Message
 	for i := range resp.Topics {
 		t := &resp.Topics[i]

@@ -157,6 +157,19 @@ type Producer struct {
 	pending int
 	closed  bool
 
+	// flushMu serialises flushOnce end to end (drain + delivery). Without
+	// it, Flush could observe an empty buffer and return while a linger
+	// tick was still delivering records enqueued before the Flush call —
+	// breaking the "synchronously delivers everything buffered so far"
+	// contract (and Close's equivalent). Holding it across delivery means
+	// Flush returns only after any in-flight flush has finished AND the
+	// remainder it drained itself is delivered or reported to OnError.
+	flushMu sync.Mutex
+
+	// throttle holds the broker's backpressure verdicts (ThrottleTimeMs
+	// on produce responses); the next produce request honors them.
+	throttle throttleTracker
+
 	flushNow chan struct{}
 	done     chan struct{}
 }
@@ -267,13 +280,19 @@ func (p *Producer) flushLoop() {
 	}
 }
 
-// Flush synchronously delivers everything buffered so far.
+// Flush synchronously delivers everything buffered so far: when it
+// returns, every record enqueued before the call has been delivered or
+// reported to OnError — including records a concurrent linger tick claimed
+// first (flushOnce is serialised, so Flush waits that delivery out).
 func (p *Producer) Flush() error {
 	return p.flushOnce()
 }
 
-// flushOnce drains the buffer and produces each partition's batch.
+// flushOnce drains the buffer and produces each partition's batch. The
+// flush mutex covers the whole drain+deliver window; see its field doc.
 func (p *Producer) flushOnce() error {
+	p.flushMu.Lock()
+	defer p.flushMu.Unlock()
 	p.mu.Lock()
 	batches := p.batches
 	p.batches = make(map[string]map[int32][]record.Record)
@@ -304,11 +323,23 @@ func (p *Producer) flushOnce() error {
 	return firstErr
 }
 
+// noteThrottle records a ThrottleTimeMs verdict from a produce response.
+func (p *Producer) noteThrottle(ms int32) { p.throttle.note(0, ms) }
+
+// Throttled reports how often the producer was throttled by broker quotas
+// and the cumulative delay it honored.
+func (p *Producer) Throttled() ThrottleStats { return p.throttle.throttled() }
+
 // produce delivers one batch to the partition leader with retries,
 // returning the base offset (or -1 for acks=0). Zero timestamps are
 // stamped with send time here: the broker appends the sealed batch
 // verbatim and never rewrites record timestamps.
 func (p *Producer) produce(topic string, partition int32, recs []record.Record) (int64, error) {
+	// Honor any outstanding quota verdict (the client half of
+	// backpressure; verdicts are server-capped, so the wait is bounded).
+	// A closing producer's final flush ships without the wait — see the
+	// cooperative-honoring note on throttleTracker.
+	p.throttle.await(0, time.Hour, p.done)
 	now := time.Now().UnixMilli()
 	for i := range recs {
 		if recs[i].Timestamp == 0 {
@@ -353,6 +384,7 @@ func (p *Producer) produce(topic string, partition int32, recs []record.Record) 
 		if err := conn.RoundTrip(wire.APIProduce, req, &resp); err != nil {
 			return wire.ErrNone, err
 		}
+		p.noteThrottle(resp.ThrottleTimeMs)
 		if len(resp.Topics) != 1 || len(resp.Topics[0].Partitions) != 1 {
 			return wire.ErrNone, errors.New("client: malformed produce response")
 		}

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// ThrottleStats reports how often (and for how long) a client delayed its
+// requests to honor broker-side quota verdicts (ThrottleTimeMs) — the
+// client half of the multi-tenant backpressure loop.
+type ThrottleStats struct {
+	// Count is how many responses carried a non-zero throttle.
+	Count int64
+	// Delay is the cumulative wall-clock delay actually honored (time
+	// spent waiting in await, not the sum of verdicts received — several
+	// senders can honor one verdict window together).
+	Delay time.Duration
+}
+
+// throttleTracker holds broker quota verdicts for one client role and
+// paces its requests. Producer and Consumer share it: the producer keys
+// everything under 0 (one pacing lane per producer), the consumer keys by
+// broker id (a verdict from one leader must not stall fetches to others).
+//
+// Honoring is cooperative by design: the broker charges its buckets and
+// answers immediately (it never delays a handler), so a client that skips
+// the pacing — including a producer recreated per send, which always
+// starts verdict-free — gains nothing durable: the server-side deficit
+// keeps growing and every response keeps carrying a bigger verdict.
+type throttleTracker struct {
+	mu    sync.Mutex
+	until map[int32]time.Time
+	stats ThrottleStats
+}
+
+// note records a ThrottleTimeMs verdict from a response.
+func (t *throttleTracker) note(key int32, ms int32) {
+	if ms <= 0 {
+		return
+	}
+	d := time.Duration(ms) * time.Millisecond
+	t.mu.Lock()
+	if t.until == nil {
+		t.until = make(map[int32]time.Time)
+	}
+	if u := time.Now().Add(d); u.After(t.until[key]) {
+		t.until[key] = u
+	}
+	t.stats.Count++
+	t.mu.Unlock()
+}
+
+// await honors the outstanding verdict for key before the next request,
+// waiting at most maxWait and aborting early when cancel closes (a
+// closing producer's final flush ships rather than hanging — see the
+// cooperative-honoring note on the type). It returns how long it actually
+// waited and whether the verdict was honored in full; false means the
+// caller should skip this request round and try again later, with the
+// wait already spent counted against its own budget.
+func (t *throttleTracker) await(key int32, maxWait time.Duration, cancel <-chan struct{}) (time.Duration, bool) {
+	t.mu.Lock()
+	until := t.until[key]
+	t.mu.Unlock()
+	d := time.Until(until)
+	if d <= 0 {
+		return 0, true
+	}
+	wait, honored := d, true
+	if d > maxWait {
+		wait, honored = maxWait, false
+	}
+	if wait <= 0 {
+		return 0, honored
+	}
+	start := time.Now()
+	select {
+	case <-time.After(wait):
+	case <-cancel: // nil channel blocks forever, i.e. no cancellation
+		wait = time.Since(start)
+	}
+	t.mu.Lock()
+	t.stats.Delay += wait
+	t.mu.Unlock()
+	return wait, honored
+}
+
+// throttled snapshots the stats.
+func (t *throttleTracker) throttled() ThrottleStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

@@ -275,3 +275,61 @@ func TestWaitForBrokers(t *testing.T) {
 		t.Fatalf("timeout path = %v", got)
 	}
 }
+
+func TestQuotaRegistryRoundTrip(t *testing.T) {
+	reg, _ := newRegistry()
+
+	if _, ok, err := reg.GetQuota("tenant-a"); err != nil || ok {
+		t.Fatalf("unconfigured quota: ok=%v err=%v", ok, err)
+	}
+	q := QuotaConfig{ProduceBytesPerSec: 1 << 20, FetchBytesPerSec: 4 << 20, RequestsPerSec: 100}
+	if err := reg.SetQuota("tenant-a", q); err != nil {
+		t.Fatalf("SetQuota: %v", err)
+	}
+	got, ok, err := reg.GetQuota("tenant-a")
+	if err != nil || !ok || got != q {
+		t.Fatalf("GetQuota = %+v ok=%v err=%v, want %+v", got, ok, err, q)
+	}
+
+	// Upsert overwrites in place.
+	q.RequestsPerSec = 50
+	if err := reg.SetQuota("tenant-a", q); err != nil {
+		t.Fatalf("SetQuota upsert: %v", err)
+	}
+	if got, _, _ := reg.GetQuota("tenant-a"); got.RequestsPerSec != 50 {
+		t.Fatalf("upsert not applied: %+v", got)
+	}
+
+	if err := reg.SetQuota("tenant-b", QuotaConfig{RequestsPerSec: 10}); err != nil {
+		t.Fatalf("SetQuota tenant-b: %v", err)
+	}
+	all := reg.Quotas()
+	if len(all) != 2 || all["tenant-a"].RequestsPerSec != 50 || all["tenant-b"].RequestsPerSec != 10 {
+		t.Fatalf("Quotas() = %+v", all)
+	}
+
+	if err := reg.DeleteQuota("tenant-a"); err != nil {
+		t.Fatalf("DeleteQuota: %v", err)
+	}
+	if err := reg.DeleteQuota("tenant-a"); err != nil {
+		t.Fatalf("DeleteQuota of absent quota should be nil, got %v", err)
+	}
+	if _, ok, _ := reg.GetQuota("tenant-a"); ok {
+		t.Fatal("quota survived delete")
+	}
+
+	if err := reg.SetQuota("", QuotaConfig{}); err == nil {
+		t.Fatal("empty principal accepted")
+	}
+}
+
+func TestParseQuotaPath(t *testing.T) {
+	if p, ok := ParseQuotaPath("/quotas/tenant-a"); !ok || p != "tenant-a" {
+		t.Fatalf("ParseQuotaPath = %q, %v", p, ok)
+	}
+	for _, path := range []string{"/quotas/", "/topics/x", "/state/t/0"} {
+		if _, ok := ParseQuotaPath(path); ok {
+			t.Fatalf("ParseQuotaPath(%q) should not match", path)
+		}
+	}
+}

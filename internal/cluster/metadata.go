@@ -23,6 +23,7 @@ const (
 	ControllerPath = "/controller"
 	TopicsPrefix   = "/topics/"
 	StatePrefix    = "/state/"
+	QuotasPrefix   = "/quotas/"
 )
 
 // ErrNoTopic reports a lookup of an unknown topic.
@@ -212,6 +213,94 @@ func (r *Registry) SetPartitionState(topic string, partition int32, st Partition
 		return 0, err
 	}
 	return r.store.Set(statePath(topic, partition), b, expectedVersion)
+}
+
+// QuotaConfig is one principal's (client-id's) rate quota, persisted in
+// the coordination service so every broker converges on the same limits
+// and they survive broker failover (§3.2/§4.4 multi-tenancy). Zero fields
+// mean unlimited on that dimension.
+type QuotaConfig struct {
+	// ProduceBytesPerSec bounds appended record-payload bytes per second.
+	ProduceBytesPerSec int64 `json:"produceBytesPerSec,omitempty"`
+	// FetchBytesPerSec bounds consumer fetch-response bytes per second.
+	FetchBytesPerSec int64 `json:"fetchBytesPerSec,omitempty"`
+	// RequestsPerSec bounds the principal's total request rate.
+	RequestsPerSec int64 `json:"requestsPerSec,omitempty"`
+}
+
+// IsZero reports whether the quota enforces nothing.
+func (q QuotaConfig) IsZero() bool {
+	return q.ProduceBytesPerSec == 0 && q.FetchBytesPerSec == 0 && q.RequestsPerSec == 0
+}
+
+// quotaPath renders the coordination path for a principal's quota.
+func quotaPath(principal string) string { return QuotasPrefix + principal }
+
+// SetQuota upserts a principal's quota.
+func (r *Registry) SetQuota(principal string, q QuotaConfig) error {
+	if principal == "" {
+		return errors.New("cluster: quota principal must not be empty")
+	}
+	b, err := json.Marshal(q)
+	if err != nil {
+		return err
+	}
+	if _, err := r.store.Set(quotaPath(principal), b, -1); err == nil {
+		return nil
+	}
+	_, err = r.store.Create(quotaPath(principal), b, coord.NoSession)
+	if errors.Is(err, coord.ErrExists) {
+		// Lost a create race; the node exists now, so Set must succeed.
+		_, err = r.store.Set(quotaPath(principal), b, -1)
+	}
+	return err
+}
+
+// DeleteQuota removes a principal's quota (it falls back to the broker
+// default). Deleting an absent quota is not an error.
+func (r *Registry) DeleteQuota(principal string) error {
+	err := r.store.Delete(quotaPath(principal), -1)
+	if errors.Is(err, coord.ErrNotFound) {
+		return nil
+	}
+	return err
+}
+
+// GetQuota reads a principal's quota; ok is false when none is configured.
+func (r *Registry) GetQuota(principal string) (QuotaConfig, bool, error) {
+	v, _, err := r.store.Get(quotaPath(principal))
+	if err != nil {
+		if errors.Is(err, coord.ErrNotFound) {
+			return QuotaConfig{}, false, nil
+		}
+		return QuotaConfig{}, false, err
+	}
+	var q QuotaConfig
+	if err := json.Unmarshal(v, &q); err != nil {
+		return QuotaConfig{}, false, err
+	}
+	return q, true, nil
+}
+
+// Quotas returns every persisted quota, keyed by principal.
+func (r *Registry) Quotas() map[string]QuotaConfig {
+	out := make(map[string]QuotaConfig)
+	for _, path := range r.store.List(QuotasPrefix) {
+		principal := strings.TrimPrefix(path, QuotasPrefix)
+		if q, ok, err := r.GetQuota(principal); err == nil && ok {
+			out[principal] = q
+		}
+	}
+	return out
+}
+
+// ParseQuotaPath extracts the principal from a /quotas/<principal> path.
+func ParseQuotaPath(path string) (string, bool) {
+	rest, found := strings.CutPrefix(path, QuotasPrefix)
+	if !found || rest == "" {
+		return "", false
+	}
+	return rest, true
 }
 
 // ElectController attempts to become the controller, returning true on win.

@@ -94,6 +94,14 @@ type Config struct {
 	// on a partition leader after a cold segment upload and before its
 	// manifest commit. Nil in production.
 	TierUploadHook func(topic string, partition int32, path string) error
+	// DefaultQuota is the rate quota every broker applies to principals
+	// (client-ids) without a persisted per-principal quota — the safety
+	// net of the multi-tenant story (§3.2/§4.4: a runaway producer must
+	// not degrade co-located tenants). The zero value disables default
+	// governance; per-principal quotas are set with Stack.SetQuota (or
+	// liquid-admin `quota set`) and survive broker failover because they
+	// live in the coordination service.
+	DefaultQuota cluster.QuotaConfig
 	// Chaos, when non-nil, routes every listener and dial in the stack
 	// through the injected fault network (internal/chaos), enabling the
 	// §4.3 failure experiments: severed links, asymmetric partitions,
@@ -201,6 +209,7 @@ func Start(cfg Config) (*Stack, error) {
 			DefaultRetentionMs:    cfg.DefaultRetentionMs,
 			DefaultRetentionBytes: cfg.DefaultRetentionBytes,
 			PageCache:             cfg.PageCache,
+			DefaultQuota:          cfg.DefaultQuota,
 			TierFS:                tierFS,
 			TierInterval:          cfg.TierInterval,
 			TierCacheBytes:        cfg.TierCacheBytes,
@@ -302,6 +311,32 @@ func (s *Stack) CreateTieredFeed(name string, partitions int32, replication int1
 // each answered by its current leader.
 func (s *Stack) TierStatus(topic string) ([]wire.TierStatusPartition, error) {
 	return s.cli.TierStatus(topic)
+}
+
+// SetQuota persists a principal's (client-id's) rate quota cluster-wide:
+// every broker enforces it in its produce/fetch/request paths, surfacing
+// violations as ThrottleTimeMs backpressure that clients honor. Zero
+// fields mean unlimited on that dimension. The config lives in the
+// coordination service, so it survives broker failover.
+func (s *Stack) SetQuota(principal string, q cluster.QuotaConfig) error {
+	return s.cli.SetQuota(wire.QuotaEntry{
+		Principal:          principal,
+		ProduceBytesPerSec: q.ProduceBytesPerSec,
+		FetchBytesPerSec:   q.FetchBytesPerSec,
+		RequestsPerSec:     q.RequestsPerSec,
+	})
+}
+
+// DeleteQuota removes a principal's quota; it falls back to the stack's
+// DefaultQuota.
+func (s *Stack) DeleteQuota(principal string) error {
+	return s.cli.DeleteQuota(principal)
+}
+
+// DescribeQuotas returns the persisted quotas for the named principals, or
+// all of them when none are named.
+func (s *Stack) DescribeQuotas(principals ...string) ([]wire.QuotaEntry, error) {
+	return s.cli.DescribeQuotas(principals...)
 }
 
 // NewProducer returns a producer on the shared client.

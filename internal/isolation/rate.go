@@ -1,0 +1,100 @@
+package isolation
+
+import (
+	"sync"
+	"time"
+)
+
+// RateConfig bounds a rate-governed resource (bytes/sec, requests/sec).
+// It is the multi-tenant sibling of Config: where Governor blocks a job's
+// own goroutine to keep it inside a CPU budget, Rate never blocks — it
+// charges work and returns the delay the *caller* should impose, which is
+// what a broker handler needs (it must answer immediately and tell the
+// client how long to back off, paper §4.4 / Kafka-style quotas).
+type RateConfig struct {
+	// PerSec is the sustained rate (units per second). Zero or negative
+	// disables governance: Charge always returns 0.
+	PerSec float64
+	// Burst is how many units may be consumed ahead of the refill rate
+	// before a penalty accrues (default: one second's worth).
+	Burst float64
+	// Now is injectable for tests.
+	Now func() time.Time
+}
+
+func (c RateConfig) withDefaults() RateConfig {
+	if c.Burst == 0 {
+		c.Burst = c.PerSec
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// RateStats snapshots a rate governor's accounting.
+type RateStats struct {
+	// Charged is the total units charged.
+	Charged float64
+	// Throttles counts charges that returned a non-zero penalty.
+	Throttles int64
+	// Penalty is the cumulative delay handed back to callers.
+	Penalty time.Duration
+}
+
+// Rate is a non-blocking token bucket. A nil *Rate is valid and enforces
+// nothing, so ungoverned principals skip all accounting. All methods are
+// safe for concurrent use.
+type Rate struct {
+	cfg RateConfig
+
+	mu     sync.Mutex
+	tokens float64 // may go negative; the deficit sets the penalty
+	last   time.Time
+	stats  RateStats
+}
+
+// NewRate creates a rate governor. PerSec <= 0 returns a governor that
+// never throttles (equivalent to nil, but non-nil for uniform wiring).
+func NewRate(cfg RateConfig) *Rate {
+	cfg = cfg.withDefaults()
+	return &Rate{cfg: cfg, tokens: cfg.Burst, last: cfg.Now()}
+}
+
+// Charge records n consumed units and returns the delay the caller should
+// impose on the principal before its next request — zero while the bucket
+// has tokens, deficit/rate once it runs dry. It never sleeps: the broker
+// charges, responds with the penalty, and moves on.
+func (r *Rate) Charge(n float64) time.Duration {
+	if r == nil || r.cfg.PerSec <= 0 || n <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.cfg.Now()
+	// Refill for wall time elapsed since the last charge.
+	r.tokens += now.Sub(r.last).Seconds() * r.cfg.PerSec
+	if r.tokens > r.cfg.Burst {
+		r.tokens = r.cfg.Burst
+	}
+	r.last = now
+	r.tokens -= n
+	r.stats.Charged += n
+	if r.tokens >= 0 {
+		return 0
+	}
+	penalty := time.Duration(-r.tokens / r.cfg.PerSec * float64(time.Second))
+	r.stats.Throttles++
+	r.stats.Penalty += penalty
+	return penalty
+}
+
+// Usage snapshots the accounting.
+func (r *Rate) Usage() RateStats {
+	if r == nil {
+		return RateStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

@@ -1,0 +1,112 @@
+package isolation
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic rate tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func TestRateNilAndUnlimited(t *testing.T) {
+	var r *Rate
+	if d := r.Charge(1 << 30); d != 0 {
+		t.Fatalf("nil rate charged penalty %v", d)
+	}
+	if s := r.Usage(); s != (RateStats{}) {
+		t.Fatalf("nil rate usage %+v", s)
+	}
+	u := NewRate(RateConfig{}) // PerSec 0 = unlimited
+	if d := u.Charge(1 << 30); d != 0 {
+		t.Fatalf("unlimited rate charged penalty %v", d)
+	}
+}
+
+func TestRateWithinBurstIsFree(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRate(RateConfig{PerSec: 1000, Burst: 500, Now: clk.Now})
+	if d := r.Charge(500); d != 0 {
+		t.Fatalf("charge within burst penalised: %v", d)
+	}
+}
+
+func TestRateDeficitPenalty(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRate(RateConfig{PerSec: 1000, Burst: 1000, Now: clk.Now})
+	// Burst drained plus 500 units over: deficit/rate = 500ms.
+	if d := r.Charge(1500); d != 500*time.Millisecond {
+		t.Fatalf("penalty = %v, want 500ms", d)
+	}
+	s := r.Usage()
+	if s.Throttles != 1 || s.Penalty != 500*time.Millisecond || s.Charged != 1500 {
+		t.Fatalf("stats %+v", s)
+	}
+	// After the penalty has elapsed the bucket is exactly balanced again.
+	clk.Advance(500 * time.Millisecond)
+	if d := r.Charge(100); d != 100*time.Millisecond {
+		t.Fatalf("follow-up penalty = %v, want 100ms", d)
+	}
+}
+
+func TestRateRefillCapsAtBurst(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRate(RateConfig{PerSec: 100, Burst: 50, Now: clk.Now})
+	clk.Advance(time.Hour) // refill must cap at Burst, not accumulate 360k
+	if d := r.Charge(51); d == 0 {
+		t.Fatal("charge beyond capped burst should penalise")
+	}
+}
+
+func TestRateSustainedMatchesConfiguredRate(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRate(RateConfig{PerSec: 1000, Now: clk.Now})
+	// Charging exactly the rate each second never penalises after the
+	// bucket reaches steady state.
+	r.Charge(1000) // drain the burst
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Second)
+		if d := r.Charge(1000); d != 0 {
+			t.Fatalf("steady-state charge %d penalised: %v", i, d)
+		}
+	}
+	// Charging double the rate accrues ~1s of penalty per second.
+	clk.Advance(time.Second)
+	r.Charge(1000)
+	if d := r.Charge(1000); d < 900*time.Millisecond {
+		t.Fatalf("overload penalty = %v, want ~1s", d)
+	}
+}
+
+func TestRateConcurrentCharges(t *testing.T) {
+	r := NewRate(RateConfig{PerSec: 1e9})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Charge(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Usage().Charged; got != 8000 {
+		t.Fatalf("charged %v, want 8000", got)
+	}
+}

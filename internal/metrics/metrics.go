@@ -10,8 +10,25 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"testing"
 	"time"
 )
+
+// strictMonotone makes a negative Counter.Add panic instead of being
+// dropped. It is on inside test binaries: a negative delta is always a
+// programming error (a miscomputed byte count, a double-subtract), and a
+// silent no-op would let it hide until it skews a committed benchmark.
+var strictMonotone = testing.Testing()
+
+// negativeAdds counts negative deltas handed to Counter.Add in production
+// (where panicking would be worse than dropping). It should always be zero;
+// NegativeAdds exposes it so health checks can assert that.
+var negativeAdds atomic.Int64
+
+// NegativeAdds reports how many negative deltas Counter.Add has dropped
+// process-wide. Non-zero means some call site violates the monotone
+// contract.
+func NegativeAdds() int64 { return negativeAdds.Load() }
 
 // Counter is a monotonically increasing value.
 type Counter struct {
@@ -21,12 +38,18 @@ type Counter struct {
 // Inc adds one to the counter.
 func (c *Counter) Inc() { c.v.Add(1) }
 
-// Add adds delta to the counter. Negative deltas are ignored so that the
-// counter stays monotone.
+// Add adds delta to the counter. Counters are monotone by contract: delta
+// must be >= 0. A negative delta panics in test binaries and is counted in
+// NegativeAdds (then dropped) in production; it is never applied.
 func (c *Counter) Add(delta int64) {
-	if delta > 0 {
-		c.v.Add(delta)
+	if delta < 0 {
+		negativeAdds.Add(1)
+		if strictMonotone {
+			panic(fmt.Sprintf("metrics: Counter.Add(%d) violates the monotone contract", delta))
+		}
+		return
 	}
+	c.v.Add(delta)
 }
 
 // Value returns the current count.
@@ -115,7 +138,10 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns an upper-bound estimate for the q-th quantile
 // (0 ≤ q ≤ 1). The estimate is the upper edge of the bucket containing the
-// quantile, so it errs high by at most 2x.
+// quantile, clamped to the observed maximum — a bucket's upper edge can
+// exceed every value actually recorded in it, and an unclamped estimate
+// would report P99 > Max (nonsense in committed BENCH_*.json) — so it errs
+// high by at most 2x and never beyond Max.
 func (h *Histogram) Quantile(q float64) int64 {
 	if q < 0 {
 		q = 0
@@ -131,18 +157,23 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if rank < 1 {
 		rank = 1
 	}
+	max := h.max.Load()
 	var seen int64
 	for i := 0; i < histBuckets; i++ {
 		seen += h.buckets[i].Load()
 		if seen >= rank {
-			// Upper edge of bucket i.
+			// Upper edge of bucket i, clamped to the observed max.
 			if i >= 62 {
-				return math.MaxInt64
+				return max
 			}
-			return int64(1) << uint(i+1)
+			upper := int64(1) << uint(i+1)
+			if upper > max {
+				upper = max
+			}
+			return upper
 		}
 	}
-	return h.max.Load()
+	return max
 }
 
 // Snapshot is a point-in-time copy of a histogram's summary statistics.

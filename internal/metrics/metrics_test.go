@@ -10,12 +10,32 @@ func TestCounterBasics(t *testing.T) {
 	var c Counter
 	c.Inc()
 	c.Add(4)
+	c.Add(0) // zero is a legal no-op
 	if got := c.Value(); got != 5 {
 		t.Fatalf("Value() = %d, want 5", got)
 	}
-	c.Add(-3) // negative deltas ignored: counters are monotone
+}
+
+// TestCounterNegativeAddPanicsInTests pins the monotone contract: inside a
+// test binary a negative delta must fail loudly (panic) rather than be
+// silently dropped, and it must never be applied to the counter.
+func TestCounterNegativeAddPanicsInTests(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	before := NegativeAdds()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Add(-3) did not panic in a test binary")
+			}
+		}()
+		c.Add(-3)
+	}()
 	if got := c.Value(); got != 5 {
-		t.Fatalf("after Add(-3): Value() = %d, want 5", got)
+		t.Fatalf("negative delta was applied: Value() = %d, want 5", got)
+	}
+	if got := NegativeAdds(); got != before+1 {
+		t.Fatalf("NegativeAdds() = %d, want %d", got, before+1)
 	}
 }
 
@@ -69,6 +89,25 @@ func TestHistogramStats(t *testing.T) {
 	p99 := h.Quantile(0.99)
 	if p99 < 990 || p99 > 2048 {
 		t.Fatalf("P99 = %d, want within [990, 2048]", p99)
+	}
+}
+
+// TestHistogramQuantileClampedToMax is the regression test for the
+// P99 > Max bug: with a single observation every quantile lands in one
+// bucket whose upper edge (1<<(i+1)) exceeds the observation, and the
+// snapshot used to report that edge. All quantiles must now equal the one
+// observed value.
+func TestHistogramQuantileClampedToMax(t *testing.T) {
+	var h Histogram
+	h.Observe(1000) // bucket upper edge is 1024
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Fatalf("Quantile(%v) = %d, want 1000 (the observed max)", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.P50 > s.Max || s.P95 > s.Max || s.P99 > s.Max {
+		t.Fatalf("snapshot quantiles exceed max: %+v", s)
 	}
 }
 

@@ -120,6 +120,10 @@ func NewRequestBody(api APIKey) (Message, bool) {
 		return &OffsetQueryRequest{}, true
 	case APITierStatus:
 		return &TierStatusRequest{}, true
+	case APIDescribeQuotas:
+		return &DescribeQuotasRequest{}, true
+	case APIAlterQuotas:
+		return &AlterQuotasRequest{}, true
 	}
 	return nil, false
 }

@@ -25,6 +25,13 @@ const (
 	// status (hot/cold segment counts and the local vs tiered start
 	// offsets) served by each partition's leader.
 	APITierStatus APIKey = 41
+	// APIDescribeQuotas / APIAlterQuotas manage per-principal (client-id)
+	// rate quotas. Quota configs are persisted in the coordination service
+	// so every broker converges on the same limits and they survive
+	// failover (§3.2/§4.4 multi-tenancy: a runaway producer must not
+	// degrade co-located tenants).
+	APIDescribeQuotas APIKey = 42
+	APIAlterQuotas    APIKey = 43
 )
 
 // Message is any protocol body that can encode and decode itself.
@@ -127,9 +134,15 @@ func (m *ProduceRequest) Decode(r *Reader) {
 	}
 }
 
-// ProduceResponse reports per-partition append results.
+// ProduceResponse reports per-partition append results. ThrottleTimeMs is
+// the broker's backpressure verdict: how long the principal should delay
+// its next request because a quota was exceeded (0 = unthrottled). The
+// broker never blocks its handler — it charges the quota, computes the
+// penalty, and responds immediately; a well-behaved client honors the
+// delay before its next produce.
 type ProduceResponse struct {
-	Topics []ProduceRespTopic
+	ThrottleTimeMs int32
+	Topics         []ProduceRespTopic
 }
 
 // ProduceRespTopic groups per-partition results for one topic.
@@ -148,6 +161,7 @@ type ProduceRespPartition struct {
 
 // Encode implements Message.
 func (m *ProduceResponse) Encode(w *Writer) {
+	w.Int32(m.ThrottleTimeMs)
 	w.ArrayLen(len(m.Topics))
 	for i := range m.Topics {
 		t := &m.Topics[i]
@@ -165,6 +179,7 @@ func (m *ProduceResponse) Encode(w *Writer) {
 
 // Decode implements Message.
 func (m *ProduceResponse) Decode(r *Reader) {
+	m.ThrottleTimeMs = r.Int32()
 	n := r.ArrayLen()
 	m.Topics = make([]ProduceRespTopic, 0, n)
 	for i := 0; i < n; i++ {
@@ -254,9 +269,12 @@ func (m *FetchRequest) Decode(r *Reader) {
 	}
 }
 
-// FetchResponse returns record batches per partition.
+// FetchResponse returns record batches per partition. ThrottleTimeMs
+// carries the broker's quota verdict, exactly as on ProduceResponse;
+// replication fetches (follower ReplicaIDs) are exempt and always see 0.
 type FetchResponse struct {
-	Topics []FetchRespTopic
+	ThrottleTimeMs int32
+	Topics         []FetchRespTopic
 }
 
 // FetchRespTopic groups per-partition fetch results for one topic.
@@ -279,6 +297,7 @@ type FetchRespPartition struct {
 
 // Encode implements Message.
 func (m *FetchResponse) Encode(w *Writer) {
+	w.Int32(m.ThrottleTimeMs)
 	w.ArrayLen(len(m.Topics))
 	for i := range m.Topics {
 		t := &m.Topics[i]
@@ -297,6 +316,7 @@ func (m *FetchResponse) Encode(w *Writer) {
 
 // Decode implements Message.
 func (m *FetchResponse) Decode(r *Reader) {
+	m.ThrottleTimeMs = r.Int32()
 	n := r.ArrayLen()
 	m.Topics = make([]FetchRespTopic, 0, n)
 	for i := 0; i < n; i++ {
@@ -1268,5 +1288,135 @@ func (m *TierStatusResponse) Decode(r *Reader) {
 			t.Partitions = append(t.Partitions, p)
 		}
 		m.Topics = append(m.Topics, t)
+	}
+}
+
+// ----------------------------------------------------------------- quotas
+
+// QuotaEntry is one principal's rate quota. Zero limits mean unlimited on
+// that dimension. Rates are sustained per-second budgets; brokers allow a
+// one-second burst on top before throttling (token bucket).
+type QuotaEntry struct {
+	// Principal is the client-id the quota applies to.
+	Principal string
+	// ProduceBytesPerSec bounds appended record-payload bytes.
+	ProduceBytesPerSec int64
+	// FetchBytesPerSec bounds consumer fetch-response bytes (replication
+	// fetches are exempt).
+	FetchBytesPerSec int64
+	// RequestsPerSec bounds the principal's total request rate.
+	RequestsPerSec int64
+}
+
+func (q *QuotaEntry) encode(w *Writer) {
+	w.String(q.Principal)
+	w.Int64(q.ProduceBytesPerSec)
+	w.Int64(q.FetchBytesPerSec)
+	w.Int64(q.RequestsPerSec)
+}
+
+func (q *QuotaEntry) decode(r *Reader) {
+	q.Principal = r.String()
+	q.ProduceBytesPerSec = r.Int64()
+	q.FetchBytesPerSec = r.Int64()
+	q.RequestsPerSec = r.Int64()
+}
+
+// DescribeQuotasRequest reads back configured quotas. An empty Principals
+// list returns every persisted quota.
+type DescribeQuotasRequest struct {
+	Principals []string
+}
+
+// Encode implements Message.
+func (m *DescribeQuotasRequest) Encode(w *Writer) { w.StringArray(m.Principals) }
+
+// Decode implements Message.
+func (m *DescribeQuotasRequest) Decode(r *Reader) { m.Principals = r.StringArray() }
+
+// DescribeQuotasResponse returns the persisted quota entries. Principals
+// asked for but unconfigured are omitted (they run at the broker default).
+type DescribeQuotasResponse struct {
+	Err     ErrorCode
+	Entries []QuotaEntry
+}
+
+// Encode implements Message.
+func (m *DescribeQuotasResponse) Encode(w *Writer) {
+	w.Int16(int16(m.Err))
+	w.ArrayLen(len(m.Entries))
+	for i := range m.Entries {
+		m.Entries[i].encode(w)
+	}
+}
+
+// Decode implements Message.
+func (m *DescribeQuotasResponse) Decode(r *Reader) {
+	m.Err = ErrorCode(r.Int16())
+	n := r.ArrayLen()
+	m.Entries = make([]QuotaEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var q QuotaEntry
+		q.decode(r)
+		m.Entries = append(m.Entries, q)
+	}
+}
+
+// AlterQuotaOp sets or removes one principal's quota.
+type AlterQuotaOp struct {
+	Entry QuotaEntry
+	// Remove deletes the principal's quota (it falls back to the broker
+	// default); Entry's limits are ignored.
+	Remove bool
+}
+
+// AlterQuotasRequest upserts or removes quotas. Any broker accepts it: the
+// config is written to the coordination service, and every broker converges
+// through its watch.
+type AlterQuotasRequest struct {
+	Ops []AlterQuotaOp
+}
+
+// Encode implements Message.
+func (m *AlterQuotasRequest) Encode(w *Writer) {
+	w.ArrayLen(len(m.Ops))
+	for i := range m.Ops {
+		m.Ops[i].Entry.encode(w)
+		w.Bool(m.Ops[i].Remove)
+	}
+}
+
+// Decode implements Message.
+func (m *AlterQuotasRequest) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Ops = make([]AlterQuotaOp, 0, n)
+	for i := 0; i < n; i++ {
+		var op AlterQuotaOp
+		op.Entry.decode(r)
+		op.Remove = r.Bool()
+		m.Ops = append(m.Ops, op)
+	}
+}
+
+// AlterQuotasResponse reports per-principal outcomes (Name = principal).
+type AlterQuotasResponse struct {
+	Results []TopicResult
+}
+
+// Encode implements Message.
+func (m *AlterQuotasResponse) Encode(w *Writer) {
+	w.ArrayLen(len(m.Results))
+	for i := range m.Results {
+		w.String(m.Results[i].Name)
+		w.Int16(int16(m.Results[i].Err))
+	}
+}
+
+// Decode implements Message.
+func (m *AlterQuotasResponse) Decode(r *Reader) {
+	n := r.ArrayLen()
+	m.Results = make([]TopicResult, 0, n)
+	for i := 0; i < n; i++ {
+		m.Results = append(m.Results, TopicResult{Name: r.String(), Err: ErrorCode(r.Int16())})
 	}
 }

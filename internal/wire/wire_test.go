@@ -141,6 +141,7 @@ func TestMessageRoundTrips(t *testing.T) {
 	}, &ProduceRequest{})
 
 	roundTrip(t, &ProduceResponse{
+		ThrottleTimeMs: 250,
 		Topics: []ProduceRespTopic{{
 			Name: "events",
 			Partitions: []ProduceRespPartition{
@@ -159,6 +160,7 @@ func TestMessageRoundTrips(t *testing.T) {
 	}, &FetchRequest{})
 
 	roundTrip(t, &FetchResponse{
+		ThrottleTimeMs: 125,
 		Topics: []FetchRespTopic{{
 			Name: "events",
 			Partitions: []FetchRespPartition{{
@@ -320,6 +322,7 @@ func TestNewRequestBodyCoversAllAPIs(t *testing.T) {
 		APIProduce, APIFetch, APIListOffsets, APIMetadata, APICreateTopics,
 		APIDeleteTopics, APIOffsetCommit, APIOffsetFetch, APIFindCoordinator,
 		APIJoinGroup, APIHeartbeat, APILeaveGroup, APISyncGroup, APIOffsetQuery,
+		APITierStatus, APIDescribeQuotas, APIAlterQuotas,
 	} {
 		if _, ok := NewRequestBody(api); !ok {
 			t.Errorf("NewRequestBody(%d) not implemented", api)
@@ -393,6 +396,25 @@ func TestQuickProduceRequestRoundTrip(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestQuotaMessageRoundTrips(t *testing.T) {
+	roundTrip(t, &DescribeQuotasRequest{Principals: []string{"tenant-a", "tenant-b"}}, &DescribeQuotasRequest{})
+	roundTrip(t, &DescribeQuotasResponse{
+		Entries: []QuotaEntry{
+			{Principal: "tenant-a", ProduceBytesPerSec: 1 << 20, FetchBytesPerSec: 4 << 20, RequestsPerSec: 100},
+			{Principal: "tenant-b", RequestsPerSec: 10},
+		},
+	}, &DescribeQuotasResponse{})
+	roundTrip(t, &AlterQuotasRequest{
+		Ops: []AlterQuotaOp{
+			{Entry: QuotaEntry{Principal: "tenant-a", ProduceBytesPerSec: 1 << 20}},
+			{Entry: QuotaEntry{Principal: "tenant-b"}, Remove: true},
+		},
+	}, &AlterQuotasRequest{})
+	roundTrip(t, &AlterQuotasResponse{
+		Results: []TopicResult{{Name: "tenant-a"}, {Name: "", Err: ErrInvalidRequest}},
+	}, &AlterQuotasResponse{})
 }
 
 func TestTierMessageRoundTrips(t *testing.T) {

@@ -53,6 +53,7 @@ package liquid
 import (
 	"repro/internal/archive"
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/dfs"
@@ -105,6 +106,18 @@ type (
 	// (ProducerConfig.Codec): brokers store and replicate compressed
 	// batches verbatim; consumers decompress transparently.
 	Codec = client.Codec
+	// QuotaConfig is one principal's (client-id's) rate quota, persisted
+	// in the coordination service (Stack.SetQuota / Config.DefaultQuota):
+	// brokers enforce it in their produce/fetch/request paths and answer
+	// violations with ThrottleTimeMs backpressure that producers and
+	// consumers honor (§3.2/§4.4 multi-tenancy).
+	QuotaConfig = cluster.QuotaConfig
+	// QuotaEntry is a QuotaConfig bound to its principal, as carried by
+	// the quota admin APIs (Client.SetQuota / DescribeQuotas).
+	QuotaEntry = wire.QuotaEntry
+	// ThrottleStats reports how often (and for how long) a producer or
+	// consumer delayed requests to honor broker quota verdicts.
+	ThrottleStats = client.ThrottleStats
 )
 
 // ParseCodec maps a configuration string ("none", "gzip", "flate") to a
