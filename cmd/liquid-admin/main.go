@@ -10,6 +10,10 @@
 //	liquid-admin -bootstrap host:port delete -topic events
 //	liquid-admin -bootstrap host:port offsets -topic events -partition 0
 //	liquid-admin -bootstrap host:port tier ls events
+//	liquid-admin -bootstrap host:port create -topic profiles -compacted -table
+//	liquid-admin -bootstrap host:port table get profiles -key user-42
+//	liquid-admin -bootstrap host:port table range profiles -partition 0 -from a -to z -limit 100
+//	liquid-admin -bootstrap host:port table status profiles
 //	liquid-admin -bootstrap host:port quota set -principal tenant-a -produce-bps 1048576 -req-rate 100
 //	liquid-admin -bootstrap host:port quota ls
 //	liquid-admin -bootstrap host:port quota rm -principal tenant-a
@@ -31,7 +35,7 @@ func main() {
 	bootstrap := flag.String("bootstrap", "127.0.0.1:9092", "comma-separated broker addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("liquid-admin: need a subcommand: create | delete | describe | offsets | tier | quota | checkpoint")
+		log.Fatal("liquid-admin: need a subcommand: create | delete | describe | offsets | tier | table | quota | checkpoint")
 	}
 	cli, err := liquid.NewClient(liquid.ClientConfig{
 		Bootstrap: strings.Split(*bootstrap, ","),
@@ -54,6 +58,8 @@ func main() {
 		runOffsets(cli, args)
 	case "tier":
 		runTier(cli, args)
+	case "table":
+		runTable(cli, args)
 	case "quota":
 		runQuota(cli, args)
 	case "checkpoint":
@@ -71,6 +77,7 @@ func runCreate(cli *liquid.Client, args []string) {
 	retentionMs := fs.Int64("retention-ms", 0, "retention in ms (0 = broker default, -1 = unlimited); total horizon on tiered topics")
 	segmentBytes := fs.Int("segment-bytes", 0, "segment roll size in bytes (0 = broker default)")
 	compacted := fs.Bool("compacted", false, "key-based compaction instead of retention")
+	tableFlag := fs.Bool("table", false, "queryable table: partition leaders materialize the compacted feed and serve point reads (requires -compacted)")
 	tiered := fs.Bool("tiered", false, "tiered log storage: offload sealed segments to the DFS, serve unbounded rewind")
 	hotMs := fs.Int64("hot-retention-ms", 0, "tiered: local (hot) age horizon in ms")
 	hotBytes := fs.Int64("hot-retention-bytes", 0, "tiered: local (hot) size horizon in bytes")
@@ -85,6 +92,7 @@ func runCreate(cli *liquid.Client, args []string) {
 		RetentionMs:       *retentionMs,
 		SegmentBytes:      int32(*segmentBytes),
 		Compacted:         *compacted,
+		Table:             *tableFlag,
 		Tiered:            *tiered,
 		HotRetentionMs:    *hotMs,
 		HotRetentionBytes: *hotBytes,
@@ -192,6 +200,96 @@ func runTier(cli *liquid.Client, args []string) {
 		fmt.Printf("  %-4d %-7t %-9d %-9d %-9d %-10d %-10d %-9d %-12d %d\n",
 			p.Partition, p.Tiered, p.EarliestOffset, p.LocalStartOffset, p.TieredNextOffset,
 			p.NextOffset, p.LocalSegments, p.LocalBytes, p.TieredSegments, p.TieredBytes)
+	}
+}
+
+// runTable handles `table get|range|status <topic>`: point reads, ranged
+// scans and per-partition freshness against the queryable view the
+// partition leaders materialize from a compacted table feed.
+func runTable(cli *liquid.Client, args []string) {
+	if len(args) < 2 {
+		log.Fatal("table: usage: table get|range|status <topic> [flags]")
+	}
+	sub, topic, rest := args[0], args[1], args[2:]
+	switch sub {
+	case "get":
+		fs := flag.NewFlagSet("table get", flag.ExitOnError)
+		key := fs.String("key", "", "key to look up")
+		maxLag := fs.Int64("max-lag", -1, "staleness bound in offsets (hw - applied; -1 = any, 0 = fully caught up)")
+		fs.Parse(rest)
+		if *key == "" {
+			log.Fatal("table get: -key is required")
+		}
+		router := liquid.NewTableRouter(cli, topic)
+		res, err := router.Get([]byte(*key), *maxLag)
+		if err != nil {
+			log.Fatalf("table get: %v", err)
+		}
+		p, _ := router.PartitionFor([]byte(*key))
+		if !res.Found {
+			fmt.Printf("%s[%q]: not found (partition %d, applied=%d hw=%d)\n",
+				topic, *key, p, res.AppliedOffset, res.HighWatermark)
+			os.Exit(1)
+		}
+		fmt.Printf("%s[%q] = %q (partition %d, applied=%d hw=%d epoch=%d)\n",
+			topic, *key, res.Value, p, res.AppliedOffset, res.HighWatermark, res.LeaderEpoch)
+	case "range":
+		fs := flag.NewFlagSet("table range", flag.ExitOnError)
+		partition := fs.Int("partition", -1, "partition to scan (-1 = all, concatenated in partition order)")
+		from := fs.String("from", "", "inclusive lower key bound (empty = start)")
+		to := fs.String("to", "", "exclusive upper key bound (empty = end)")
+		limit := fs.Int("limit", 100, "max entries to return")
+		maxLag := fs.Int64("max-lag", -1, "staleness bound in offsets (-1 = any)")
+		fs.Parse(rest)
+		var fromB, toB []byte
+		if *from != "" {
+			fromB = []byte(*from)
+		}
+		if *to != "" {
+			toB = []byte(*to)
+		}
+		router := liquid.NewTableRouter(cli, topic)
+		var results []liquid.TableRangeResult
+		if *partition >= 0 {
+			res, err := router.RangePartition(int32(*partition), fromB, toB, int32(*limit), *maxLag)
+			if err != nil {
+				log.Fatalf("table range: %v", err)
+			}
+			results = append(results, res)
+		} else {
+			var err error
+			results, err = router.RangeAll(fromB, toB, int32(*limit), *maxLag)
+			if err != nil {
+				log.Fatalf("table range: %v", err)
+			}
+		}
+		n, more := 0, false
+		for _, res := range results {
+			for _, e := range res.Entries {
+				fmt.Printf("%s = %q\n", e.Key, e.Value)
+				n++
+			}
+			more = more || res.More
+		}
+		fmt.Printf("(%d entries", n)
+		if more {
+			fmt.Printf("; more available — raise -limit or page with -from past the last key")
+		}
+		fmt.Println(")")
+	case "status":
+		sts, err := cli.TableStatus(topic)
+		if err != nil {
+			log.Fatalf("table status: %v", err)
+		}
+		fmt.Printf("%s:\n", topic)
+		fmt.Printf("  %-4s %-10s %-10s %-10s %-6s %s\n",
+			"part", "keys", "applied", "hw", "lag", "epoch")
+		for _, p := range sts {
+			fmt.Printf("  %-4d %-10d %-10d %-10d %-6d %d\n",
+				p.Partition, p.ApproxLen, p.AppliedOffset, p.HighWatermark, p.Lag(), p.LeaderEpoch)
+		}
+	default:
+		log.Fatalf("table: unknown subcommand %q (get | range | status)", sub)
 	}
 }
 

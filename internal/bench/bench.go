@@ -214,6 +214,7 @@ func All(scale Scale) []Table {
 		E17Availability(scale),
 		E18RewindScan(scale),
 		E19NoisyNeighbor(scale),
+		E22TableReads(scale),
 	}
 }
 
@@ -239,6 +240,7 @@ func ByID(id string) (func(Scale) Table, bool) {
 		"E17": E17Availability,
 		"E18": E18RewindScan,
 		"E19": E19NoisyNeighbor,
+		"E22": E22TableReads,
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

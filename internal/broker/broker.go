@@ -20,6 +20,7 @@ import (
 	"repro/internal/storage/compact"
 	"repro/internal/storage/log"
 	"repro/internal/storage/record"
+	"repro/internal/table"
 	"repro/internal/tier"
 )
 
@@ -177,6 +178,7 @@ type Broker struct {
 
 	mu       sync.Mutex
 	replicas map[tp]*replica
+	tables   map[tp]*table.Partition // materialized views of led table partitions
 	conns    map[net.Conn]struct{}
 	stopped  bool
 
@@ -216,6 +218,7 @@ func Start(store *coord.Store, cfg Config) (*Broker, error) {
 		listener: ln,
 		logger:   cfg.Logger.With("broker", cfg.ID),
 		replicas: make(map[tp]*replica),
+		tables:   make(map[tp]*table.Partition),
 		conns:    make(map[net.Conn]struct{}),
 		stopCh:   make(chan struct{}),
 	}
@@ -417,6 +420,7 @@ func (b *Broker) removeTopic(name string) {
 	b.mu.Unlock()
 	for _, r := range victims {
 		b.fetchers.remove(r.tp)
+		b.detachTable(r.tp)
 		r.close()
 		os.RemoveAll(b.logDir(r.tp))
 	}
@@ -449,8 +453,14 @@ func (b *Broker) applyPartitionState(t tp) {
 		if info.Config.Tiered && r.tierPartition() == nil {
 			b.adoptTierLeadership(t, info.Config, r)
 		}
+		// A fresh promotion materializes the table view from the local
+		// log (re-applied state keeps the running materializer).
+		if info.Config.Table && b.tableFor(t) == nil {
+			b.attachTable(t, r)
+		}
 	} else {
 		r.setTier(nil) // followers replicate only the hot log
+		b.detachTable(t)
 		if err := r.becomeFollower(st.Leader, st.Epoch, ver); err != nil {
 			b.logger.Error("follower transition failed", "tp", t.String(), "err", err)
 		}
@@ -792,6 +802,9 @@ func (b *Broker) shutdown(graceful bool) {
 		b.store.CloseSession(b.session)
 	}
 	b.wg.Wait()
+	// Close materializers before their replicas so run loops see a clean
+	// stop instead of reads against closed logs.
+	b.detachAllTables()
 	for _, r := range b.replicaSnapshot() {
 		r.close()
 	}

@@ -149,6 +149,10 @@ func (b *Broker) dispatch(hdr wire.RequestHeader, r *wire.Reader) (wire.Message,
 		return b.offsets.query(req), true, 0
 	case *wire.TierStatusRequest:
 		return b.handleTierStatus(req), true, 0
+	case *wire.TableGetRequest:
+		return b.handleTableGet(req), true, 0
+	case *wire.TableRangeRequest:
+		return b.handleTableRange(req), true, 0
 	case *wire.DescribeQuotasRequest:
 		return b.handleDescribeQuotas(req), true, 0
 	case *wire.AlterQuotasRequest:
@@ -564,7 +568,14 @@ func (b *Broker) createTopic(spec wire.TopicSpec) wire.ErrorCode {
 	}
 	if spec.Tiered && spec.Compacted {
 		// A compacted log retains by key, not by horizon; there is no
-		// contiguous prefix to offload.
+		// contiguous prefix to offload. This exclusion also keeps table
+		// restore-from-0 a purely local read: a table's changelog can
+		// never straddle the cold tier.
+		return wire.ErrInvalidTopic
+	}
+	if spec.Table && !spec.Compacted {
+		// A table is a view over the latest record per key; only a
+		// compacted log retains exactly that set.
 		return wire.ErrInvalidTopic
 	}
 	if spec.NumPartitions <= 0 {
@@ -594,6 +605,7 @@ func (b *Broker) createTopic(spec wire.TopicSpec) wire.ErrorCode {
 			Tiered:            spec.Tiered,
 			HotRetentionMs:    spec.HotRetentionMs,
 			HotRetentionBytes: spec.HotRetentionBytes,
+			Table:             spec.Table,
 		},
 		Assignment: assignment,
 	}

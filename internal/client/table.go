@@ -1,0 +1,124 @@
+package client
+
+import "repro/internal/wire"
+
+// TableGetResult is one point read against a partition's materialized
+// table. AppliedOffset/HighWatermark report the freshness of the view the
+// answer came from; LeaderEpoch is the epoch it was served under.
+type TableGetResult struct {
+	Found         bool
+	Value         []byte
+	AppliedOffset int64
+	HighWatermark int64
+	LeaderEpoch   int32
+}
+
+// TableGet performs a point read against the materialized table of one
+// partition, routed to its current leader with retry-on-move.
+// maxLagOffsets bounds acceptable staleness (hw − applied): negative
+// accepts any lag, zero demands a fully caught-up view. A read rejected for
+// staleness retries until the materializer catches up or retries exhaust.
+func (c *Client) TableGet(topic string, partition int32, key []byte, maxLagOffsets int64) (TableGetResult, error) {
+	var out TableGetResult
+	err := c.withLeaderRetry(topic, partition, func(conn *Conn) (wire.ErrorCode, error) {
+		req := &wire.TableGetRequest{
+			Topic: topic, Partition: partition,
+			Key: key, MaxLagOffsets: maxLagOffsets,
+		}
+		var resp wire.TableGetResponse
+		if err := conn.RoundTrip(wire.APITableGet, req, &resp); err != nil {
+			return wire.ErrNone, err
+		}
+		if resp.Err != wire.ErrNone {
+			return resp.Err, nil
+		}
+		out = TableGetResult{
+			Found:         resp.Found,
+			Value:         resp.Value,
+			AppliedOffset: resp.AppliedOffset,
+			HighWatermark: resp.HighWatermark,
+			LeaderEpoch:   resp.LeaderEpoch,
+		}
+		return wire.ErrNone, nil
+	})
+	return out, err
+}
+
+// TableRangeResult is one range scan against a partition's materialized
+// table. More reports the scan stopped at the limit with keys remaining.
+type TableRangeResult struct {
+	Entries       []wire.TableEntry
+	More          bool
+	ApproxLen     int64
+	AppliedOffset int64
+	HighWatermark int64
+	LeaderEpoch   int32
+}
+
+// TableRange scans keys in [from, to) of one partition's materialized table
+// in ascending order, routed to its current leader with retry-on-move. Nil
+// bounds are open; limit bounds the returned entries (limit <= 0 returns
+// none — a freshness probe). maxLagOffsets behaves as in TableGet.
+func (c *Client) TableRange(topic string, partition int32, from, to []byte, limit int32, maxLagOffsets int64) (TableRangeResult, error) {
+	var out TableRangeResult
+	err := c.withLeaderRetry(topic, partition, func(conn *Conn) (wire.ErrorCode, error) {
+		req := &wire.TableRangeRequest{
+			Topic: topic, Partition: partition,
+			From: from, To: to, Limit: limit, MaxLagOffsets: maxLagOffsets,
+		}
+		var resp wire.TableRangeResponse
+		if err := conn.RoundTrip(wire.APITableRange, req, &resp); err != nil {
+			return wire.ErrNone, err
+		}
+		if resp.Err != wire.ErrNone {
+			return resp.Err, nil
+		}
+		out = TableRangeResult{
+			Entries:       resp.Entries,
+			More:          resp.More,
+			ApproxLen:     resp.ApproxLen,
+			AppliedOffset: resp.AppliedOffset,
+			HighWatermark: resp.HighWatermark,
+			LeaderEpoch:   resp.LeaderEpoch,
+		}
+		return wire.ErrNone, nil
+	})
+	return out, err
+}
+
+// TableStatusPartition is one partition's materializer state as reported by
+// its leader. Lag is HighWatermark − AppliedOffset.
+type TableStatusPartition struct {
+	Partition     int32
+	ApproxLen     int64
+	AppliedOffset int64
+	HighWatermark int64
+	LeaderEpoch   int32
+}
+
+// Lag returns how many committed offsets the materialized view trails by.
+func (s TableStatusPartition) Lag() int64 { return s.HighWatermark - s.AppliedOffset }
+
+// TableStatus reports every partition's materializer freshness, each
+// answered by its current leader via a status-only range probe.
+func (c *Client) TableStatus(topic string) ([]TableStatusPartition, error) {
+	n, err := c.PartitionCount(topic)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TableStatusPartition, n)
+	for p := int32(0); p < n; p++ {
+		res, err := c.TableRange(topic, p, nil, nil, 0, -1)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = TableStatusPartition{
+			Partition:     p,
+			ApproxLen:     res.ApproxLen,
+			AppliedOffset: res.AppliedOffset,
+			HighWatermark: res.HighWatermark,
+			LeaderEpoch:   res.LeaderEpoch,
+		}
+	}
+	return out, nil
+}

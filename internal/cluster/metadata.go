@@ -54,6 +54,10 @@ type TopicConfig struct {
 	Tiered            bool  `json:"tiered,omitempty"`
 	HotRetentionMs    int64 `json:"hotRetentionMs,omitempty"`
 	HotRetentionBytes int64 `json:"hotRetentionBytes,omitempty"`
+	// Table marks the feed queryable (internal/table): each partition
+	// leader materializes the compacted log into a key→value view and
+	// serves point reads and range scans from it. Requires Compacted.
+	Table bool `json:"table,omitempty"`
 }
 
 // TopicInfo is a topic's full metadata: configuration plus the replica

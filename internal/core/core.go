@@ -24,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/processing"
 	"repro/internal/storage/cache"
+	"repro/internal/table"
 	"repro/internal/wire"
 )
 
@@ -311,6 +312,33 @@ func (s *Stack) CreateTieredFeed(name string, partitions int32, replication int1
 // each answered by its current leader.
 func (s *Stack) TierStatus(topic string) ([]wire.TierStatusPartition, error) {
 	return s.cli.TierStatus(topic)
+}
+
+// CreateTable creates a queryable table feed: a compacted topic whose
+// partition leaders materialize the log into key→value views and serve
+// point reads and range scans (internal/table, paper §2/§3.2 serve-side
+// reads).
+func (s *Stack) CreateTable(name string, partitions int32, replication int16) error {
+	return s.cli.CreateTopic(wire.TopicSpec{
+		Name:              name,
+		NumPartitions:     partitions,
+		ReplicationFactor: replication,
+		Compacted:         true,
+		Table:             true,
+	})
+}
+
+// Table returns an untyped read router for a table topic: keys hash to
+// partitions with the producer's partitioner and reads go to the broker
+// currently materializing each partition.
+func (s *Stack) Table(topic string) *table.Router {
+	return table.NewRouter(s.cli, topic)
+}
+
+// TableStatus reports every partition's materializer freshness (applied
+// offset vs high watermark), each answered by its current leader.
+func (s *Stack) TableStatus(topic string) ([]client.TableStatusPartition, error) {
+	return s.cli.TableStatus(topic)
 }
 
 // SetQuota persists a principal's (client-id's) rate quota cluster-wide:

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/table"
+	"repro/internal/wire"
+)
+
+func TestStackTableEndToEnd(t *testing.T) {
+	s, err := Start(Config{Brokers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	if err := s.CreateTable("profiles", 4, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	tbl := table.New(s.Client(), "profiles", table.StringCodec(), table.StringCodec())
+	defer tbl.Close()
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := tbl.Put(fmt.Sprintf("user-%04d", i), fmt.Sprintf("v1-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites and deletes must materialize as the latest state per key.
+	for i := 0; i < n; i += 3 {
+		if err := tbl.Put(fmt.Sprintf("user-%04d", i), fmt.Sprintf("v2-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i += 10 {
+		if err := tbl.Delete(fmt.Sprintf("user-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("user-%04d", i)
+		// Lag bound 0: the serving view must reflect every acked write.
+		v, found, err := tbl.GetWithin(key, 0)
+		if err != nil {
+			t.Fatalf("get %s: %v", key, err)
+		}
+		switch {
+		case i%10 == 1:
+			if found {
+				t.Fatalf("deleted key %s still present (%q)", key, v)
+			}
+		case i%3 == 0:
+			if !found || v != fmt.Sprintf("v2-%04d", i) {
+				t.Fatalf("key %s = %q found=%v, want v2", key, v, found)
+			}
+		default:
+			if !found || v != fmt.Sprintf("v1-%04d", i) {
+				t.Fatalf("key %s = %q found=%v, want v1", key, v, found)
+			}
+		}
+	}
+
+	// Freshness: after a bounded read at lag 0 succeeded on every
+	// partition touched above, status must report applied == hw.
+	sts, err := s.TableStatus("profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 4 {
+		t.Fatalf("status partitions = %d, want 4", len(sts))
+	}
+	total := int64(0)
+	for _, st := range sts {
+		if st.Lag() != 0 {
+			t.Fatalf("partition %d lag = %d after caught-up reads", st.Partition, st.Lag())
+		}
+		total += st.ApproxLen
+	}
+	live := int64(n - (n+8)/10) // n minus the deleted keys
+	if total != live {
+		t.Fatalf("total table size = %d, want %d", total, live)
+	}
+
+	// Range: per-partition ascending order, bounds honored.
+	router := s.Table("profiles")
+	res, err := router.RangePartition(0, []byte("user-"), []byte("user-~"), 1000, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Entries); i++ {
+		if string(res.Entries[i-1].Key) >= string(res.Entries[i].Key) {
+			t.Fatalf("range not ascending at %d: %q >= %q", i, res.Entries[i-1].Key, res.Entries[i].Key)
+		}
+	}
+
+	// Paged range over all partitions sees exactly the live keys.
+	seen := 0
+	for p := int32(0); p < 4; p++ {
+		from := []byte(nil)
+		for {
+			res, err := router.RangePartition(p, from, nil, 50, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen += len(res.Entries)
+			if !res.More {
+				break
+			}
+			last := res.Entries[len(res.Entries)-1].Key
+			from = append(append([]byte(nil), last...), 0)
+		}
+	}
+	if int64(seen) != live {
+		t.Fatalf("paged range saw %d keys, want %d", seen, live)
+	}
+}
+
+// TestStackTableRouterMatchesProducerHash pins the routing contract: the
+// router must look every key up in the partition the producer wrote it to.
+func TestStackTableRouterMatchesProducerHash(t *testing.T) {
+	h := &client.HashPartitioner{}
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		want := h.Partition(&client.Message{Key: key}, 8)
+		got := table.HashKey(key, 8)
+		if got != want {
+			t.Fatalf("key %q: router partition %d, producer partition %d", key, got, want)
+		}
+	}
+}
+
+// TestStackTableBootstrapAfterFailover kills the leader of a compacted
+// table partition and asserts the successor rebuilds the full view from its
+// replicated log: every acked write readable, at lag 0, exactly the
+// surviving keys.
+func TestStackTableBootstrapAfterFailover(t *testing.T) {
+	s, err := Start(Config{
+		Brokers:            3,
+		SessionTimeout:     700 * time.Millisecond,
+		CompactionInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	if err := s.CreateTopic(wire.TopicSpec{
+		Name: "accounts", NumPartitions: 1, ReplicationFactor: 3,
+		SegmentBytes: 4 << 10, Compacted: true, Table: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	tbl := table.New(s.Client(), "accounts", table.StringCodec(), table.StringCodec())
+	defer tbl.Close()
+	const n = 150
+	for round := 0; round < 4; round++ {
+		for i := 0; i < n; i++ {
+			if err := tbl.Put(fmt.Sprintf("acct-%04d", i), fmt.Sprintf("r%d-%04d", round, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.PartitionState("accounts", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.KillBroker(st.Leader) {
+		t.Fatalf("kill broker %d", st.Leader)
+	}
+
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("acct-%04d", i)
+		v, found, err := tbl.GetWithin(key, 0)
+		if err != nil {
+			t.Fatalf("get %s after failover: %v", key, err)
+		}
+		if !found || v != fmt.Sprintf("r3-%04d", i) {
+			t.Fatalf("key %s = %q found=%v after failover, want r3", key, v, found)
+		}
+	}
+}
+
+// TestStackTableSpecValidation pins the topic-combination guards the table
+// subsystem depends on: a table must be compacted (the view is the latest
+// record per key) and a compacted feed must not be tiered (table restore
+// from offset 0 must never straddle the cold tier).
+func TestStackTableSpecValidation(t *testing.T) {
+	s, err := Start(Config{Brokers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+
+	if err := s.CreateTopic(wire.TopicSpec{Name: "t1", Table: true}); err == nil {
+		t.Fatal("table without compaction accepted")
+	} else if wire.Code(err) != wire.ErrInvalidTopic {
+		t.Fatalf("table without compaction: %v, want invalid topic", err)
+	}
+
+	if err := s.CreateTopic(wire.TopicSpec{Name: "t2", Compacted: true, Tiered: true}); err == nil {
+		t.Fatal("tiered compacted feed accepted")
+	} else if wire.Code(err) != wire.ErrInvalidTopic {
+		t.Fatalf("tiered compacted: %v, want invalid topic", err)
+	}
+
+	if err := s.CreateTopic(wire.TopicSpec{Name: "t3", Compacted: true, Tiered: true, Table: true}); err == nil {
+		t.Fatal("tiered table accepted")
+	}
+
+	if err := s.CreateTopic(wire.TopicSpec{Name: "t4", Compacted: true, Table: true}); err != nil {
+		t.Fatalf("valid table spec rejected: %v", err)
+	}
+}
+
+// TestStackTableNotServedOnPlainTopic pins the negative read path: table
+// reads against a non-table topic fail with "table not served" (after the
+// client's retries), not a hang or a wrong answer.
+func TestStackTableNotServedOnPlainTopic(t *testing.T) {
+	s, err := Start(Config{Brokers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	if err := s.CreateFeed("plain", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := s.NewClient("neg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = cli.TableGet("plain", 0, []byte("k"), -1)
+	if err == nil {
+		t.Fatal("table get on plain topic succeeded")
+	}
+	if wire.Code(err) != wire.ErrTableNotServed {
+		t.Fatalf("err = %v, want table not served", err)
+	}
+}

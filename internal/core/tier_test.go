@@ -203,8 +203,21 @@ func TestTieredOutOfRangeCarriesEarliest(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if off, err := s.Client().ListOffset(topic, 0, wire.TimestampEarliest); err != nil || off != st.EarliestOffset {
-		t.Fatalf("ListOffset earliest = %d,%v; want %d", off, err, st.EarliestOffset)
+	// Retention keeps sweeping in the background, so the earliest can move
+	// between the status sample and the ListOffset — retry with a fresh
+	// status until the two agree on the same settled value.
+	for {
+		off, err := s.Client().ListOffset(topic, 0, wire.TimestampEarliest)
+		if err == nil && off == st.EarliestOffset {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ListOffset earliest = %d,%v; want %d", off, err, st.EarliestOffset)
+		}
+		if sts, err2 := s.TierStatus(topic); err2 == nil && len(sts) == 1 {
+			st = sts[0]
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 
 	// A consumer at offset 0 with ResetEarliest must resume exactly at the

@@ -1,0 +1,112 @@
+package table
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+
+	"repro/internal/client"
+)
+
+// Router routes table reads: it hashes a key to its partition with the
+// exact hash the producer-side HashPartitioner uses (FNV-1a mod partition
+// count), so every key is looked up in the partition its updates were
+// produced to, and sends the read to the broker currently materializing
+// that partition. Leadership moves are absorbed by the client's
+// retry-on-move loop. A Router is safe for concurrent use.
+type Router struct {
+	c     *client.Client
+	topic string
+	parts atomic.Int32 // cached partition count; immutable once created
+}
+
+// NewRouter returns a router for one table topic.
+func NewRouter(c *client.Client, topic string) *Router {
+	return &Router{c: c, topic: topic}
+}
+
+// Topic returns the table's topic name.
+func (r *Router) Topic() string { return r.topic }
+
+// Partitions returns the table's partition count.
+func (r *Router) Partitions() (int32, error) {
+	if n := r.parts.Load(); n > 0 {
+		return n, nil
+	}
+	n, err := r.c.PartitionCount(r.topic)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("table: topic %q has no partitions", r.topic)
+	}
+	r.parts.Store(n)
+	return n, nil
+}
+
+// HashKey returns the partition a key's updates hash to. It MUST match
+// client.HashPartitioner (FNV-1a mod partition count): a divergent hash
+// would answer reads from a partition the key was never written to.
+func HashKey(key []byte, numPartitions int32) int32 {
+	f := fnv.New32a()
+	f.Write(key)
+	return int32(f.Sum32() % uint32(numPartitions))
+}
+
+// PartitionFor returns the partition a key's updates hash to.
+func (r *Router) PartitionFor(key []byte) (int32, error) {
+	n, err := r.Partitions()
+	if err != nil {
+		return 0, err
+	}
+	return HashKey(key, n), nil
+}
+
+// Get performs a point read for key with the given staleness bound
+// (hw − applied lag in offsets; negative = any, zero = fully caught up).
+func (r *Router) Get(key []byte, maxLagOffsets int64) (client.TableGetResult, error) {
+	p, err := r.PartitionFor(key)
+	if err != nil {
+		return client.TableGetResult{}, err
+	}
+	return r.c.TableGet(r.topic, p, key, maxLagOffsets)
+}
+
+// RangePartition scans keys in [from, to) of one partition in ascending
+// order; see client.TableRange. A table's keyspace is hash-partitioned, so
+// a global ordered scan requires merging the per-partition scans —
+// RangeAll does a simple concatenation for callers that only need
+// per-partition order.
+func (r *Router) RangePartition(partition int32, from, to []byte, limit int32, maxLagOffsets int64) (client.TableRangeResult, error) {
+	return r.c.TableRange(r.topic, partition, from, to, limit, maxLagOffsets)
+}
+
+// RangeAll scans [from, to) across every partition, concatenating the
+// per-partition results in partition order (each slice ascending by key;
+// the concatenation is NOT globally sorted). limit bounds the TOTAL number
+// of returned entries.
+func (r *Router) RangeAll(from, to []byte, limit int32, maxLagOffsets int64) ([]client.TableRangeResult, error) {
+	n, err := r.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]client.TableRangeResult, 0, n)
+	remaining := limit
+	for p := int32(0); p < n; p++ {
+		if limit > 0 && remaining <= 0 {
+			break
+		}
+		res, err := r.c.TableRange(r.topic, p, from, to, remaining, maxLagOffsets)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+		remaining -= int32(len(res.Entries))
+	}
+	return out, nil
+}
+
+// Status reports every partition's materializer freshness.
+func (r *Router) Status() ([]client.TableStatusPartition, error) {
+	return r.c.TableStatus(r.topic)
+}

@@ -1,0 +1,134 @@
+package table
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/client"
+)
+
+// Codec converts values of one Go type to and from their feed
+// representation.
+type Codec[T any] interface {
+	Encode(T) ([]byte, error)
+	Decode([]byte) (T, error)
+}
+
+type stringCodec struct{}
+
+func (stringCodec) Encode(s string) ([]byte, error) { return []byte(s), nil }
+func (stringCodec) Decode(b []byte) (string, error) { return string(b), nil }
+
+// StringCodec stores strings as raw UTF-8 bytes.
+func StringCodec() Codec[string] { return stringCodec{} }
+
+type bytesCodec struct{}
+
+func (bytesCodec) Encode(b []byte) ([]byte, error) { return b, nil }
+func (bytesCodec) Decode(b []byte) ([]byte, error) { return b, nil }
+
+// BytesCodec stores byte slices verbatim.
+func BytesCodec() Codec[[]byte] { return bytesCodec{} }
+
+type jsonCodec[T any] struct{}
+
+func (jsonCodec[T]) Encode(v T) ([]byte, error) { return json.Marshal(v) }
+func (jsonCodec[T]) Decode(b []byte) (T, error) {
+	var v T
+	err := json.Unmarshal(b, &v)
+	return v, err
+}
+
+// JSONCodec stores values as JSON.
+func JSONCodec[T any]() Codec[T] { return jsonCodec[T]{} }
+
+// Table is the typed facade over a queryable feed: writes go through a
+// keyed producer (the same hash-partitioned path any producer uses), reads
+// go through the Router to the partition leader's materialized view. The
+// zero staleness bound is "any" — callers needing read-your-writes use
+// GetWithin(key, 0).
+type Table[K, V any] struct {
+	router *Router
+	kc     Codec[K]
+	vc     Codec[V]
+	prod   *client.Producer
+}
+
+// New returns a typed table over topic. The topic must have been created
+// with TopicSpec.Table (reads fail with "table not served" otherwise).
+func New[K, V any](c *client.Client, topic string, kc Codec[K], vc Codec[V]) *Table[K, V] {
+	return &Table[K, V]{
+		router: NewRouter(c, topic),
+		kc:     kc,
+		vc:     vc,
+		// Acks=all so an acked Put survives leader failover — the
+		// materialized view must never lose an acknowledged update.
+		prod: client.NewProducer(c, client.ProducerConfig{Acks: client.AcksAll}),
+	}
+}
+
+// Router returns the underlying untyped router.
+func (t *Table[K, V]) Router() *Router { return t.router }
+
+// Get returns the current value for key, accepting any staleness.
+func (t *Table[K, V]) Get(key K) (V, bool, error) {
+	return t.GetWithin(key, -1)
+}
+
+// GetWithin returns the current value for key, requiring the serving view
+// to lag the high watermark by at most maxLagOffsets (0 = fully caught up).
+func (t *Table[K, V]) GetWithin(key K, maxLagOffsets int64) (V, bool, error) {
+	var zero V
+	kb, err := t.kc.Encode(key)
+	if err != nil {
+		return zero, false, fmt.Errorf("table: encode key: %w", err)
+	}
+	res, err := t.router.Get(kb, maxLagOffsets)
+	if err != nil || !res.Found {
+		return zero, false, err
+	}
+	v, err := t.vc.Decode(res.Value)
+	if err != nil {
+		return zero, false, fmt.Errorf("table: decode value: %w", err)
+	}
+	return v, true, nil
+}
+
+// Put upserts key to value. The write is asynchronous and batched; Flush
+// forces delivery, and an acked write is readable via GetWithin(key, 0).
+func (t *Table[K, V]) Put(key K, value V) error {
+	kb, err := t.kc.Encode(key)
+	if err != nil {
+		return fmt.Errorf("table: encode key: %w", err)
+	}
+	vb, err := t.vc.Encode(value)
+	if err != nil {
+		return fmt.Errorf("table: encode value: %w", err)
+	}
+	if vb == nil {
+		vb = []byte{} // nil is the tombstone encoding; keep empty values distinct
+	}
+	return t.prod.Send(client.Message{Topic: t.router.Topic(), Key: kb, Value: vb})
+}
+
+// Delete removes key by producing a tombstone (nil value), the compacted
+// log's deletion marker.
+func (t *Table[K, V]) Delete(key K) error {
+	kb, err := t.kc.Encode(key)
+	if err != nil {
+		return fmt.Errorf("table: encode key: %w", err)
+	}
+	return t.prod.Send(client.Message{Topic: t.router.Topic(), Key: kb, Value: nil})
+}
+
+// Flush delivers all buffered writes and waits for their acks.
+func (t *Table[K, V]) Flush() error { return t.prod.Flush() }
+
+// Status reports every partition's materializer freshness.
+func (t *Table[K, V]) Status() ([]client.TableStatusPartition, error) {
+	return t.router.Status()
+}
+
+// Close flushes and releases the writer. Reads remain usable (they share
+// the Client, not the producer).
+func (t *Table[K, V]) Close() error { return t.prod.Close() }

@@ -1,6 +1,9 @@
 package wire
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrorCode is a protocol-level error carried in responses. Codes travel on
 // the wire as int16 values; Err converts a code back into a Go error on the
@@ -30,6 +33,14 @@ const (
 	ErrBrokerNotAvailable      ErrorCode = 18
 	ErrMessageTooLarge         ErrorCode = 19
 	ErrStaleLeaderEpoch        ErrorCode = 20
+	// ErrTableNotServed means the broker leads the partition but its table
+	// materializer is not attached (yet, or anymore). Retriable: the host
+	// attaches asynchronously after leadership is assumed.
+	ErrTableNotServed ErrorCode = 21
+	// ErrTableStale means the materializer's applied offset lags the high
+	// watermark beyond the bound the read requested. Retriable: the
+	// materializer catches up continuously.
+	ErrTableStale ErrorCode = 22
 )
 
 var errorNames = map[ErrorCode]string{
@@ -54,6 +65,8 @@ var errorNames = map[ErrorCode]string{
 	ErrBrokerNotAvailable:      "broker not available",
 	ErrMessageTooLarge:         "message too large",
 	ErrStaleLeaderEpoch:        "stale leader epoch",
+	ErrTableNotServed:          "table not served by this broker",
+	ErrTableStale:              "table read exceeds staleness bound",
 }
 
 // String returns a human-readable name for the code.
@@ -72,12 +85,14 @@ func (p *protocolError) Error() string {
 }
 
 // Code extracts the protocol code from an error produced by ErrorCode.Err,
-// returning ErrNone for nil and ErrUnknown for foreign errors.
+// unwrapping fmt.Errorf %w chains, returning ErrNone for nil and ErrUnknown
+// for foreign errors.
 func Code(err error) ErrorCode {
 	if err == nil {
 		return ErrNone
 	}
-	if pe, ok := err.(*protocolError); ok {
+	var pe *protocolError
+	if errors.As(err, &pe) {
 		return pe.code
 	}
 	return ErrUnknown
@@ -100,6 +115,7 @@ func (e ErrorCode) Retriable() bool {
 	case ErrLeaderNotAvailable, ErrNotLeaderForPartition, ErrRequestTimedOut,
 		ErrCoordinatorNotAvailable, ErrNotCoordinator, ErrRebalanceInProgress,
 		ErrBrokerNotAvailable, ErrNotEnoughReplicas, ErrStaleLeaderEpoch,
+		ErrTableNotServed, ErrTableStale,
 		// Topic metadata propagates to brokers asynchronously after
 		// creation, so a brief unknown-topic window is normal.
 		ErrUnknownTopicOrPartition:

@@ -124,6 +124,10 @@ func NewRequestBody(api APIKey) (Message, bool) {
 		return &DescribeQuotasRequest{}, true
 	case APIAlterQuotas:
 		return &AlterQuotasRequest{}, true
+	case APITableGet:
+		return &TableGetRequest{}, true
+	case APITableRange:
+		return &TableRangeRequest{}, true
 	}
 	return nil, false
 }

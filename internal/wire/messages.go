@@ -32,6 +32,12 @@ const (
 	// degrade co-located tenants).
 	APIDescribeQuotas APIKey = 42
 	APIAlterQuotas    APIKey = 43
+	// APITableGet / APITableRange are Liquid-specific serve-side reads
+	// (paper §2/§3.2: "who viewed my profile"-style point lookups). A
+	// broker answers them from the table materializer attached to the
+	// compacted-feed partitions it leads.
+	APITableGet   APIKey = 44
+	APITableRange APIKey = 45
 )
 
 // Message is any protocol body that can encode and decode itself.
@@ -578,6 +584,10 @@ type TopicSpec struct {
 	Tiered            bool
 	HotRetentionMs    int64 // 0 = broker default, -1 = unlimited
 	HotRetentionBytes int64 // 0 = broker default, -1 = unlimited
+	// Table marks the feed as queryable: each partition leader keeps a
+	// materialized key→value view of the compacted log and serves
+	// TableGet/TableRange from it. Requires Compacted.
+	Table bool
 }
 
 // CreateTopicsRequest creates one or more topics cluster-wide.
@@ -600,6 +610,7 @@ func (m *CreateTopicsRequest) Encode(w *Writer) {
 		w.Bool(t.Tiered)
 		w.Int64(t.HotRetentionMs)
 		w.Int64(t.HotRetentionBytes)
+		w.Bool(t.Table)
 	}
 }
 
@@ -619,6 +630,7 @@ func (m *CreateTopicsRequest) Decode(r *Reader) {
 		t.Tiered = r.Bool()
 		t.HotRetentionMs = r.Int64()
 		t.HotRetentionBytes = r.Int64()
+		t.Table = r.Bool()
 		m.Topics = append(m.Topics, t)
 	}
 }
@@ -1419,4 +1431,153 @@ func (m *AlterQuotasResponse) Decode(r *Reader) {
 	for i := 0; i < n; i++ {
 		m.Results = append(m.Results, TopicResult{Name: r.String(), Err: ErrorCode(r.Int16())})
 	}
+}
+
+// ----------------------------------------------------------------- tables
+
+// TableGetRequest is a point read against the materialized table of one
+// compacted-feed partition, answered by the partition leader. MaxLagOffsets
+// bounds acceptable staleness: if the materializer's applied offset lags the
+// high watermark by more than MaxLagOffsets the broker answers ErrTableStale
+// instead of a possibly-stale value. Negative means any staleness is fine;
+// zero demands applied == high watermark (read-your-acked-writes).
+type TableGetRequest struct {
+	Topic         string
+	Partition     int32
+	Key           []byte
+	MaxLagOffsets int64
+}
+
+// Encode implements Message.
+func (m *TableGetRequest) Encode(w *Writer) {
+	w.String(m.Topic)
+	w.Int32(m.Partition)
+	w.Bytes32(m.Key)
+	w.Int64(m.MaxLagOffsets)
+}
+
+// Decode implements Message.
+func (m *TableGetRequest) Decode(r *Reader) {
+	m.Topic = r.String()
+	m.Partition = r.Int32()
+	m.Key = r.Bytes32()
+	m.MaxLagOffsets = r.Int64()
+}
+
+// TableGetResponse carries the lookup result plus the freshness watermark
+// (applied offset vs high watermark) and the leader epoch the answer was
+// served under, so clients can reason about staleness and fencing.
+type TableGetResponse struct {
+	Err           ErrorCode
+	Found         bool
+	Value         []byte
+	AppliedOffset int64
+	HighWatermark int64
+	LeaderEpoch   int32
+}
+
+// Encode implements Message.
+func (m *TableGetResponse) Encode(w *Writer) {
+	w.Int16(int16(m.Err))
+	w.Bool(m.Found)
+	w.Bytes32(m.Value)
+	w.Int64(m.AppliedOffset)
+	w.Int64(m.HighWatermark)
+	w.Int32(m.LeaderEpoch)
+}
+
+// Decode implements Message.
+func (m *TableGetResponse) Decode(r *Reader) {
+	m.Err = ErrorCode(r.Int16())
+	m.Found = r.Bool()
+	m.Value = r.Bytes32()
+	m.AppliedOffset = r.Int64()
+	m.HighWatermark = r.Int64()
+	m.LeaderEpoch = r.Int32()
+}
+
+// TableEntry is one key→value pair in a range response.
+type TableEntry struct {
+	Key   []byte
+	Value []byte
+}
+
+// TableRangeRequest scans the materialized table of one partition in
+// ascending key order over [From, To). Nil bounds are open. Limit bounds the
+// returned entries; Limit <= 0 returns none — a status-only probe that still
+// reports the freshness watermark (TableStatus is built on it).
+// MaxLagOffsets behaves as in TableGetRequest.
+type TableRangeRequest struct {
+	Topic         string
+	Partition     int32
+	From          []byte
+	To            []byte
+	Limit         int32
+	MaxLagOffsets int64
+}
+
+// Encode implements Message.
+func (m *TableRangeRequest) Encode(w *Writer) {
+	w.String(m.Topic)
+	w.Int32(m.Partition)
+	w.Bytes32(m.From)
+	w.Bytes32(m.To)
+	w.Int32(m.Limit)
+	w.Int64(m.MaxLagOffsets)
+}
+
+// Decode implements Message.
+func (m *TableRangeRequest) Decode(r *Reader) {
+	m.Topic = r.String()
+	m.Partition = r.Int32()
+	m.From = r.Bytes32()
+	m.To = r.Bytes32()
+	m.Limit = r.Int32()
+	m.MaxLagOffsets = r.Int64()
+}
+
+// TableRangeResponse carries the scanned entries. More reports that the scan
+// stopped at Limit with keys remaining; resume with From = last key + one
+// zero byte. ApproxLen is the partition table's approximate entry count.
+type TableRangeResponse struct {
+	Err           ErrorCode
+	Entries       []TableEntry
+	More          bool
+	ApproxLen     int64
+	AppliedOffset int64
+	HighWatermark int64
+	LeaderEpoch   int32
+}
+
+// Encode implements Message.
+func (m *TableRangeResponse) Encode(w *Writer) {
+	w.Int16(int16(m.Err))
+	w.ArrayLen(len(m.Entries))
+	for i := range m.Entries {
+		w.Bytes32(m.Entries[i].Key)
+		w.Bytes32(m.Entries[i].Value)
+	}
+	w.Bool(m.More)
+	w.Int64(m.ApproxLen)
+	w.Int64(m.AppliedOffset)
+	w.Int64(m.HighWatermark)
+	w.Int32(m.LeaderEpoch)
+}
+
+// Decode implements Message.
+func (m *TableRangeResponse) Decode(r *Reader) {
+	m.Err = ErrorCode(r.Int16())
+	n := r.ArrayLen()
+	m.Entries = make([]TableEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var e TableEntry
+		e.Key = r.Bytes32()
+		e.Value = r.Bytes32()
+		m.Entries = append(m.Entries, e)
+	}
+	m.More = r.Bool()
+	m.ApproxLen = r.Int64()
+	m.AppliedOffset = r.Int64()
+	m.HighWatermark = r.Int64()
+	m.LeaderEpoch = r.Int32()
 }

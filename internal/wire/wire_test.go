@@ -278,6 +278,41 @@ func TestMessageRoundTrips(t *testing.T) {
 	roundTrip(t, &HeartbeatResponse{Err: ErrRebalanceInProgress}, &HeartbeatResponse{})
 	roundTrip(t, &LeaveGroupRequest{Group: "g", MemberID: "m"}, &LeaveGroupRequest{})
 	roundTrip(t, &LeaveGroupResponse{}, &LeaveGroupResponse{})
+
+	roundTrip(t, &CreateTopicsRequest{
+		Topics: []TopicSpec{{
+			Name: "tbl", NumPartitions: 4, ReplicationFactor: 2,
+			Compacted: true, Table: true,
+		}},
+	}, &CreateTopicsRequest{})
+
+	roundTrip(t, &TableGetRequest{
+		Topic: "tbl", Partition: 2, Key: []byte("user-17"), MaxLagOffsets: -1,
+	}, &TableGetRequest{})
+
+	roundTrip(t, &TableGetResponse{
+		Err: ErrNone, Found: true, Value: []byte("v"),
+		AppliedOffset: 41, HighWatermark: 41, LeaderEpoch: 3,
+	}, &TableGetResponse{})
+
+	roundTrip(t, &TableGetResponse{
+		Err: ErrTableStale, AppliedOffset: 10, HighWatermark: 40, LeaderEpoch: 1,
+	}, &TableGetResponse{})
+
+	roundTrip(t, &TableRangeRequest{
+		Topic: "tbl", Partition: 0, From: []byte("a"), To: nil,
+		Limit: 100, MaxLagOffsets: 0,
+	}, &TableRangeRequest{})
+
+	roundTrip(t, &TableRangeResponse{
+		Err: ErrNone,
+		Entries: []TableEntry{
+			{Key: []byte("a"), Value: []byte("1")},
+			{Key: []byte("b"), Value: []byte("2")},
+		},
+		More: true, ApproxLen: 1234,
+		AppliedOffset: 9, HighWatermark: 9, LeaderEpoch: 2,
+	}, &TableRangeResponse{})
 }
 
 func TestRequestEnvelope(t *testing.T) {
@@ -322,7 +357,8 @@ func TestNewRequestBodyCoversAllAPIs(t *testing.T) {
 		APIProduce, APIFetch, APIListOffsets, APIMetadata, APICreateTopics,
 		APIDeleteTopics, APIOffsetCommit, APIOffsetFetch, APIFindCoordinator,
 		APIJoinGroup, APIHeartbeat, APILeaveGroup, APISyncGroup, APIOffsetQuery,
-		APITierStatus, APIDescribeQuotas, APIAlterQuotas,
+		APITierStatus, APIDescribeQuotas, APIAlterQuotas, APITableGet,
+		APITableRange,
 	} {
 		if _, ok := NewRequestBody(api); !ok {
 			t.Errorf("NewRequestBody(%d) not implemented", api)

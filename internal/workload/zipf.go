@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KeyConfig shapes a deterministic zipfian key generator: the shared key
+// chooser of mixed read/write benches (E22) — point reads and writes must
+// draw from the same skewed population for cache-like behaviour (a few hot
+// keys dominate, a long tail is touched rarely), and a fixed seed makes a
+// run reproducible.
+type KeyConfig struct {
+	Seed int64
+	// Keys is the key cardinality (default 1_000_000).
+	Keys int
+	// ZipfS is the skew parameter (>1; default 1.1). Larger is more
+	// skewed; values near 1 approach a heavy uniform tail.
+	ZipfS float64
+	// Prefix namespaces the rendered keys (default "key").
+	Prefix string
+}
+
+func (c KeyConfig) withDefaults() KeyConfig {
+	if c.Keys == 0 {
+		c.Keys = 1_000_000
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.Prefix == "" {
+		c.Prefix = "key"
+	}
+	return c
+}
+
+// KeyGenerator draws keys from a zipfian distribution over a fixed
+// population. It is deterministic under a fixed seed and NOT safe for
+// concurrent use; give each worker its own generator (same config,
+// different seed) for concurrent load.
+type KeyGenerator struct {
+	cfg  KeyConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewKeys creates a generator.
+func NewKeys(cfg KeyConfig) *KeyGenerator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &KeyGenerator{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1)),
+	}
+}
+
+// Keys returns the key cardinality.
+func (g *KeyGenerator) Keys() int { return g.cfg.Keys }
+
+// NextIndex returns the next key index in [0, Keys).
+func (g *KeyGenerator) NextIndex() int { return int(g.zipf.Uint64()) }
+
+// Next returns the next key, rendered as "<prefix>-<index>" with a fixed
+// width so lexicographic and numeric order agree.
+func (g *KeyGenerator) Next() []byte {
+	return g.Key(g.NextIndex())
+}
+
+// Key renders the key for one index.
+func (g *KeyGenerator) Key(i int) []byte {
+	return []byte(fmt.Sprintf("%s-%08d", g.cfg.Prefix, i))
+}

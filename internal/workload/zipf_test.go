@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestKeyGeneratorDeterministic(t *testing.T) {
+	a := NewKeys(KeyConfig{Seed: 7, Keys: 1000, ZipfS: 1.2})
+	b := NewKeys(KeyConfig{Seed: 7, Keys: 1000, ZipfS: 1.2})
+	for i := 0; i < 10_000; i++ {
+		ka, kb := a.Next(), b.Next()
+		if !bytes.Equal(ka, kb) {
+			t.Fatalf("draw %d diverged: %q vs %q", i, ka, kb)
+		}
+	}
+	c := NewKeys(KeyConfig{Seed: 8, Keys: 1000, ZipfS: 1.2})
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.NextIndex() == c.NextIndex() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestKeyGeneratorSkew sanity-checks the distribution shape: the hottest
+// key must be drawn far more often than the uniform share, and draws must
+// cover a nontrivial part of the population (a long tail, not a constant).
+func TestKeyGeneratorSkew(t *testing.T) {
+	const keys, draws = 10_000, 200_000
+	g := NewKeys(KeyConfig{Seed: 42, Keys: keys, ZipfS: 1.1})
+	counts := make(map[int]int)
+	for i := 0; i < draws; i++ {
+		counts[g.NextIndex()]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	uniform := draws / keys // 20 per key if uniform
+	if top < 50*uniform {
+		t.Fatalf("hottest key drawn %d times; want far above uniform share %d", top, uniform)
+	}
+	if len(counts) < keys/100 {
+		t.Fatalf("only %d distinct keys drawn; tail too short", len(counts))
+	}
+	for idx := range counts {
+		if idx < 0 || idx >= keys {
+			t.Fatalf("index %d out of population [0,%d)", idx, keys)
+		}
+	}
+}
+
+func TestKeyGeneratorDefaults(t *testing.T) {
+	g := NewKeys(KeyConfig{Seed: 1})
+	if g.Keys() != 1_000_000 {
+		t.Fatalf("default cardinality = %d", g.Keys())
+	}
+	k := g.Key(42)
+	if string(k) != "key-00000042" {
+		t.Fatalf("rendered key = %q", k)
+	}
+}

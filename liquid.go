@@ -62,6 +62,7 @@ import (
 	"repro/internal/processing"
 	"repro/internal/state"
 	"repro/internal/storage/record"
+	"repro/internal/table"
 	"repro/internal/tier"
 	"repro/internal/wire"
 )
@@ -327,4 +328,64 @@ func TierManifests(fs *dfs.FS, root, topic string, partitions int32) ([]*TierMan
 		out = append(out, m)
 	}
 	return out, nil
+}
+
+// Queryable tables (internal/table): a topic created with TopicSpec.Table
+// (or Stack.CreateTable) is a compacted feed whose partition leaders
+// materialize the log into key→value views and serve point reads and range
+// scans — the paper's serve-side read workloads (§2, §3.2) off the same
+// lineage of data the feed carries.
+//
+//	stack.CreateTable("profiles", 4, 2)
+//	tbl := liquid.NewTable(stack.Client(), "profiles",
+//		liquid.StringCodec(), liquid.JSONCodec[Profile]())
+//	tbl.Put("user-1", Profile{Name: "Ada"})
+//	tbl.Flush()
+//	p, ok, err := tbl.GetWithin("user-1", 0) // read-your-acked-writes
+type (
+	// Table is the typed facade over a queryable feed: Put/Delete write
+	// through a keyed producer, Get/GetWithin read from the partition
+	// leader's materialized view with a staleness bound.
+	Table[K any, V any] = table.Table[K, V]
+	// TableCodec converts typed keys/values to their feed representation.
+	TableCodec[T any] = table.Codec[T]
+	// TableRouter is the untyped read router (Stack.Table): keys hash to
+	// partitions with the producer's partitioner, reads go to the broker
+	// materializing each partition, with retry-on-move.
+	TableRouter = table.Router
+	// TableGetResult is one point read: value plus the freshness
+	// watermark (applied offset vs high watermark) it was served at.
+	TableGetResult = client.TableGetResult
+	// TableRangeResult is one range scan over a partition's view.
+	TableRangeResult = client.TableRangeResult
+	// TableStatusPartition is one partition's materializer freshness
+	// (Client.TableStatus / Stack.TableStatus).
+	TableStatusPartition = client.TableStatusPartition
+	// TableEntry is one key→value pair in a range result.
+	TableEntry = wire.TableEntry
+)
+
+// NewTable returns a typed table over a topic created with TopicSpec.Table.
+func NewTable[K any, V any](c *Client, topic string, kc TableCodec[K], vc TableCodec[V]) *Table[K, V] {
+	return table.New(c, topic, kc, vc)
+}
+
+// NewTableRouter returns the untyped read router for a table topic.
+func NewTableRouter(c *Client, topic string) *TableRouter {
+	return table.NewRouter(c, topic)
+}
+
+// StringCodec stores strings as raw UTF-8 bytes.
+func StringCodec() TableCodec[string] { return table.StringCodec() }
+
+// BytesCodec stores byte slices verbatim.
+func BytesCodec() TableCodec[[]byte] { return table.BytesCodec() }
+
+// JSONCodec stores values as JSON.
+func JSONCodec[T any]() TableCodec[T] { return table.JSONCodec[T]() }
+
+// TableHashKey returns the partition a table key routes to (the producer's
+// FNV-1a keyed partitioner).
+func TableHashKey(key []byte, numPartitions int32) int32 {
+	return table.HashKey(key, numPartitions)
 }
