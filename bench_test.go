@@ -1,5 +1,5 @@
 // Benchmarks wrapping the experiment harness: one benchmark per experiment
-// (E1–E19, E22), so `go test -bench=.` regenerates every table at quick scale.
+// (E1–E20, E22), so `go test -bench=.` regenerates every table at quick scale.
 // Run cmd/liquid-bench for the full-scale tables and the machine-readable
 // BENCH_<exp>.json results.
 package liquid_test
@@ -42,4 +42,5 @@ func BenchmarkE16Compression(b *testing.B)        { runExperiment(b, bench.E16Co
 func BenchmarkE17Availability(b *testing.B)       { runExperiment(b, bench.E17Availability) }
 func BenchmarkE18RewindScan(b *testing.B)         { runExperiment(b, bench.E18RewindScan) }
 func BenchmarkE19NoisyNeighbor(b *testing.B)      { runExperiment(b, bench.E19NoisyNeighbor) }
+func BenchmarkE20Durability(b *testing.B)         { runExperiment(b, bench.E20Durability) }
 func BenchmarkE22TableReads(b *testing.B)         { runExperiment(b, bench.E22TableReads) }

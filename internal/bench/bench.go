@@ -214,6 +214,7 @@ func All(scale Scale) []Table {
 		E17Availability(scale),
 		E18RewindScan(scale),
 		E19NoisyNeighbor(scale),
+		E20Durability(scale),
 		E22TableReads(scale),
 	}
 }
@@ -240,6 +241,7 @@ func ByID(id string) (func(Scale) Table, bool) {
 		"E17": E17Availability,
 		"E18": E18RewindScan,
 		"E19": E19NoisyNeighbor,
+		"E20": E20Durability,
 		"E22": E22TableReads,
 	}
 	f, ok := m[strings.ToUpper(id)]

@@ -60,6 +60,18 @@ type Config struct {
 	DefaultSegmentBytes   int32
 	DefaultRetentionMs    int64
 	DefaultRetentionBytes int64
+	// Durability is the WAL sync discipline applied to every partition log
+	// on this broker (log.Durability): when appends are fsynced, and —
+	// under the group-commit policy — that produce acks are deferred until
+	// the covering fdatasync lands. The zero value keeps the legacy
+	// OS-buffered flushing.
+	Durability log.Durability
+	// DisableZeroCopyFetch routes fetch responses through the legacy
+	// buffered re-encode path instead of splicing raw committed batch
+	// ranges from segment files into the socket (sendfile). Zero-copy is
+	// on by default; the switch exists for equivalence testing and
+	// diagnosis.
+	DisableZeroCopyFetch bool
 	// PageCache, when non-nil, attaches an OS page-cache model to every
 	// partition log (one cache instance per partition, sized by
 	// PageCache.CapacityBytes): reads of non-resident pages pay the
@@ -334,6 +346,7 @@ func (b *Broker) logConfigFor(tc cluster.TopicConfig) log.Config {
 	if b.cfg.PageCache != nil {
 		cfg.Tracker = cache.New(*b.cfg.PageCache)
 	}
+	cfg.Durability = b.cfg.Durability
 	return cfg
 }
 

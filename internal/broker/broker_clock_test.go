@@ -33,7 +33,7 @@ func TestLaggingFollowerDetectionInjectedClock(t *testing.T) {
 	}
 
 	// The leader appends; the follower never fetches again.
-	if _, _, code := r.appendAsLeader([]record.Record{{Timestamp: 1, Value: []byte("x")}}, 1); code != 0 {
+	if _, _, _, code := r.appendAsLeader([]record.Record{{Timestamp: 1, Value: []byte("x")}}, 1); code != 0 {
 		t.Fatalf("append failed: %v", code)
 	}
 	// Within maxLag: not yet lagging.

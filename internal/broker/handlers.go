@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/coord"
+	"repro/internal/storage/log"
 	"repro/internal/storage/record"
 	"repro/internal/wire"
 )
@@ -93,7 +94,13 @@ func (b *Broker) serveConn(conn net.Conn) {
 			}
 			continue
 		}
-		if err := wire.WriteResponseFrame(conn, hdr.CorrelationID, resp); err != nil {
+		err = wire.WriteResponseFrame(conn, hdr.CorrelationID, resp)
+		if fr, ok := resp.(*wire.FetchResponse); ok {
+			// Zero-copy fetch responses hold open segment file ranges
+			// until their bytes are spliced into the frame.
+			closeFetchRanges(fr)
+		}
+		if err != nil {
 			return
 		}
 	}
@@ -191,6 +198,7 @@ func (b *Broker) handleProduce(req *wire.ProduceRequest, principal string, reqPe
 		topic int
 		part  int
 		ch    <-chan wire.ErrorCode
+		dur   <-chan error
 	}
 	var waits []pending
 	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
@@ -213,35 +221,65 @@ func (b *Broker) handleProduce(req *wire.ProduceRequest, principal string, reqPe
 				rt.Partitions = append(rt.Partitions, rp)
 				continue
 			}
-			base, ackCh, code := r.appendSealedAsLeader(batches, req.RequiredAcks)
+			base, ackCh, durCh, code := r.appendSealedAsLeader(batches, req.RequiredAcks)
 			rp.Err = code
 			rp.BaseOffset = base
 			rp.HighWatermark = r.highWatermark()
 			if code == wire.ErrNone {
 				b.cfg.Metrics.Counter("broker.messages.in").Add(int64(nrecords))
 			}
-			if ackCh != nil {
-				waits = append(waits, pending{topic: len(resp.Topics), part: len(rt.Partitions), ch: ackCh})
+			if ackCh != nil || durCh != nil {
+				waits = append(waits, pending{topic: len(resp.Topics), part: len(rt.Partitions), ch: ackCh, dur: durCh})
 			}
 			rt.Partitions = append(rt.Partitions, rp)
 		}
 		resp.Topics = append(resp.Topics, rt)
 	}
 	if len(waits) > 0 {
+		// Replication (acks=all) and group-commit durability share one
+		// deadline: an ack is released only when both the ISR has the
+		// batch and — under SyncGroup — the covering fdatasync has landed.
 		deadline := time.NewTimer(timeout)
 		defer deadline.Stop()
 		for _, w := range waits {
-			select {
-			case code := <-w.ch:
-				resp.Topics[w.topic].Partitions[w.part].Err = code
-			case <-deadline.C:
-				resp.Topics[w.topic].Partitions[w.part].Err = wire.ErrRequestTimedOut
-			case <-b.stopCh:
-				resp.Topics[w.topic].Partitions[w.part].Err = wire.ErrBrokerNotAvailable
+			code := wire.ErrNone
+			if w.ch != nil {
+				select {
+				case code = <-w.ch:
+				case <-deadline.C:
+					code = wire.ErrRequestTimedOut
+				case <-b.stopCh:
+					code = wire.ErrBrokerNotAvailable
+				}
 			}
+			if code == wire.ErrNone && w.dur != nil {
+				select {
+				case err := <-w.dur:
+					code = durErrorCode(err)
+				case <-deadline.C:
+					code = wire.ErrRequestTimedOut
+				case <-b.stopCh:
+					code = wire.ErrBrokerNotAvailable
+				}
+			}
+			resp.Topics[w.topic].Partitions[w.part].Err = code
 		}
 	}
 	return resp
+}
+
+// durErrorCode maps a group-commit durability outcome to a produce error.
+func durErrorCode(err error) wire.ErrorCode {
+	switch {
+	case err == nil:
+		return wire.ErrNone
+	case errors.Is(err, log.ErrClosed):
+		return wire.ErrBrokerNotAvailable
+	default:
+		// Truncated below the awaited offset (leadership lost before the
+		// sync) or an fsync failure: the write may not survive.
+		return wire.ErrUnknown
+	}
 }
 
 // splitProducePayload splits a produce payload into its sealed batches,
@@ -289,8 +327,9 @@ func (b *Broker) handleFetch(req *wire.FetchRequest, principal string, reqPenalt
 	if len(req.Topics) == 1 && len(req.Topics[0].Partitions) == 1 {
 		single = b.getReplica(tp{topic: req.Topics[0].Name, partition: req.Topics[0].Partitions[0].Partition})
 	}
+	zeroCopy := !b.cfg.DisableZeroCopyFetch
 	for {
-		resp, total, hasError := b.collectFetch(req, isFollower)
+		resp, total, hasError := b.collectFetch(req, isFollower, zeroCopy)
 		if total >= minBytes || hasError || !time.Now().Before(deadline) {
 			if total > 0 {
 				b.cfg.Metrics.Counter("broker.fetch.bytes").Add(int64(total))
@@ -303,6 +342,9 @@ func (b *Broker) handleFetch(req *wire.FetchRequest, principal string, reqPenalt
 			}
 			return resp
 		}
+		// This pass is discarded for another long-poll round; release any
+		// segment file handles its ranges hold.
+		closeFetchRanges(resp)
 		remain := time.Until(deadline)
 		if single != nil {
 			select {
@@ -325,9 +367,27 @@ func (b *Broker) handleFetch(req *wire.FetchRequest, principal string, reqPenalt
 	}
 }
 
+// closeFetchRanges releases the segment file handles a zero-copy fetch
+// response holds. Called after the response frame is written (or when a
+// long-poll pass discards the response).
+func closeFetchRanges(resp *wire.FetchResponse) {
+	for i := range resp.Topics {
+		for j := range resp.Topics[i].Partitions {
+			p := &resp.Topics[i].Partitions[j]
+			if rng, ok := p.RecordsRange.(*log.SegmentRange); ok {
+				rng.Close()
+			}
+			p.RecordsRange = nil
+		}
+	}
+}
+
 // collectFetch performs one non-blocking pass over the requested
-// partitions.
-func (b *Broker) collectFetch(req *wire.FetchRequest, isFollower bool) (*wire.FetchResponse, int, bool) {
+// partitions. With zeroCopy set, reads resolve to raw segment file ranges
+// (spliced into the response frame by the wire layer — sendfile on TCP)
+// instead of copies; cold-tier reads and range failures fall back to the
+// buffered path per partition.
+func (b *Broker) collectFetch(req *wire.FetchRequest, isFollower, zeroCopy bool) (*wire.FetchResponse, int, bool) {
 	resp := &wire.FetchResponse{}
 	total := 0
 	hasError := false
@@ -354,26 +414,43 @@ func (b *Broker) collectFetch(req *wire.FetchRequest, isFollower bool) (*wire.Fe
 				maxBytes = 1 << 20
 			}
 			var data []byte
+			var rng *log.SegmentRange
 			var hw, start int64
 			var code wire.ErrorCode
-			if isFollower {
-				data, hw, start, code = r.readForFollower(p.Offset, maxBytes)
-				if code == wire.ErrNone {
-					for _, id := range r.onFollowerFetch(req.ReplicaID, p.Offset, now) {
-						b.updateISR(r, id, true)
-					}
+			served := false
+			if zeroCopy {
+				if isFollower {
+					rng, hw, start, code, served = r.readRangeForFollower(p.Offset, maxBytes)
+				} else {
+					rng, hw, start, code, served = r.readRangeForConsumer(p.Offset, maxBytes)
 				}
-			} else {
-				data, hw, start, code = r.readForConsumer(p.Offset, maxBytes)
+			}
+			if !served {
+				if isFollower {
+					data, hw, start, code = r.readForFollower(p.Offset, maxBytes)
+				} else {
+					data, hw, start, code = r.readForConsumer(p.Offset, maxBytes)
+				}
+			}
+			if isFollower && code == wire.ErrNone {
+				for _, id := range r.onFollowerFetch(req.ReplicaID, p.Offset, now) {
+					b.updateISR(r, id, true)
+				}
 			}
 			rp.Err = code
 			rp.HighWatermark = hw
 			rp.LogStartOffset = start
-			rp.Records = data
+			if rng != nil {
+				rp.RecordsRange = rng
+				total += int(rng.Len())
+				b.cfg.Metrics.Counter("broker.fetch.splice.bytes").Add(rng.Len())
+			} else {
+				rp.Records = data
+				total += len(data)
+			}
 			if code != wire.ErrNone {
 				hasError = true
 			}
-			total += len(data)
 			rt.Partitions = append(rt.Partitions, rp)
 		}
 		resp.Topics = append(resp.Topics, rt)

@@ -149,16 +149,24 @@ func (o *offsetManager) commit(group, topic string, partition int32, offset int6
 	// Checkpoints are committed with full ISR acknowledgement so they
 	// survive coordinator failover: a successor restores them from the
 	// replicated offsets partition.
-	_, ackCh, code := r.appendAsLeader([]record.Record{{Key: key.encode(), Value: value}}, -1)
+	_, ackCh, durCh, code := r.appendAsLeader([]record.Record{{Key: key.encode(), Value: value}}, -1)
 	if code != wire.ErrNone {
 		return code
 	}
 	select {
 	case code = <-ackCh:
-		return code
 	case <-time.After(5 * time.Second):
 		return wire.ErrRequestTimedOut
 	}
+	if code == wire.ErrNone && durCh != nil {
+		select {
+		case err := <-durCh:
+			code = durErrorCode(err)
+		case <-time.After(5 * time.Second):
+			return wire.ErrRequestTimedOut
+		}
+	}
+	return code
 }
 
 // fetch returns the newest checkpoint for a key, or found=false.

@@ -183,26 +183,39 @@ func (r *replica) maybeAdvanceHWLocked() {
 	}
 }
 
-// appendAsLeader appends records, returning the assigned base offset and,
-// for acks=all, a channel that resolves when the batch is committed. It is
-// the path for broker-internal appends (the offsets topic); client produce
-// goes through appendSealedAsLeader.
-func (r *replica) appendAsLeader(records []record.Record, acks int16) (int64, <-chan wire.ErrorCode, wire.ErrorCode) {
+// appendAsLeader appends records, returning the assigned base offset, a
+// channel that resolves when the batch is committed (acks=all), and a
+// channel that resolves when the batch is durable under the log's sync
+// policy (group commit; nil when no wait is needed). It is the path for
+// broker-internal appends (the offsets topic); client produce goes through
+// appendSealedAsLeader.
+func (r *replica) appendAsLeader(records []record.Record, acks int16) (int64, <-chan wire.ErrorCode, <-chan error, wire.ErrorCode) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return 0, nil, wire.ErrBrokerNotAvailable
+		return 0, nil, nil, wire.ErrBrokerNotAvailable
 	}
 	if !r.isLeader {
-		return 0, nil, wire.ErrNotLeaderForPartition
+		return 0, nil, nil, wire.ErrNotLeaderForPartition
 	}
 	base, err := r.log.Append(records)
 	if err != nil {
-		return 0, nil, wire.ErrUnknown
+		return 0, nil, nil, wire.ErrUnknown
 	}
 	last := base + int64(len(records)) - 1
 	ch, code := r.finishAppendLocked(last, acks)
-	return base, ch, code
+	return base, ch, r.durWaitLocked(last, acks), code
+}
+
+// durWaitLocked arranges the group-commit durability wait for an append
+// ending at last: any acknowledged produce (acks != 0) defers its ack until
+// the covering fdatasync lands. Returns nil when no wait is needed (policy
+// without deferred acks, or already durable).
+func (r *replica) durWaitLocked(last int64, acks int16) <-chan error {
+	if acks == 0 {
+		return nil
+	}
+	return r.log.SyncWait(last + 1)
 }
 
 // appendSealedAsLeader appends a producer's already-encoded (and
@@ -210,20 +223,20 @@ func (r *replica) appendAsLeader(records []record.Record, acks int16) (int64, <-
 // offsets. Compressed batches stay sealed end to end: the bytes written
 // here are the bytes followers replicate, consumers fetch and the archiver
 // drains — zero recompression anywhere in the pipeline (paper §3.1/§4.1).
-func (r *replica) appendSealedAsLeader(batches [][]byte, acks int16) (int64, <-chan wire.ErrorCode, wire.ErrorCode) {
+func (r *replica) appendSealedAsLeader(batches [][]byte, acks int16) (int64, <-chan wire.ErrorCode, <-chan error, wire.ErrorCode) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return 0, nil, wire.ErrBrokerNotAvailable
+		return 0, nil, nil, wire.ErrBrokerNotAvailable
 	}
 	if !r.isLeader {
-		return 0, nil, wire.ErrNotLeaderForPartition
+		return 0, nil, nil, wire.ErrNotLeaderForPartition
 	}
 	base := int64(-1)
 	for _, b := range batches {
 		bo, err := r.log.AppendSealed(b)
 		if err != nil {
-			return 0, nil, wire.ErrUnknown
+			return 0, nil, nil, wire.ErrUnknown
 		}
 		if base < 0 {
 			base = bo
@@ -233,7 +246,7 @@ func (r *replica) appendSealedAsLeader(batches [][]byte, acks int16) (int64, <-c
 	// end of what was just written.
 	last := r.log.NextOffset() - 1
 	ch, code := r.finishAppendLocked(last, acks)
-	return base, ch, code
+	return base, ch, r.durWaitLocked(last, acks), code
 }
 
 // finishAppendLocked advances the high watermark, wakes long-polls and
@@ -486,6 +499,78 @@ func (r *replica) readForFollower(offset int64, maxBytes int) ([]byte, int64, in
 		return nil, hw, start, wire.ErrUnknown
 	}
 	return data, hw, start, wire.ErrNone
+}
+
+// readRangeForConsumer is the zero-copy variant of readForConsumer: instead
+// of copying committed batches into a buffer, it resolves them to a raw
+// range of the segment file for the wire layer to splice into the response
+// frame. The guard logic mirrors readForConsumer exactly (the zero-copy
+// equivalence test holds the two paths byte-identical). ok=false means this
+// path does not serve the read — cold-tier reads and range resolution
+// errors — and the caller must fall back to the buffered path.
+func (r *replica) readRangeForConsumer(offset int64, maxBytes int) (rng *log.SegmentRange, hw, earliest int64, code wire.ErrorCode, ok bool) {
+	r.mu.Lock()
+	hw = r.hw
+	isLeader := r.isLeader
+	closed := r.closed
+	t := r.tier
+	r.mu.Unlock()
+	if closed {
+		return nil, 0, 0, wire.ErrBrokerNotAvailable, true
+	}
+	if !isLeader {
+		return nil, 0, 0, wire.ErrNotLeaderForPartition, true
+	}
+	start := r.log.StartOffset()
+	earliest = start
+	if t != nil {
+		if e, ok := t.Earliest(); ok && e < earliest {
+			earliest = e
+		}
+	}
+	if offset < start && t != nil && offset >= earliest {
+		return nil, hw, earliest, wire.ErrNone, false // cold read: buffered path
+	}
+	if offset < earliest || offset > hw {
+		if offset >= hw && offset <= r.log.NextOffset() {
+			return nil, hw, earliest, wire.ErrNone, true // caught up: empty fetch
+		}
+		return nil, hw, earliest, wire.ErrOffsetOutOfRange, true
+	}
+	rng, err := r.log.ReadRange(offset, maxBytes, hw)
+	if err != nil {
+		return nil, hw, earliest, wire.ErrNone, false // fall back to the buffered read
+	}
+	return rng, hw, earliest, wire.ErrNone, true
+}
+
+// readRangeForFollower is the zero-copy variant of readForFollower:
+// replication reads up to the log end with no visibility bound.
+func (r *replica) readRangeForFollower(offset int64, maxBytes int) (rng *log.SegmentRange, hw, start int64, code wire.ErrorCode, ok bool) {
+	r.mu.Lock()
+	hw = r.hw
+	isLeader := r.isLeader
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return nil, 0, 0, wire.ErrBrokerNotAvailable, true
+	}
+	if !isLeader {
+		return nil, 0, 0, wire.ErrNotLeaderForPartition, true
+	}
+	start = r.log.StartOffset()
+	if offset < start {
+		return nil, hw, start, wire.ErrOffsetOutOfRange, true
+	}
+	end := r.log.NextOffset()
+	if offset > end {
+		return nil, hw, start, wire.ErrOffsetOutOfRange, true
+	}
+	rng, err := r.log.ReadRange(offset, maxBytes, -1)
+	if err != nil {
+		return nil, hw, start, wire.ErrNone, false
+	}
+	return rng, hw, start, wire.ErrNone, true
 }
 
 // visibleBatches returns the byte length of the prefix of data whose

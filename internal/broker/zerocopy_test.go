@@ -1,0 +1,276 @@
+package broker
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/storage/log"
+	"repro/internal/storage/record"
+	"repro/internal/tier"
+	"repro/internal/wire"
+)
+
+// These tests hold the zero-copy fetch path byte-identical to the legacy
+// buffered path: same guard outcomes, same response payloads, same wire
+// frames — across codecs, segment boundaries, mid-batch seek offsets,
+// visibility trims and cold-tier fallbacks. The splice is an optimization
+// with no observable protocol surface.
+
+// sealedBatch producer-encodes vals as one batch under codec, exactly like
+// a client produce request.
+func sealedBatch(t *testing.T, codec record.Codec, vals ...string) []byte {
+	t.Helper()
+	recs := make([]record.Record, len(vals))
+	for i, v := range vals {
+		recs[i] = record.Record{Key: []byte(fmt.Sprintf("k-%s", v)), Value: []byte(v), Timestamp: int64(i + 1)}
+	}
+	sealed, err := record.Compress(record.EncodeBatch(0, recs), codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sealed
+}
+
+// zcReplica builds a leader replica over a fresh log with small segments and
+// appends 3-record batches cycling through all codecs, so reads cross
+// segment boundaries, compressed bodies and mid-batch offsets.
+func zcReplica(t *testing.T, soleLeader bool) *replica {
+	t.Helper()
+	l, err := log.Open(t.TempDir(), log.Config{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newReplica(tp{topic: "zc", partition: 0}, l, 1)
+	t.Cleanup(func() { r.close() })
+	if soleLeader {
+		r.becomeLeader(1, []int32{1}, []int32{1}, 1)
+	} else {
+		r.becomeLeader(1, []int32{1, 2}, []int32{1, 2}, 1)
+	}
+	codecs := []record.Codec{record.CodecNone, record.CodecGzip, record.CodecFlate}
+	for i := 0; i < 12; i++ {
+		b := sealedBatch(t, codecs[i%len(codecs)],
+			fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i), fmt.Sprintf("c%d", i))
+		if _, _, _, code := r.appendSealedAsLeader([][]byte{b}, 1); code != wire.ErrNone {
+			t.Fatalf("append %d: %v", i, code)
+		}
+	}
+	return r
+}
+
+// rangeBytes materializes a SegmentRange with legacy nil/empty semantics:
+// nil range stays nil, an empty range is a non-nil empty slice.
+func rangeBytes(t *testing.T, rng *log.SegmentRange) []byte {
+	t.Helper()
+	if rng == nil {
+		return nil
+	}
+	defer rng.Close()
+	b, err := rng.Bytes()
+	if err != nil {
+		t.Fatalf("range bytes: %v", err)
+	}
+	return b
+}
+
+func assertSameRead(t *testing.T, what string, data []byte, hw1, e1 int64, c1 wire.ErrorCode,
+	rb []byte, hw2, e2 int64, c2 wire.ErrorCode) {
+	t.Helper()
+	if c1 != c2 || hw1 != hw2 || e1 != e2 {
+		t.Fatalf("%s: guards diverge: buffered (hw=%d earliest=%d code=%v) vs range (hw=%d earliest=%d code=%v)",
+			what, hw1, e1, c1, hw2, e2, c2)
+	}
+	if (data == nil) != (rb == nil) {
+		t.Fatalf("%s: nil-ness diverges: buffered nil=%v range nil=%v", what, data == nil, rb == nil)
+	}
+	if !bytes.Equal(data, rb) {
+		t.Fatalf("%s: payloads diverge: buffered %d bytes, range %d bytes", what, len(data), len(rb))
+	}
+}
+
+func TestZeroCopyConsumerReadEquivalence(t *testing.T) {
+	r := zcReplica(t, true)
+	end := r.log.NextOffset()
+	if hw := r.highWatermark(); hw != end {
+		t.Fatalf("hw = %d, want %d", hw, end)
+	}
+	for offset := int64(0); offset <= end; offset++ {
+		for _, maxBytes := range []int{1, 100, 1 << 20} {
+			data, hw1, e1, c1 := r.readForConsumer(offset, maxBytes)
+			rng, hw2, e2, c2, ok := r.readRangeForConsumer(offset, maxBytes)
+			if !ok {
+				t.Fatalf("offset %d maxBytes %d: zero-copy refused an untired hot read", offset, maxBytes)
+			}
+			what := fmt.Sprintf("consumer offset %d maxBytes %d", offset, maxBytes)
+			assertSameRead(t, what, data, hw1, e1, c1, rangeBytes(t, rng), hw2, e2, c2)
+		}
+	}
+	// Past the end and below the start the guards must agree too.
+	for _, offset := range []int64{end + 1, -1} {
+		data, hw1, e1, c1 := r.readForConsumer(offset, 1<<20)
+		rng, hw2, e2, c2, ok := r.readRangeForConsumer(offset, 1<<20)
+		if !ok {
+			t.Fatalf("offset %d: guard outcome must not fall back", offset)
+		}
+		assertSameRead(t, fmt.Sprintf("consumer offset %d", offset), data, hw1, e1, c1, rangeBytes(t, rng), hw2, e2, c2)
+	}
+}
+
+func TestZeroCopyVisibilityTrimEquivalence(t *testing.T) {
+	// A follower stuck mid-batch pins the high watermark inside the first
+	// batch: consumers must see an empty (but present) record set, and the
+	// zero-copy path must produce the identical encoding.
+	r := zcReplica(t, false)
+	if hw := r.highWatermark(); hw != 0 {
+		t.Fatalf("hw = %d before follower fetch, want 0", hw)
+	}
+	r.onFollowerFetch(2, 1, time.Unix(1_700_000_000, 0)) // hw = 1: mid-batch
+	for offset := int64(0); offset <= 1; offset++ {
+		data, hw1, e1, c1 := r.readForConsumer(offset, 1<<20)
+		rng, hw2, e2, c2, ok := r.readRangeForConsumer(offset, 1<<20)
+		if !ok {
+			t.Fatalf("offset %d: trimmed read must not fall back", offset)
+		}
+		assertSameRead(t, fmt.Sprintf("trimmed offset %d", offset), data, hw1, e1, c1, rangeBytes(t, rng), hw2, e2, c2)
+	}
+}
+
+func TestZeroCopyFollowerReadEquivalence(t *testing.T) {
+	// Followers read past the high watermark (replication moves uncommitted
+	// data); the range path must match there as well.
+	r := zcReplica(t, false) // hw stays 0: everything is "uncommitted"
+	end := r.log.NextOffset()
+	for offset := int64(0); offset <= end; offset++ {
+		data, hw1, e1, c1 := r.readForFollower(offset, 700)
+		rng, hw2, e2, c2, ok := r.readRangeForFollower(offset, 700)
+		if !ok {
+			t.Fatalf("offset %d: follower range read fell back", offset)
+		}
+		assertSameRead(t, fmt.Sprintf("follower offset %d", offset), data, hw1, e1, c1, rangeBytes(t, rng), hw2, e2, c2)
+	}
+}
+
+func TestZeroCopySplicedFrameByteEquivalence(t *testing.T) {
+	// The ultimate contract: a response frame carrying spliced file ranges is
+	// byte-identical to the frame the legacy encoder produces — including a
+	// multi-partition response mixing spliced, buffered, empty and absent
+	// record sets.
+	r := zcReplica(t, true)
+	end := r.log.NextOffset()
+
+	build := func(zeroCopy bool) []byte {
+		t.Helper()
+		resp := &wire.FetchResponse{Topics: []wire.FetchRespTopic{{Name: "zc"}}}
+		for _, offset := range []int64{0, 5, end} { // base, mid-batch, caught-up
+			var p wire.FetchRespPartition
+			if zeroCopy {
+				rng, hw, earliest, code, ok := r.readRangeForConsumer(offset, 700)
+				if !ok {
+					t.Fatalf("offset %d fell back", offset)
+				}
+				p = wire.FetchRespPartition{Partition: int32(offset), Err: code, HighWatermark: hw, LogStartOffset: earliest}
+				if rng != nil {
+					p.RecordsRange = rng
+					t.Cleanup(func() { rng.Close() })
+				}
+			} else {
+				data, hw, earliest, code := r.readForConsumer(offset, 700)
+				p = wire.FetchRespPartition{Partition: int32(offset), Err: code, HighWatermark: hw, LogStartOffset: earliest, Records: data}
+			}
+			resp.Topics[0].Partitions = append(resp.Topics[0].Partitions, p)
+		}
+		var buf bytes.Buffer
+		if err := wire.WriteResponseFrame(&buf, 42, resp); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	legacy := build(false)
+	spliced := build(true)
+	if !bytes.Equal(legacy, spliced) {
+		t.Fatalf("frames diverge: legacy %d bytes, spliced %d bytes", len(legacy), len(spliced))
+	}
+
+	// And the spliced frame must decode like any other fetch response.
+	rd := wire.NewReader(spliced[4:]) // skip the length prefix
+	if corr := rd.Int32(); corr != 42 {
+		t.Fatalf("correlation = %d", corr)
+	}
+	var decoded wire.FetchResponse
+	decoded.Decode(rd)
+	if err := rd.Err(); err != nil {
+		t.Fatalf("decode spliced frame: %v", err)
+	}
+	if got := len(decoded.Topics[0].Partitions); got != 3 {
+		t.Fatalf("decoded %d partitions, want 3", got)
+	}
+	if decoded.Topics[0].Partitions[2].Records != nil {
+		t.Fatal("caught-up partition decoded non-nil records")
+	}
+}
+
+func TestZeroCopyColdReadFallsBack(t *testing.T) {
+	// Offload sealed segments to the cold tier and expire them locally: a
+	// fetch below the local start must decline the zero-copy path (ok=false)
+	// and be served by the buffered cold read, while hot offsets keep the
+	// splice.
+	dir := t.TempDir()
+	l, err := log.Open(dir, log.Config{SegmentBytes: 4 << 10, Tiered: true, RetentionMs: -1, RetentionBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newReplica(tp{topic: "zc", partition: 0}, l, 1)
+	defer r.close()
+	r.becomeLeader(1, []int32{1}, []int32{1}, 1)
+	for i := 0; i < 400; i++ {
+		rec := record.Record{Key: []byte(fmt.Sprintf("k-%05d", i)), Value: []byte(fmt.Sprintf("v-%05d", i))}
+		if _, _, _, code := r.appendAsLeader([]record.Record{rec}, 1); code != wire.ErrNone {
+			t.Fatalf("append %d: %v", i, code)
+		}
+	}
+	fs, err := dfs.Open(dfs.Config{Dir: filepath.Join(t.TempDir(), "tierfs")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	p, err := tier.Open(fs, "zc", 0, tier.Config{}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Offload(l, r.highWatermark()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.EnforceRetention(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	r.setTier(p)
+	start := l.StartOffset()
+	if start == 0 {
+		t.Fatal("retention kept everything local; cold path not reachable")
+	}
+
+	// Cold offset: zero-copy declines, buffered path serves.
+	if _, _, _, _, ok := r.readRangeForConsumer(0, 2048); ok {
+		t.Fatal("zero-copy path claimed a cold-tier read")
+	}
+	data, _, earliest, code := r.readForConsumer(0, 2048)
+	if code != wire.ErrNone || len(data) == 0 {
+		t.Fatalf("cold buffered read: code=%v bytes=%d", code, len(data))
+	}
+	if earliest != 0 {
+		t.Fatalf("earliest = %d, want 0 (tiered)", earliest)
+	}
+
+	// Hot offset: both paths serve, byte-identical.
+	bdata, hw1, e1, c1 := r.readForConsumer(start, 2048)
+	rng, hw2, e2, c2, ok := r.readRangeForConsumer(start, 2048)
+	if !ok {
+		t.Fatal("hot read fell back despite local data")
+	}
+	assertSameRead(t, "hot read", bdata, hw1, e1, c1, rangeBytes(t, rng), hw2, e2, c2)
+}

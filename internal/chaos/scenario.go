@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/storage/log"
 	"repro/internal/wire"
 )
 
@@ -49,6 +50,9 @@ type ScenarioConfig struct {
 	// leader between cold-segment upload and manifest commit — the crash
 	// window the tier-crash scenario kills the leader in.
 	TierUploadHook func(topic string, partition int32, path string) error
+	// Durability is forwarded to every broker's partition logs; the
+	// group-commit crash scenario kills a leader mid-sync-window under it.
+	Durability log.Durability
 	// Logger receives stack events; nil keeps only errors.
 	Logger *slog.Logger
 }
@@ -135,6 +139,7 @@ func StartScenario(cfg ScenarioConfig) (*Scenario, error) {
 		TierInterval:      cfg.TierInterval,
 		RetentionInterval: cfg.RetentionInterval,
 		TierUploadHook:    cfg.TierUploadHook,
+		Durability:        cfg.Durability,
 		Chaos:             net,
 		Logger:            cfg.Logger,
 	})

@@ -24,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/processing"
 	"repro/internal/storage/cache"
+	"repro/internal/storage/log"
 	"repro/internal/table"
 	"repro/internal/wire"
 )
@@ -75,6 +76,16 @@ type Config struct {
 	DefaultSegmentBytes   int32
 	DefaultRetentionMs    int64
 	DefaultRetentionBytes int64
+	// Durability is the WAL sync discipline every broker applies to its
+	// partition logs (log.Durability): none/interval/batch/group-commit
+	// fsync policies, with produce acks deferred behind the group
+	// fdatasync under SyncGroup. The zero value keeps legacy OS-buffered
+	// flushing.
+	Durability log.Durability
+	// DisableZeroCopyFetch switches every broker's fetch path back to the
+	// legacy buffered re-encode instead of splicing raw batch ranges from
+	// segment files into the socket. For equivalence testing.
+	DisableZeroCopyFetch bool
 	// PageCache, when non-nil, attaches the OS page-cache model of
 	// internal/storage/cache to every partition log on every broker
 	// (paper §4.1 anti-caching): reads of non-resident pages pay the
@@ -209,6 +220,8 @@ func Start(cfg Config) (*Stack, error) {
 			DefaultSegmentBytes:   cfg.DefaultSegmentBytes,
 			DefaultRetentionMs:    cfg.DefaultRetentionMs,
 			DefaultRetentionBytes: cfg.DefaultRetentionBytes,
+			Durability:            cfg.Durability,
+			DisableZeroCopyFetch:  cfg.DisableZeroCopyFetch,
 			PageCache:             cfg.PageCache,
 			DefaultQuota:          cfg.DefaultQuota,
 			TierFS:                tierFS,

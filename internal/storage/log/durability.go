@@ -1,0 +1,418 @@
+package log
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// SyncPolicy selects when appended batches are made durable (fsynced). The
+// broker maps producer acks onto the configured policy: under SyncGroup,
+// produces with acks>=1 are not acknowledged until their offsets are covered
+// by a group fdatasync.
+type SyncPolicy int8
+
+const (
+	// SyncNone leaves flushing to the OS page cache (plus the legacy
+	// FlushMessages counter and segment-roll syncs). Acks never wait for
+	// durability. This is the zero value and the paper's default (§4.1).
+	SyncNone SyncPolicy = iota
+	// SyncInterval fsyncs from a background goroutine every Interval.
+	// Acks do not wait; a crash loses at most one interval of appends.
+	SyncInterval
+	// SyncBatch fsyncs inline after every appended batch — maximum
+	// durability, one fdatasync per batch.
+	SyncBatch
+	// SyncGroup batches many in-flight appends behind one fdatasync: the
+	// first append after a sync opens a commit window (GroupWindow long,
+	// cut short when GroupBytes accumulate); everything appended inside it
+	// is covered by a single fdatasync, and SyncWait lets producers defer
+	// their acks until that sync lands.
+	SyncGroup
+)
+
+// String names the policy for tables and logs.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncInterval:
+		return "interval"
+	case SyncBatch:
+		return "batch"
+	case SyncGroup:
+		return "group"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int8(p))
+	}
+}
+
+// Durability defaults used when fields are zero.
+const (
+	DefaultSyncInterval = 50 * time.Millisecond
+	DefaultGroupWindow  = 2 * time.Millisecond
+	DefaultGroupBytes   = 4 << 20 // 4 MiB
+)
+
+// Durability is the log's WAL discipline: when appends are fsynced, and how
+// recovery uses the persisted checkpoint to avoid rescanning synced data.
+type Durability struct {
+	// Policy selects the sync discipline; see SyncPolicy.
+	Policy SyncPolicy
+	// Interval is the background sync period for SyncInterval (default
+	// DefaultSyncInterval). SyncGroup also runs no timer beyond its
+	// window, so Interval is ignored there.
+	Interval time.Duration
+	// GroupWindow is how long a group commit waits for more appends to
+	// pile in behind the pending fdatasync (default DefaultGroupWindow).
+	GroupWindow time.Duration
+	// GroupBytes cuts a commit window short once this many unsynced bytes
+	// accumulate (default DefaultGroupBytes).
+	GroupBytes int64
+	// Syncer overrides how a segment file is synced (default fdatasync on
+	// Linux, Sync elsewhere). Tests inject counting or failing syncers to
+	// assert the observable sync behaviour of each policy; benchmarks
+	// inject a modeled disk barrier.
+	Syncer func(*os.File) error
+	// CheckpointHook, when set, runs before each checkpoint file write; a
+	// non-nil error skips the write. Crash tests use it to simulate dying
+	// between the fdatasync and the checkpoint update.
+	CheckpointHook func() error
+}
+
+func (d Durability) withDefaults() Durability {
+	if d.Interval == 0 {
+		d.Interval = DefaultSyncInterval
+	}
+	if d.GroupWindow == 0 {
+		d.GroupWindow = DefaultGroupWindow
+	}
+	if d.GroupBytes == 0 {
+		d.GroupBytes = DefaultGroupBytes
+	}
+	return d
+}
+
+// errSyncTruncated resolves sync waiters whose awaited offsets were removed
+// by a truncation (leader change reconciliation) before becoming durable.
+var errSyncTruncated = errors.New("log: truncated below awaited offset")
+
+// syncWaiter parks a producer ack behind the durability frontier: ch
+// receives nil once offsets below next are fsynced.
+type syncWaiter struct {
+	next int64
+	ch   chan error
+}
+
+// syncFile syncs one segment file under the configured syncer.
+func (l *Log) syncFile(f *os.File) error {
+	if s := l.cfg.Durability.Syncer; s != nil {
+		return s(f)
+	}
+	return fdatasync(f)
+}
+
+// SyncedNext returns the durability frontier: every offset below it has been
+// fsynced (or was recovered from disk at open, which proves it survived).
+func (l *Log) SyncedNext() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.syncedNext
+}
+
+// SyncWait returns a channel that receives nil once every offset below next
+// is durable under the log's sync policy, or an error if the log closes or
+// truncates first. It returns nil when no wait is needed — the offsets are
+// already durable, or the policy acknowledges without waiting (everything
+// except SyncGroup; SyncBatch syncs inline before the append returns).
+func (l *Log) SyncWait(next int64) <-chan error {
+	if l.cfg.Durability.Policy != SyncGroup {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		ch := make(chan error, 1)
+		ch <- ErrClosed
+		return ch
+	}
+	if next <= l.syncedNext {
+		return nil
+	}
+	ch := make(chan error, 1)
+	l.syncWaiters = append(l.syncWaiters, syncWaiter{next: next, ch: ch})
+	return ch
+}
+
+// noteDirtyLocked records n freshly appended unsynced bytes and, under
+// SyncGroup, kicks the committer (urgently once GroupBytes accumulate).
+func (l *Log) noteDirtyLocked(n int64) {
+	l.dirty = true
+	l.unsyncedBytes += n
+	if l.cfg.Durability.Policy == SyncGroup {
+		select {
+		case l.syncKick <- struct{}{}:
+		default:
+		}
+		if l.unsyncedBytes >= l.cfg.Durability.GroupBytes {
+			select {
+			case l.syncUrgent <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// advanceSyncedLocked raises the durability frontier and resolves every
+// waiter it now covers.
+func (l *Log) advanceSyncedLocked(next int64) {
+	if next > l.syncedNext {
+		l.syncedNext = next
+	}
+	if len(l.syncWaiters) == 0 {
+		return
+	}
+	kept := l.syncWaiters[:0]
+	for _, w := range l.syncWaiters {
+		if w.next <= l.syncedNext {
+			w.ch <- nil
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	l.syncWaiters = kept
+}
+
+// failSyncWaitersLocked resolves every pending waiter with err.
+func (l *Log) failSyncWaitersLocked(err error) {
+	for _, w := range l.syncWaiters {
+		w.ch <- err
+	}
+	l.syncWaiters = nil
+}
+
+// startCommitter launches the background sync goroutine the policy needs.
+func (l *Log) startCommitter() {
+	switch l.cfg.Durability.Policy {
+	case SyncGroup:
+		l.syncWG.Add(1)
+		go l.groupLoop()
+	case SyncInterval:
+		l.syncWG.Add(1)
+		go l.intervalLoop()
+	}
+}
+
+// stopCommitter stops the background sync goroutine and waits for it.
+func (l *Log) stopCommitter() {
+	l.stopOnce.Do(func() { close(l.stopSync) })
+	l.syncWG.Wait()
+}
+
+// groupLoop is the SyncGroup committer: each kick (first unsynced append)
+// opens a commit window; the window closes after GroupWindow or as soon as
+// GroupBytes accumulate, and one fdatasync then covers every append that
+// landed inside it.
+func (l *Log) groupLoop() {
+	defer l.syncWG.Done()
+	window := l.cfg.Durability.GroupWindow
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-l.syncKick:
+		}
+		t := time.NewTimer(window)
+		select {
+		case <-l.stopSync:
+			t.Stop()
+			return
+		case <-l.syncUrgent:
+			t.Stop()
+		case <-t.C:
+		}
+		l.syncNow()
+	}
+}
+
+// intervalLoop is the SyncInterval committer.
+func (l *Log) intervalLoop() {
+	defer l.syncWG.Done()
+	t := time.NewTicker(l.cfg.Durability.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-t.C:
+			l.syncNow()
+		}
+	}
+}
+
+// syncNow makes everything appended so far durable: one fdatasync of the
+// active segment covers every batch since the last sync (rolled segments are
+// synced at roll time), then the checkpoint records the new frontier so
+// recovery scans only bytes written after it. The fsync itself runs outside
+// l.mu — appends proceed concurrently; anything they add is simply not
+// covered until the next sync.
+func (l *Log) syncNow() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if !l.dirty {
+		l.mu.Unlock()
+		return nil
+	}
+	a := l.active()
+	f := a.file
+	cp := checkpoint{base: a.baseOffset, pos: a.size, next: a.nextOffset}
+	gen := l.truncGen
+	l.dirty = false
+	l.unsyncedBytes = 0
+	l.mu.Unlock()
+
+	if err := l.syncFile(f); err != nil {
+		l.mu.Lock()
+		if l.truncGen == gen {
+			// A sync raced by segment surgery (truncate closed the file
+			// under us) is stale, not failed; otherwise surface the error
+			// to every parked ack and retry on the next kick.
+			l.dirty = true
+			l.failSyncWaitersLocked(err)
+		}
+		l.mu.Unlock()
+		return err
+	}
+	l.persistCheckpoint(cp, gen)
+	l.mu.Lock()
+	if l.truncGen == gen {
+		l.advanceSyncedLocked(cp.next)
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// Checkpoint file: the persisted durability frontier. Format is a single
+// line "liquidcp v1 <segmentBase> <syncedBytes> <nextOffset> <crc32>"; the
+// CRC self-guards the checkpoint against its own torn write (an invalid
+// checkpoint just degrades recovery to a full scan, never to data loss).
+const checkpointFile = "checkpoint"
+
+type checkpoint struct {
+	base int64 // active segment base offset at sync time
+	pos  int64 // bytes of that segment covered by the sync
+	next int64 // log end offset covered by the sync
+}
+
+func checkpointCRC(cp checkpoint) uint32 {
+	return crc32.ChecksumIEEE([]byte(fmt.Sprintf("%d %d %d", cp.base, cp.pos, cp.next)))
+}
+
+func writeCheckpointFile(dir string, cp checkpoint) error {
+	payload := fmt.Sprintf("liquidcp v1 %d %d %d %d\n", cp.base, cp.pos, cp.next, checkpointCRC(cp))
+	tmp := filepath.Join(dir, checkpointFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, checkpointFile))
+}
+
+func readCheckpointFile(dir string) (checkpoint, bool) {
+	b, err := os.ReadFile(filepath.Join(dir, checkpointFile))
+	if err != nil {
+		return checkpoint{}, false
+	}
+	var cp checkpoint
+	var crc uint32
+	if _, err := fmt.Sscanf(string(b), "liquidcp v1 %d %d %d %d", &cp.base, &cp.pos, &cp.next, &crc); err != nil {
+		return checkpoint{}, false
+	}
+	if crc != checkpointCRC(cp) || cp.base < 0 || cp.pos < 0 || cp.next < cp.base {
+		return checkpoint{}, false
+	}
+	return cp, true
+}
+
+// persistCheckpoint writes the checkpoint file unless a truncation (or
+// close) has invalidated the snapshot since it was taken — a stale
+// checkpoint would let recovery trust bytes a truncate has since rewritten.
+// Never call while holding l.mu (cpMu is acquired before l.mu here).
+func (l *Log) persistCheckpoint(cp checkpoint, gen uint64) error {
+	if hook := l.cfg.Durability.CheckpointHook; hook != nil {
+		if err := hook(); err != nil {
+			return err
+		}
+	}
+	l.cpMu.Lock()
+	defer l.cpMu.Unlock()
+	l.mu.RLock()
+	stale := l.truncGen != gen
+	l.mu.RUnlock()
+	if stale {
+		return nil
+	}
+	return writeCheckpointFile(l.dir, cp)
+}
+
+// CheckpointInfo is the persisted durability frontier of a log directory.
+type CheckpointInfo struct {
+	SegmentBase int64 // active segment base at the recorded sync
+	SyncedBytes int64 // bytes of that segment covered
+	SyncedNext  int64 // log end offset covered
+}
+
+// ReadCheckpoint reads dir's durability checkpoint, reporting ok=false when
+// absent or invalid (recovery then falls back to a full CRC scan).
+func ReadCheckpoint(dir string) (CheckpointInfo, bool) {
+	cp, ok := readCheckpointFile(dir)
+	if !ok {
+		return CheckpointInfo{}, false
+	}
+	return CheckpointInfo{SegmentBase: cp.base, SyncedBytes: cp.pos, SyncedNext: cp.next}, true
+}
+
+// CrashClose closes the log's file descriptors without flushing anything —
+// the shutdown a power loss or SIGKILL produces, for recovery tests. Buffers
+// the OS holds are NOT discarded (Go cannot drop the page cache), so tests
+// pair this with file surgery that truncates back to the synced frontier.
+// The instance is unusable afterwards.
+func (l *Log) CrashClose() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.stopCommitter()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failSyncWaitersLocked(ErrClosed)
+	var first error
+	for _, s := range l.segments {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -2,6 +2,7 @@ package log
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -47,6 +48,10 @@ type Config struct {
 	Tiered bool
 	// Tracker optionally observes segment I/O for page-cache modelling.
 	Tracker PageTracker
+	// Durability is the WAL sync discipline: when appends are fsynced,
+	// whether acks wait for group commit, and checkpointed recovery. The
+	// zero value (SyncNone) keeps the legacy OS-buffered behaviour.
+	Durability Durability
 }
 
 // Defaults used when Config fields are zero.
@@ -74,6 +79,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchBytes == 0 {
 		c.MaxBatchBytes = DefaultMaxBatchBytes
 	}
+	c.Durability = c.Durability.withDefaults()
 	// Batches must stay well below the segment size or segments never
 	// roll (and retention/compaction never find inactive segments).
 	if quarter := c.SegmentBytes / 4; c.MaxBatchBytes > quarter {
@@ -99,22 +105,61 @@ type Log struct {
 	closed      bool
 
 	appendsSinceFlush int64
+
+	// Durability state (guarded by mu unless noted).
+	syncedNext    int64        // offsets below this are durable
+	dirty         bool         // active segment has unsynced appends
+	unsyncedBytes int64        // bytes appended since the last sync
+	syncWaiters   []syncWaiter // acks parked behind the frontier (SyncGroup)
+	truncGen      uint64       // bumped by segment surgery; stales checkpoints
+	syncKick      chan struct{}
+	syncUrgent    chan struct{}
+	stopSync      chan struct{}
+	stopOnce      sync.Once
+	syncWG        sync.WaitGroup
+	syncMu        sync.Mutex // serialises syncNow
+	cpMu          sync.Mutex // serialises checkpoint file writes/removal
 }
 
-// Open opens or creates the log in dir.
+// Open opens or creates the log in dir. When a valid durability checkpoint
+// exists, recovery trusts the synced prefix it describes (segments sealed
+// before the checkpointed one were synced at roll time; the checkpointed
+// segment is synced up to the recorded byte position) and CRC-scans only the
+// unsynced tail beyond it, truncating torn writes. Without a checkpoint —
+// or on compacted logs, whose segment bytes are rewritten in place — every
+// batch is CRC-verified.
 func Open(dir string, cfg Config) (*Log, error) {
 	cfg = cfg.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("log: mkdir: %w", err)
 	}
-	l := &Log{dir: dir, cfg: cfg}
+	l := &Log{
+		dir:        dir,
+		cfg:        cfg,
+		syncKick:   make(chan struct{}, 1),
+		syncUrgent: make(chan struct{}, 1),
+		stopSync:   make(chan struct{}),
+	}
 
+	cp, cpOK := readCheckpointFile(dir)
+	if cfg.Compacted {
+		cpOK = false
+	}
 	bases, err := listSegmentBases(dir)
 	if err != nil {
 		return nil, err
 	}
 	for _, base := range bases {
-		s, err := openSegment(dir, base, cfg.IndexIntervalBytes)
+		trusted := int64(0)
+		if cpOK {
+			switch {
+			case base < cp.base:
+				trusted = math.MaxInt64 // sealed before the checkpoint: synced at roll
+			case base == cp.base:
+				trusted = cp.pos
+			}
+		}
+		s, err := openSegment(dir, base, cfg.IndexIntervalBytes, trusted)
 		if err != nil {
 			return nil, err
 		}
@@ -133,6 +178,21 @@ func Open(dir string, cfg Config) (*Log, error) {
 	if so, err := readStartOffset(dir); err == nil && so > l.startOffset {
 		l.startOffset = so
 	}
+	if cfg.Durability.Policy != SyncNone {
+		// Make the recovered state durable before serving: the tail beyond
+		// the old checkpoint survived the crash, but nothing proves it was
+		// ever synced — one fsync plus a fresh checkpoint re-establishes
+		// the invariant that everything on disk is the frontier.
+		a := l.active()
+		if err := l.syncFile(a.file); err != nil {
+			return nil, fmt.Errorf("log: sync recovered state: %w", err)
+		}
+		if err := writeCheckpointFile(dir, checkpoint{base: a.baseOffset, pos: a.size, next: a.nextOffset}); err != nil {
+			return nil, fmt.Errorf("log: write checkpoint: %w", err)
+		}
+	}
+	l.syncedNext = l.active().nextOffset
+	l.startCommitter()
 	return l, nil
 }
 
@@ -384,7 +444,12 @@ func (l *Log) AppendBatch(batch []byte) error {
 	return l.appendLocked(batch)
 }
 
-// appendLocked rolls the active segment if needed and writes the batch.
+// appendLocked rolls the active segment if needed and writes the batch,
+// then applies the durability policy: SyncBatch syncs inline, SyncGroup
+// kicks the group committer, the rest leave the bytes for the background
+// sync (or the OS). Rolling always syncs the sealed segment first — that is
+// what lets checkpointed recovery trust whole segments below the
+// checkpointed one without rescanning them.
 func (l *Log) appendLocked(batch []byte) error {
 	info, err := record.PeekBatchInfo(batch)
 	if err != nil {
@@ -392,7 +457,7 @@ func (l *Log) appendLocked(batch []byte) error {
 	}
 	a := l.active()
 	if a.size > 0 && a.size+int64(len(batch)) > l.cfg.SegmentBytes {
-		if err := a.flush(); err != nil {
+		if err := l.syncFile(a.file); err != nil {
 			return err
 		}
 		ns, err := createSegment(l.dir, a.nextOffset)
@@ -404,6 +469,15 @@ func (l *Log) appendLocked(batch []byte) error {
 	}
 	if err := a.append(batch, info, l.cfg.IndexIntervalBytes, l.cfg.Tracker); err != nil {
 		return err
+	}
+	l.noteDirtyLocked(int64(len(batch)))
+	if l.cfg.Durability.Policy == SyncBatch {
+		if err := l.syncFile(a.file); err != nil {
+			return err
+		}
+		l.dirty = false
+		l.unsyncedBytes = 0
+		l.advanceSyncedLocked(a.nextOffset)
 	}
 	l.appendsSinceFlush++
 	if l.cfg.FlushMessages > 0 && l.appendsSinceFlush >= l.cfg.FlushMessages {
@@ -488,16 +562,46 @@ func (l *Log) OffsetForTimestamp(ts int64) (int64, error) {
 }
 
 // Truncate removes all records at offsets >= offset. Used by followers to
-// reconcile divergent suffixes after leader changes.
+// reconcile divergent suffixes after leader changes. The persisted
+// checkpoint is invalidated (removed) — its byte positions describe the
+// pre-truncation file — and any acks parked beyond the cut are failed.
 func (l *Log) Truncate(offset int64) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
 	if offset >= l.active().nextOffset {
+		l.mu.Unlock()
 		return nil
 	}
+	err := l.truncateLocked(offset)
+	l.truncGen++
+	if l.syncedNext > l.active().nextOffset {
+		l.syncedNext = l.active().nextOffset
+	}
+	kept := l.syncWaiters[:0]
+	for _, w := range l.syncWaiters {
+		if w.next > l.active().nextOffset {
+			w.ch <- errSyncTruncated
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	l.syncWaiters = kept
+	l.mu.Unlock()
+	// Remove the now-stale checkpoint outside l.mu (cpMu orders before
+	// l.mu everywhere else). A concurrent syncNow either saw the gen bump
+	// and skipped its write, or wrote first and is deleted here — the next
+	// sync rewrites it.
+	l.cpMu.Lock()
+	os.Remove(filepath.Join(l.dir, checkpointFile))
+	l.cpMu.Unlock()
+	return err
+}
+
+// truncateLocked performs the segment surgery of Truncate.
+func (l *Log) truncateLocked(offset int64) error {
 	// Drop whole segments whose base is at or beyond the cut.
 	for len(l.segments) > 1 && l.segments[len(l.segments)-1].baseOffset >= offset {
 		last := l.segments[len(l.segments)-1]
@@ -506,12 +610,7 @@ func (l *Log) Truncate(offset int64) error {
 		}
 		l.segments = l.segments[:len(l.segments)-1]
 	}
-	a := l.active()
-	if a.baseOffset >= offset && len(l.segments) == 1 {
-		// Truncating the only segment to empty.
-		return a.truncateTo(offset, l.cfg.IndexIntervalBytes)
-	}
-	return a.truncateTo(offset, l.cfg.IndexIntervalBytes)
+	return l.active().truncateTo(offset, l.cfg.IndexIntervalBytes)
 }
 
 // EnforceRetention applies time and size retention, deleting whole inactive
@@ -562,32 +661,70 @@ func (l *Log) EnforceRetention(now time.Time) (int, error) {
 	return deleted, nil
 }
 
-// Flush fsyncs the active segment.
+// Flush fsyncs the active segment, advances the durability frontier, and —
+// under an explicit sync policy — persists a checkpoint.
 func (l *Log) Flush() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
-	return l.active().flush()
+	a := l.active()
+	f := a.file
+	cp := checkpoint{base: a.baseOffset, pos: a.size, next: a.nextOffset}
+	gen := l.truncGen
+	l.dirty = false
+	l.unsyncedBytes = 0
+	l.mu.Unlock()
+	if err := l.syncFile(f); err != nil {
+		return err
+	}
+	if l.cfg.Durability.Policy != SyncNone {
+		l.persistCheckpoint(cp, gen)
+	}
+	l.mu.Lock()
+	if l.truncGen == gen {
+		l.advanceSyncedLocked(cp.next)
+	}
+	l.mu.Unlock()
+	return nil
 }
 
-// Close flushes and closes all segments.
+// Close flushes and closes all segments, stopping the background committer
+// first and persisting a final checkpoint so the next Open skips the scan.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
+	l.mu.Unlock()
+	l.stopCommitter()
+	l.mu.Lock()
 	var first error
 	for _, s := range l.segments {
-		if err := s.flush(); err != nil && first == nil {
+		if err := l.syncFile(s.file); err != nil && first == nil {
 			first = err
 		}
+	}
+	a := l.active()
+	var cp *checkpoint
+	if first == nil && l.cfg.Durability.Policy != SyncNone {
+		cp = &checkpoint{base: a.baseOffset, pos: a.size, next: a.nextOffset}
+	}
+	l.advanceSyncedLocked(a.nextOffset)
+	l.failSyncWaitersLocked(ErrClosed)
+	for _, s := range l.segments {
 		if err := s.close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	l.mu.Unlock()
+	if cp != nil {
+		l.cpMu.Lock()
+		writeCheckpointFile(l.dir, *cp)
+		l.cpMu.Unlock()
 	}
 	return first
 }
@@ -686,7 +823,7 @@ func (l *Log) ReplaceSegments(oldBases []int64, newSegments [][]byte) error {
 			return err
 		}
 		s := &segment{baseOffset: base, path: tmp, file: f}
-		if err := s.recover(l.cfg.IndexIntervalBytes); err != nil {
+		if err := s.recover(l.cfg.IndexIntervalBytes, 0); err != nil {
 			cleanup()
 			return err
 		}
@@ -715,5 +852,9 @@ func (l *Log) ReplaceSegments(oldBases []int64, newSegments [][]byte) error {
 	sort.Slice(l.segments, func(i, j int) bool {
 		return l.segments[i].baseOffset < l.segments[j].baseOffset
 	})
+	// Compaction rewrote segment bytes in place; any checkpoint taken
+	// before this swap must not be persisted (compacted logs also ignore
+	// checkpoints at Open, this is belt-and-braces).
+	l.truncGen++
 	return nil
 }

@@ -476,8 +476,9 @@ func TestFlushMessagesPolicy(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// No assertion on fsync behaviour possible portably; the policy path
-	// must simply not error.
+	// The legacy FlushMessages path must not error; the actual fsync
+	// behaviour of every durability policy is asserted through the
+	// injectable syncer in TestSyncPolicyMatrix (durability_test.go).
 	if err := l.Flush(); err != nil {
 		t.Fatal(err)
 	}

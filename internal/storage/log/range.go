@@ -1,0 +1,194 @@
+package log
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/storage/record"
+)
+
+// SegmentRange is a raw byte range of whole, visible record batches inside
+// one segment file, held open on its own read-only descriptor. It is the
+// zero-copy fetch path's currency: the wire layer splices it straight into
+// the response frame with WriteTo, which on Linux TCP connections uses
+// sendfile(2) — stored bytes are wire bytes (the byte-identical batch
+// invariant), so they never pass through user space. The descriptor is
+// independent of the log's append handle (no shared seek position) and, on
+// POSIX systems, keeps serving even if retention unlinks the file mid-serve.
+// Callers must Close it after the response is written.
+type SegmentRange struct {
+	f   *os.File
+	pos int64
+	n   int64
+}
+
+// Len returns the range length in bytes.
+func (r *SegmentRange) Len() int64 { return r.n }
+
+// WriteTo streams the range into w.
+func (r *SegmentRange) WriteTo(w io.Writer) (int64, error) {
+	if r.n == 0 || r.f == nil {
+		return 0, nil
+	}
+	if _, err := r.f.Seek(r.pos, io.SeekStart); err != nil {
+		return 0, err
+	}
+	return io.CopyN(w, r.f, r.n)
+}
+
+// Bytes reads the range into memory — the bridge to the buffered
+// representation, for equivalence tests and callers that need bytes.
+func (r *SegmentRange) Bytes() ([]byte, error) {
+	if r.n == 0 || r.f == nil {
+		return []byte{}, nil
+	}
+	buf := make([]byte, r.n)
+	if _, err := r.f.ReadAt(buf, r.pos); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Close releases the range's file descriptor.
+func (r *SegmentRange) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	return r.f.Close()
+}
+
+// ReadRange resolves the same read Read performs — up to maxBytes of whole
+// batches starting at offset, at least one batch when any qualifies —
+// into a raw byte range of the owning segment file instead of a copy,
+// additionally excluding batches whose last offset reaches limit (the
+// caller's high watermark; limit < 0 means unbounded, the follower
+// replication view). Results mirror the buffered path exactly:
+//
+//   - (nil, nil) where Read would return (nil, nil) — nothing at or beyond
+//     offset (reading at the log end);
+//   - a zero-length range where the buffered path would return data that
+//     the visibility trim empties (the first qualifying batch is not yet
+//     below the high watermark);
+//   - otherwise a range holding exactly the bytes Read-then-trim would.
+//
+// The returned range MUST be closed by the caller.
+func (l *Log) ReadRange(offset int64, maxBytes int, limit int64) (*SegmentRange, error) {
+	if limit < 0 {
+		limit = math.MaxInt64
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	end := l.active().nextOffset
+	if offset == end {
+		return nil, nil
+	}
+	if offset < l.startOffset || offset > end {
+		return nil, fmt.Errorf("%w: offset %d not in [%d, %d]", ErrOffsetOutOfRange, offset, l.startOffset, end)
+	}
+	idx := sort.Search(len(l.segments), func(i int) bool {
+		return l.segments[i].baseOffset > offset
+	}) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	for ; idx < len(l.segments); idx++ {
+		s := l.segments[idx]
+		pos, n, err := s.rangeAt(offset, maxBytes, limit)
+		if err != nil {
+			return nil, err
+		}
+		if pos < 0 {
+			continue // nothing at or beyond offset in this segment
+		}
+		if n == 0 {
+			// The first qualifying batch exists but is not visible under
+			// limit yet: an empty (but non-nil) result, like the buffered
+			// path's visibility trim.
+			return &SegmentRange{}, nil
+		}
+		f, err := os.Open(s.path)
+		if err != nil {
+			return nil, err
+		}
+		if t := l.cfg.Tracker; t != nil {
+			if penalty := t.OnRead(s.baseOffset, pos, n); penalty > 0 {
+				time.Sleep(penalty)
+			}
+		}
+		return &SegmentRange{f: f, pos: pos, n: n}, nil
+	}
+	return nil, nil
+}
+
+// rangeAt computes the byte range read-then-trim would return for (offset,
+// maxBytes) bounded by limit (exclusive last-offset cap). pos == -1 means no
+// batch at or beyond offset lives in this segment; n == 0 with pos >= 0
+// means the first qualifying batch is not visible under limit.
+func (s *segment) rangeAt(offset int64, maxBytes int, limit int64) (int64, int64, error) {
+	pos := s.lookup(offset)
+	var hdr [record.HeaderLen]byte
+	var first record.BatchInfo
+	found := false
+	// Skip batches that end before the wanted offset.
+	for pos+int64(record.HeaderLen) <= s.size {
+		if _, err := s.file.ReadAt(hdr[:], pos); err != nil && err != io.EOF {
+			return 0, 0, err
+		}
+		info, perr := record.PeekBatchInfo(hdr[:])
+		if perr != nil {
+			return 0, 0, fmt.Errorf("log: read header at %d: %w", pos, perr)
+		}
+		if info.LastOffset >= offset {
+			first = info
+			found = true
+			break
+		}
+		pos += int64(info.Length)
+	}
+	if !found {
+		return -1, 0, nil
+	}
+	if first.LastOffset >= limit {
+		return pos, 0, nil
+	}
+	// Budget mirrors segment.read: at least one whole batch, else maxBytes,
+	// capped at the segment end.
+	want := int64(maxBytes)
+	if want < int64(first.Length) {
+		want = int64(first.Length)
+	}
+	if pos+want > s.size {
+		want = s.size - pos
+	}
+	// Extend over whole visible batches within the budget.
+	n := int64(0)
+	cur := pos
+	info := first
+	for {
+		next := n + int64(info.Length)
+		if next > want || info.LastOffset >= limit {
+			break
+		}
+		n = next
+		cur += int64(info.Length)
+		if cur+int64(record.HeaderLen) > s.size {
+			break
+		}
+		if _, err := s.file.ReadAt(hdr[:], cur); err != nil && err != io.EOF {
+			return 0, 0, err
+		}
+		ni, perr := record.PeekBatchInfo(hdr[:])
+		if perr != nil {
+			return 0, 0, fmt.Errorf("log: read header at %d: %w", cur, perr)
+		}
+		info = ni
+	}
+	return pos, n, nil
+}

@@ -82,8 +82,9 @@ func createSegment(dir string, baseOffset int64) (*segment, error) {
 
 // openSegment opens an existing segment file and rebuilds its in-memory
 // index by scanning. A torn or corrupt tail (e.g. from a crash mid-write) is
-// truncated away; everything before it is kept.
-func openSegment(dir string, baseOffset int64, indexInterval int64) (*segment, error) {
+// truncated away; everything before it is kept. trustedBytes is the synced
+// prefix the durability checkpoint vouches for (0 = verify everything).
+func openSegment(dir string, baseOffset int64, indexInterval int64, trustedBytes int64) (*segment, error) {
 	path := segmentPath(dir, baseOffset)
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -95,16 +96,19 @@ func openSegment(dir string, baseOffset int64, indexInterval int64) (*segment, e
 		file:       f,
 		nextOffset: baseOffset,
 	}
-	if err := s.recover(indexInterval); err != nil {
+	if err := s.recover(indexInterval, trustedBytes); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-// recover scans the file, validating every batch CRC, rebuilding the index
-// and truncating at the first corruption.
-func (s *segment) recover(indexInterval int64) error {
+// recover scans the file, rebuilding the index and truncating at the first
+// corruption. Batches entirely inside the trusted prefix (fsynced before the
+// checkpoint was written) are header-walked without CRC verification; the
+// tail beyond it — the only bytes a crash can tear — is CRC-checked batch by
+// batch.
+func (s *segment) recover(indexInterval int64, trustedBytes int64) error {
 	data, err := io.ReadAll(s.file)
 	if err != nil {
 		return fmt.Errorf("log: recover %s: %w", s.path, err)
@@ -112,14 +116,20 @@ func (s *segment) recover(indexInterval int64) error {
 	var pos int64
 	valid := int64(0)
 	for int(pos) < len(data) {
-		// Full decode validates the CRC; a failure means a torn tail.
-		_, n, err := record.DecodeBatch(data[pos:])
-		if err != nil {
-			break
-		}
 		info, err := record.PeekBatchInfo(data[pos:])
 		if err != nil {
 			break
+		}
+		end := pos + int64(info.Length)
+		if end > int64(len(data)) {
+			break // partial batch: torn tail
+		}
+		if end > trustedBytes {
+			// Unsynced (or unvouched) bytes: a CRC mismatch is a torn
+			// write and truncates the rest.
+			if _, err := record.CheckBatch(data[pos:end]); err != nil {
+				break
+			}
 		}
 		// The offset prefix is outside CRC coverage; reject batches whose
 		// offsets regress or go negative as corruption.
@@ -127,7 +137,7 @@ func (s *segment) recover(indexInterval int64) error {
 			break
 		}
 		s.noteAppend(info, pos, indexInterval)
-		pos += int64(n)
+		pos = end
 		valid = pos
 	}
 	if valid < int64(len(data)) {

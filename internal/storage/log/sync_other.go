@@ -1,0 +1,10 @@
+//go:build !linux
+
+package log
+
+import "os"
+
+// fdatasync falls back to a full fsync on platforms without fdatasync(2).
+func fdatasync(f *os.File) error {
+	return f.Sync()
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 )
 
@@ -22,17 +23,49 @@ var ErrDecode = errors.New("wire: malformed message")
 
 // Writer accumulates an encoded message. The zero value is ready to use.
 type Writer struct {
-	buf []byte
+	buf     []byte
+	splices []splice
 }
 
-// Bytes returns the encoded bytes accumulated so far.
+// splice marks a point in buf where an external byte range is stitched into
+// the frame at write time; see Writer.Splice.
+type splice struct {
+	at  int
+	src ByteRange
+}
+
+// ByteRange is an externally stored byte region a response splices into its
+// frame without copying it through the encode buffer — the zero-copy fetch
+// path (a raw batch range of a segment file). Len must be stable for the
+// lifetime of the write and WriteTo must produce exactly Len bytes; the
+// framed writer precomputes the frame length from it before streaming.
+type ByteRange interface {
+	Len() int64
+	WriteTo(w io.Writer) (int64, error)
+}
+
+// Bytes returns the encoded bytes accumulated so far. A writer carrying
+// pending splices returns only the buffered part; splices are understood
+// solely by the framed write path (WriteResponseFrame).
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // Len returns the number of bytes accumulated.
 func (w *Writer) Len() int { return len(w.buf) }
 
 // Reset clears the writer for reuse, retaining capacity.
-func (w *Writer) Reset() { w.buf = w.buf[:0] }
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.splices = w.splices[:0]
+}
+
+// Splice appends an int32 length prefix for src and records src to be
+// streamed into the frame at this position by the framed write path. The
+// bytes of src never enter the encode buffer — on TCP connections they move
+// file-to-socket via sendfile.
+func (w *Writer) Splice(src ByteRange) {
+	w.Int32(int32(src.Len()))
+	w.splices = append(w.splices, splice{at: len(w.buf), src: src})
+}
 
 // Int8 appends a signed 8-bit integer.
 func (w *Writer) Int8(v int8) { w.buf = append(w.buf, byte(v)) }

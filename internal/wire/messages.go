@@ -299,6 +299,12 @@ type FetchRespPartition struct {
 	HighWatermark  int64
 	LogStartOffset int64
 	Records        []byte
+	// RecordsRange, when non-nil, takes the place of Records on the encode
+	// side: the batch bytes are spliced into the response frame straight
+	// from their storage (zero-copy fetch) instead of being copied through
+	// the encode buffer. Encode-only — the decode side always materializes
+	// Records, since the wire bytes are identical either way.
+	RecordsRange ByteRange
 }
 
 // Encode implements Message.
@@ -315,7 +321,11 @@ func (m *FetchResponse) Encode(w *Writer) {
 			w.Int16(int16(p.Err))
 			w.Int64(p.HighWatermark)
 			w.Int64(p.LogStartOffset)
-			w.Bytes32(p.Records)
+			if p.RecordsRange != nil {
+				w.Splice(p.RecordsRange)
+			} else {
+				w.Bytes32(p.Records)
+			}
 		}
 	}
 }

@@ -42,6 +42,9 @@ func writeFramed(dst io.Writer, fill func(*Writer)) error {
 	defer PutWriter(w)
 	w.Int32(0) // length prefix placeholder
 	fill(w)
+	if len(w.splices) > 0 {
+		return writeSpliced(dst, w)
+	}
 	n := len(w.buf) - 4
 	if n > MaxFrameSize {
 		return fmt.Errorf("%w: %d bytes, max %d", ErrFrameTooLarge, n, MaxFrameSize)
@@ -49,6 +52,57 @@ func writeFramed(dst io.Writer, fill func(*Writer)) error {
 	binary.BigEndian.PutUint32(w.buf[:4], uint32(n))
 	_, err := dst.Write(w.buf)
 	return err
+}
+
+// writeSpliced writes a frame whose payload interleaves the writer's buffer
+// with external byte ranges (the zero-copy fetch path). The length prefix
+// covers the spliced bytes; each range then streams straight from its source
+// into dst — sendfile when dst is a TCP connection and the source a file. A
+// source that comes up short (a segment truncated mid-serve by a follower
+// demotion) is zero-padded to its promised length so the frame boundary
+// survives; readers reject the padding at the batch level and re-poll.
+func writeSpliced(dst io.Writer, w *Writer) error {
+	total := int64(len(w.buf) - 4)
+	for _, sp := range w.splices {
+		total += sp.src.Len()
+	}
+	if total > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes, max %d", ErrFrameTooLarge, total, MaxFrameSize)
+	}
+	binary.BigEndian.PutUint32(w.buf[:4], uint32(total))
+	start := 0
+	for _, sp := range w.splices {
+		if _, err := dst.Write(w.buf[start:sp.at]); err != nil {
+			return err
+		}
+		start = sp.at
+		want := sp.src.Len()
+		n, _ := sp.src.WriteTo(dst)
+		if n < want {
+			if err := writeZeros(dst, want-n); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := dst.Write(w.buf[start:])
+	return err
+}
+
+// zeroPad is a shared all-zero block for padding short splices (read-only).
+var zeroPad [4096]byte
+
+func writeZeros(dst io.Writer, n int64) error {
+	for n > 0 {
+		chunk := int64(len(zeroPad))
+		if chunk > n {
+			chunk = n
+		}
+		if _, err := dst.Write(zeroPad[:chunk]); err != nil {
+			return err
+		}
+		n -= chunk
+	}
+	return nil
 }
 
 // WriteRequestFrame encodes a request header + body and writes it as one
