@@ -216,6 +216,7 @@ func All(scale Scale) []Table {
 		E19NoisyNeighbor(scale),
 		E20Durability(scale),
 		E22TableReads(scale),
+		E24IdempotenceOverhead(scale),
 	}
 }
 
@@ -243,6 +244,7 @@ func ByID(id string) (func(Scale) Table, bool) {
 		"E19": E19NoisyNeighbor,
 		"E20": E20Durability,
 		"E22": E22TableReads,
+		"E24": E24IdempotenceOverhead,
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

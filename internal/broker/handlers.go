@@ -166,6 +166,8 @@ func (b *Broker) dispatch(hdr wire.RequestHeader, r *wire.Reader) (wire.Message,
 		return b.handleAlterQuotas(req), true, 0
 	case *wire.FindCoordinatorRequest:
 		return b.handleFindCoordinator(req), true, 0
+	case *wire.InitProducerRequest:
+		return b.handleInitProducer(req), true, 0
 	case *wire.JoinGroupRequest:
 		return <-b.groups.handleJoin(req, hdr.ClientID), true, 0
 	case *wire.SyncGroupRequest:
@@ -199,6 +201,7 @@ func (b *Broker) handleProduce(req *wire.ProduceRequest, principal string, reqPe
 		part  int
 		ch    <-chan wire.ErrorCode
 		dur   <-chan error
+		dup   bool
 	}
 	var waits []pending
 	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
@@ -229,7 +232,10 @@ func (b *Broker) handleProduce(req *wire.ProduceRequest, principal string, reqPe
 				b.cfg.Metrics.Counter("broker.messages.in").Add(int64(nrecords))
 			}
 			if ackCh != nil || durCh != nil {
-				waits = append(waits, pending{topic: len(resp.Topics), part: len(rt.Partitions), ch: ackCh, dur: durCh})
+				waits = append(waits, pending{
+					topic: len(resp.Topics), part: len(rt.Partitions), ch: ackCh, dur: durCh,
+					dup: code == wire.ErrDuplicateSequence,
+				})
 			}
 			rt.Partitions = append(rt.Partitions, rp)
 		}
@@ -261,6 +267,12 @@ func (b *Broker) handleProduce(req *wire.ProduceRequest, principal string, reqPe
 				case <-b.stopCh:
 					code = wire.ErrBrokerNotAvailable
 				}
+			}
+			if code == wire.ErrNone && w.dup {
+				// The waits confirmed the ORIGINAL append is replicated and
+				// durable; keep reporting the dedup so the client can tell a
+				// dup-ack from a first append.
+				code = wire.ErrDuplicateSequence
 			}
 			resp.Topics[w.topic].Partitions[w.part].Err = code
 		}
@@ -740,6 +752,17 @@ func (b *Broker) handleFindCoordinator(req *wire.FindCoordinatorRequest) *wire.F
 		}
 	}
 	return &wire.FindCoordinatorResponse{Err: wire.ErrCoordinatorNotAvailable, NodeID: -1}
+}
+
+// handleInitProducer allocates an idempotent-producer identity through the
+// coordination store; any broker can serve it. Named producers get their
+// stable id back with a bumped epoch, fencing earlier instances.
+func (b *Broker) handleInitProducer(req *wire.InitProducerRequest) *wire.InitProducerResponse {
+	pi, err := b.reg.AllocateProducer(req.Name)
+	if err != nil {
+		return &wire.InitProducerResponse{Err: wire.ErrCoordinatorNotAvailable, ProducerID: -1, Epoch: -1}
+	}
+	return &wire.InitProducerResponse{ProducerID: pi.ID, Epoch: pi.Epoch}
 }
 
 func (b *Broker) handleOffsetCommit(req *wire.OffsetCommitRequest) *wire.OffsetCommitResponse {

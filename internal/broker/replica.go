@@ -223,6 +223,14 @@ func (r *replica) durWaitLocked(last int64, acks int16) <-chan error {
 // offsets. Compressed batches stay sealed end to end: the bytes written
 // here are the bytes followers replicate, consumers fetch and the archiver
 // drains — zero recompression anywhere in the pipeline (paper §3.1/§4.1).
+//
+// Idempotent batches are deduplicated against the log's producer-state
+// table: a retried batch is answered with the offsets of its original
+// append — reported as ErrDuplicateSequence, which clients treat as success
+// — and its ack still waits until the high watermark and the durability
+// frontier cover the ORIGINAL append, so a dup-acked retry carries the same
+// guarantee as a first append. Out-of-order sequences and fenced epochs are
+// rejected with their dedicated codes.
 func (r *replica) appendSealedAsLeader(batches [][]byte, acks int16) (int64, <-chan wire.ErrorCode, <-chan error, wire.ErrorCode) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -233,9 +241,27 @@ func (r *replica) appendSealedAsLeader(batches [][]byte, acks int16) (int64, <-c
 		return 0, nil, nil, wire.ErrNotLeaderForPartition
 	}
 	base := int64(-1)
+	last := int64(-1)
+	dups := 0
 	for _, b := range batches {
 		bo, err := r.log.AppendSealed(b)
 		if err != nil {
+			var dup *log.DupSequenceError
+			switch {
+			case errors.As(err, &dup):
+				dups++
+				if base < 0 {
+					base = dup.BaseOffset
+				}
+				if dup.LastOffset > last {
+					last = dup.LastOffset
+				}
+				continue
+			case errors.Is(err, log.ErrFencedEpoch):
+				return 0, nil, nil, wire.ErrFencedEpoch
+			case errors.Is(err, log.ErrOutOfOrderSequence):
+				return 0, nil, nil, wire.ErrOutOfOrderSequence
+			}
 			return 0, nil, nil, wire.ErrUnknown
 		}
 		if base < 0 {
@@ -243,9 +269,17 @@ func (r *replica) appendSealedAsLeader(batches [][]byte, acks int16) (int64, <-c
 		}
 	}
 	// Leader appends are serialised by r.mu, so the log end is exactly the
-	// end of what was just written.
-	last := r.log.NextOffset() - 1
+	// end of what was just written; when everything was deduplicated, the
+	// waits cover the furthest original append instead.
+	if dups < len(batches) {
+		if end := r.log.NextOffset() - 1; end > last {
+			last = end
+		}
+	}
 	ch, code := r.finishAppendLocked(last, acks)
+	if code == wire.ErrNone && dups == len(batches) {
+		code = wire.ErrDuplicateSequence
+	}
 	return base, ch, r.durWaitLocked(last, acks), code
 }
 

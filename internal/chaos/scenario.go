@@ -91,9 +91,11 @@ func (c ScenarioConfig) withDefaults() ScenarioConfig {
 	return c
 }
 
-// PreFaultMark is the ledger mark scenarios set before their first fault:
-// records acked before it must survive exactly once; records acked during
-// the fault window are at-least-once (client retries on leader death).
+// PreFaultMark is the ledger mark scenarios set before their first fault.
+// It segments the ledger for diagnostics (how much was acked before the
+// schedule started) and feeds LegacyDupWindow for workloads that disable
+// producer idempotence; the default acked-dup check no longer needs it —
+// exactly-once holds across the fault window too.
 const PreFaultMark = "pre-fault"
 
 // Scenario drives a live core.Stack through a scripted fault schedule while
@@ -392,7 +394,7 @@ func (s *Scenario) Finish() ([]Violation, error) {
 	// Probe records are not in the ledger; drop them before checks so the
 	// survival checker never counts them, and contiguity still covers them
 	// via offsets.
-	violations = append(violations, CheckAckedSurvival(scan, s.Ledger, PreFaultMark)...)
+	violations = append(violations, CheckAckedSurvival(scan, s.Ledger)...)
 	violations = append(violations, CheckOffsetContiguity(scan)...)
 	return violations, nil
 }

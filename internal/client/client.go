@@ -488,6 +488,40 @@ func (c *Client) withLeaderRetry(topic string, partition int32, fn func(*Conn) (
 	return fmt.Errorf("client: retries exhausted for %s/%d: %w", topic, partition, lastErr)
 }
 
+// InitProducer obtains an idempotent-producer identity (id + epoch) from
+// any broker. A named producer gets its stable id back with a bumped epoch,
+// fencing any earlier instance still sending under the old one; an empty
+// name allocates a fresh id at epoch 0.
+func (c *Client) InitProducer(name string) (int64, int32, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.RetryBackoff)
+		}
+		conn, err := c.dialAny()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var resp wire.InitProducerResponse
+		err = conn.RoundTrip(wire.APIInitProducer, &wire.InitProducerRequest{Name: name}, &resp)
+		conn.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Err != wire.ErrNone {
+			lastErr = resp.Err.Err()
+			if !resp.Err.Retriable() {
+				return -1, -1, lastErr
+			}
+			continue
+		}
+		return resp.ProducerID, resp.Epoch, nil
+	}
+	return -1, -1, fmt.Errorf("client: init producer: %w", lastErr)
+}
+
 // FindCoordinator locates the group coordinator broker.
 func (c *Client) FindCoordinator(group string) (int32, error) {
 	var lastErr error

@@ -108,6 +108,18 @@ type ProducerConfig struct {
 	Codec record.Codec
 	// OnError receives asynchronous delivery failures (after retries).
 	OnError func(Message, error)
+	// Name optionally identifies the producer across restarts: a named
+	// producer re-registering receives its stable producer id with a
+	// bumped epoch, fencing a zombie instance still sending under the old
+	// one. Anonymous producers get a fresh id per instance.
+	Name string
+	// DisableIdempotence opts out of idempotent produce. By default every
+	// acknowledged produce (acks 1 or all) carries a producer id, epoch and
+	// per-partition sequence, letting brokers deduplicate retried batches —
+	// a retry across a leader failover appends exactly once. Fire-and-forget
+	// (AcksNone) sends are never idempotent: with no response there is
+	// nothing to retry.
+	DisableIdempotence bool
 }
 
 func (c ProducerConfig) withDefaults() ProducerConfig {
@@ -170,6 +182,16 @@ type Producer struct {
 	// on produce responses); the next produce request honors them.
 	throttle throttleTracker
 
+	// idemMu guards the idempotence state below AND is held across each
+	// stamped send: sequence allocation and delivery must not interleave
+	// between concurrent produce calls, or a later sequence could reach the
+	// broker first and be rejected as out of order.
+	idemMu sync.Mutex
+	pid    int64 // allocated producer id; -1 until initialised
+	pepoch int32
+	pidOK  bool                       // identity is live
+	seqs   map[string]map[int32]int64 // topic -> partition -> next base sequence
+
 	flushNow chan struct{}
 	done     chan struct{}
 }
@@ -180,6 +202,8 @@ func NewProducer(c *Client, cfg ProducerConfig) *Producer {
 		c:        c,
 		cfg:      cfg.withDefaults(),
 		batches:  make(map[string]map[int32][]record.Record),
+		pid:      -1,
+		seqs:     make(map[string]map[int32]int64),
 		flushNow: make(chan struct{}, 1),
 		done:     make(chan struct{}),
 	}
@@ -330,10 +354,56 @@ func (p *Producer) noteThrottle(ms int32) { p.throttle.note(0, ms) }
 // and the cumulative delay it honored.
 func (p *Producer) Throttled() ThrottleStats { return p.throttle.throttled() }
 
+// idempotent reports whether this producer stamps batches with a producer
+// identity: the default for acknowledged produces, never for AcksNone.
+func (p *Producer) idempotent() bool {
+	return !p.cfg.DisableIdempotence && p.cfg.Acks != AcksNone
+}
+
+// ensureIdentityLocked initialises the producer identity on first use (and
+// after a terminal delivery failure invalidated it). Called with idemMu
+// held.
+func (p *Producer) ensureIdentityLocked() error {
+	if p.pidOK {
+		return nil
+	}
+	id, epoch, err := p.c.InitProducer(p.cfg.Name)
+	if err != nil {
+		return fmt.Errorf("client: init producer: %w", err)
+	}
+	p.pid, p.pepoch, p.pidOK = id, epoch, true
+	// A fresh identity starts a fresh sequence space: named producers keep
+	// their id but produce under a higher epoch, which resets the broker's
+	// window; anonymous producers get a new id entirely.
+	p.seqs = make(map[string]map[int32]int64)
+	return nil
+}
+
+// nextSeqLocked returns the partition's next base sequence (idemMu held).
+func (p *Producer) nextSeqLocked(topic string, partition int32) int64 {
+	byPart, ok := p.seqs[topic]
+	if !ok {
+		byPart = make(map[int32]int64)
+		p.seqs[topic] = byPart
+	}
+	return byPart[partition]
+}
+
 // produce delivers one batch to the partition leader with retries,
 // returning the base offset (or -1 for acks=0). Zero timestamps are
 // stamped with send time here: the broker appends the sealed batch
 // verbatim and never rewrites record timestamps.
+//
+// Idempotent sends (the default for acked produces) stamp the sealed batch
+// once with (producerID, epoch, baseSequence) BEFORE the retry loop: every
+// retry resends the identical bytes, so a broker that already appended the
+// batch — the classic acks=all resend window, where the ack was lost to a
+// leader failover — recognises it and answers with the original offsets
+// (ErrDuplicateSequence, handled here as success) instead of appending
+// twice. On a terminal failure the delivery outcome is unknown, so the
+// identity is invalidated and the next send re-registers: the app saw an
+// error, and a fresh id/epoch guarantees the broker never silently matches
+// a later batch against the orphaned sequence.
 func (p *Producer) produce(topic string, partition int32, recs []record.Record) (int64, error) {
 	// Honor any outstanding quota verdict (the client half of
 	// backpressure; verdicts are server-capped, so the wait is bounded).
@@ -353,6 +423,19 @@ func (p *Producer) produce(topic string, partition int32, recs []record.Record) 
 			return -1, fmt.Errorf("client: compress batch: %w", err)
 		}
 		payload = sealed
+	}
+	idem := p.idempotent()
+	if idem {
+		// idemMu is held across the whole delivery so concurrent produce
+		// calls cannot reorder sequences on the wire.
+		p.idemMu.Lock()
+		defer p.idemMu.Unlock()
+		if err := p.ensureIdentityLocked(); err != nil {
+			return -1, err
+		}
+		if err := record.StampProducer(payload, p.pid, p.pepoch, p.nextSeqLocked(topic, partition)); err != nil {
+			return -1, err
+		}
 	}
 	req := &wire.ProduceRequest{
 		RequiredAcks: effectiveAcks(p.cfg.Acks),
@@ -390,8 +473,20 @@ func (p *Producer) produce(topic string, partition int32, recs []record.Record) 
 		}
 		pr := resp.Topics[0].Partitions[0]
 		base = pr.BaseOffset
+		if pr.Err == wire.ErrDuplicateSequence {
+			// A retry the broker deduplicated: the records are in the log
+			// exactly once, at the base offset this response carries.
+			return wire.ErrNone, nil
+		}
 		return pr.Err, nil
 	})
+	if idem {
+		if err == nil {
+			p.seqs[topic][partition] += int64(len(recs))
+		} else {
+			p.pidOK = false
+		}
+	}
 	return base, err
 }
 

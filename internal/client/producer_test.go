@@ -21,6 +21,7 @@ type fakeBroker struct {
 	produceStarted chan struct{} // signalled when a produce request arrives
 	releaseProduce chan struct{} // closed to let produce responses flow
 	produced       atomic.Int64  // records acked so far
+	failProduces   atomic.Int32  // produce attempts to fail with not-leader
 }
 
 func startFakeBroker(t *testing.T) *fakeBroker {
@@ -77,6 +78,25 @@ func (f *fakeBroker) serve(conn net.Conn) {
 			var req wire.ProduceRequest
 			req.Decode(r)
 			f.produceStarted <- struct{}{}
+			if f.failProduces.Load() > 0 {
+				// A failed attempt answers immediately (no hold): the
+				// client's retry loop proceeds, and the NEXT attempt blocks
+				// on releaseProduce — that is how the retry/Flush test
+				// freezes a delivery mid-retry.
+				f.failProduces.Add(-1)
+				pr := &wire.ProduceResponse{}
+				for _, t := range req.Topics {
+					rt := wire.ProduceRespTopic{Name: t.Name}
+					for _, p := range t.Partitions {
+						rt.Partitions = append(rt.Partitions, wire.ProduceRespPartition{
+							Partition: p.Partition, Err: wire.ErrNotLeaderForPartition, BaseOffset: -1,
+						})
+					}
+					pr.Topics = append(pr.Topics, rt)
+				}
+				resp = pr
+				break
+			}
 			<-f.releaseProduce
 			pr := &wire.ProduceResponse{}
 			n := int64(0)
@@ -92,6 +112,8 @@ func (f *fakeBroker) serve(conn net.Conn) {
 			}
 			f.produced.Add(n)
 			resp = pr
+		case wire.APIInitProducer:
+			resp = &wire.InitProducerResponse{ProducerID: 1, Epoch: 0}
 		default:
 			resp = &wire.ProduceResponse{}
 		}
@@ -197,6 +219,57 @@ func TestCloseWaitsForInFlightBackgroundFlush(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("Close never returned after delivery completed")
+	}
+	if got := f.produced.Load(); got != 1 {
+		t.Fatalf("broker acked %d records, want 1", got)
+	}
+}
+
+// TestFlushWaitsForBatchAwaitingRetry pins the retry half of the Flush
+// contract: a batch whose first delivery attempt failed with a retriable
+// error is still owed to Flush — it is in the client's retry loop, not
+// delivered, and Flush returning early would let the app drop it on exit.
+// The fake broker fails the first produce attempt with not-leader and holds
+// the retry attempt open; Flush must block until the retry completes.
+func TestFlushWaitsForBatchAwaitingRetry(t *testing.T) {
+	f := startFakeBroker(t)
+	f.failProduces.Store(1)
+	_, p := newRaceProducer(t, f)
+
+	if err := p.Send(Message{Topic: "t", Value: []byte("v")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// Attempt 1 fails fast with not-leader; attempt 2 (the retry of the
+	// same stamped batch) blocks on the broker.
+	for attempt := 0; attempt < 2; attempt++ {
+		select {
+		case <-f.produceStarted:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("produce attempt %d never reached the broker", attempt+1)
+		}
+	}
+
+	flushed := make(chan error, 1)
+	go func() { flushed <- p.Flush() }()
+
+	// Flush must still be waiting: the batch is mid-retry, not delivered.
+	select {
+	case err := <-flushed:
+		t.Fatalf("Flush returned (err=%v) while the batch was awaiting retry", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if got := f.produced.Load(); got != 0 {
+		t.Fatalf("broker acked %d records before release", got)
+	}
+
+	close(f.releaseProduce)
+	select {
+	case err := <-flushed:
+		if err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Flush never returned after the retry completed")
 	}
 	if got := f.produced.Load(); got != 1 {
 		t.Fatalf("broker acked %d records, want 1", got)

@@ -333,3 +333,57 @@ func TestParseQuotaPath(t *testing.T) {
 		}
 	}
 }
+
+// TestAllocateProducerAnonymous: every anonymous init gets a fresh unique
+// id at epoch 0 — ids never collide even under concurrent allocation.
+func TestAllocateProducerAnonymous(t *testing.T) {
+	reg, _ := newRegistry()
+	seen := make(map[int64]bool)
+	for i := 0; i < 10; i++ {
+		pi, err := reg.AllocateProducer("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pi.Epoch != 0 {
+			t.Fatalf("anonymous producer got epoch %d, want 0", pi.Epoch)
+		}
+		if seen[pi.ID] {
+			t.Fatalf("producer id %d allocated twice", pi.ID)
+		}
+		seen[pi.ID] = true
+	}
+}
+
+// TestAllocateProducerNamedEpochBump: a named producer keeps its id across
+// re-inits while the epoch climbs — that is what fences a zombie instance
+// after its replacement registered.
+func TestAllocateProducerNamedEpochBump(t *testing.T) {
+	reg, _ := newRegistry()
+	first, err := reg.AllocateProducer("etl-loader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Epoch != 0 {
+		t.Fatalf("first init epoch = %d, want 0", first.Epoch)
+	}
+	for want := int32(1); want <= 3; want++ {
+		pi, err := reg.AllocateProducer("etl-loader")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pi.ID != first.ID {
+			t.Fatalf("named producer id changed: %d -> %d", first.ID, pi.ID)
+		}
+		if pi.Epoch != want {
+			t.Fatalf("epoch = %d, want %d", pi.Epoch, want)
+		}
+	}
+	// A different name gets a different id.
+	other, err := reg.AllocateProducer("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.ID == first.ID {
+		t.Fatal("distinct names share a producer id")
+	}
+}

@@ -24,6 +24,9 @@ const (
 	TopicsPrefix   = "/topics/"
 	StatePrefix    = "/state/"
 	QuotasPrefix   = "/quotas/"
+	// ProducersPrefix holds idempotent-producer allocation state: the id
+	// counter and per-name registrations (id + fencing epoch).
+	ProducersPrefix = "/producers/"
 )
 
 // ErrNoTopic reports a lookup of an unknown topic.
@@ -305,6 +308,96 @@ func ParseQuotaPath(path string) (string, bool) {
 		return "", false
 	}
 	return rest, true
+}
+
+// ------------------------------------------------- idempotent producers
+
+// ProducerIdentity is an allocated idempotent-producer identity: a cluster
+// unique id plus the epoch under which this instance produces. Brokers fence
+// batches stamped with an older epoch than the newest they have seen.
+type ProducerIdentity struct {
+	ID    int64 `json:"id"`
+	Epoch int32 `json:"epoch"`
+}
+
+const producerIDCounterPath = ProducersPrefix + "next-id"
+
+func producerNamePath(name string) string { return ProducersPrefix + "names/" + name }
+
+// AllocateProducer hands out a producer identity through the coordination
+// store. An anonymous producer (empty name) gets a fresh id at epoch 0. A
+// named producer gets a stable id keyed by its name with the epoch bumped on
+// every registration: the newest instance holds the highest epoch, and
+// brokers reject batches from earlier epochs (zombie fencing). All updates
+// are CAS loops, so concurrent registrations race safely.
+func (r *Registry) AllocateProducer(name string) (ProducerIdentity, error) {
+	if name == "" {
+		id, err := r.nextProducerID()
+		if err != nil {
+			return ProducerIdentity{}, err
+		}
+		return ProducerIdentity{ID: id, Epoch: 0}, nil
+	}
+	for attempt := 0; attempt < 16; attempt++ {
+		v, ver, err := r.store.Get(producerNamePath(name))
+		if errors.Is(err, coord.ErrNotFound) {
+			id, err := r.nextProducerID()
+			if err != nil {
+				return ProducerIdentity{}, err
+			}
+			pi := ProducerIdentity{ID: id, Epoch: 0}
+			b, _ := json.Marshal(pi)
+			if _, err := r.store.Create(producerNamePath(name), b, coord.NoSession); err == nil {
+				return pi, nil
+			} else if !errors.Is(err, coord.ErrExists) {
+				return ProducerIdentity{}, err
+			}
+			continue // lost the create race: re-read and bump instead
+		}
+		if err != nil {
+			return ProducerIdentity{}, err
+		}
+		var pi ProducerIdentity
+		if err := json.Unmarshal(v, &pi); err != nil {
+			return ProducerIdentity{}, err
+		}
+		pi.Epoch++
+		b, _ := json.Marshal(pi)
+		if _, err := r.store.Set(producerNamePath(name), b, ver); err == nil {
+			return pi, nil
+		} else if !errors.Is(err, coord.ErrBadVersion) {
+			return ProducerIdentity{}, err
+		}
+	}
+	return ProducerIdentity{}, errors.New("cluster: producer registration contention")
+}
+
+// nextProducerID CAS-increments the shared id counter.
+func (r *Registry) nextProducerID() (int64, error) {
+	for attempt := 0; attempt < 64; attempt++ {
+		v, ver, err := r.store.Get(producerIDCounterPath)
+		if errors.Is(err, coord.ErrNotFound) {
+			if _, err := r.store.Create(producerIDCounterPath, []byte("1"), coord.NoSession); err == nil {
+				return 0, nil
+			} else if !errors.Is(err, coord.ErrExists) {
+				return 0, err
+			}
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		next, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: corrupt producer-id counter %q", v)
+		}
+		if _, err := r.store.Set(producerIDCounterPath, []byte(strconv.FormatInt(next+1, 10)), ver); err == nil {
+			return next, nil
+		} else if !errors.Is(err, coord.ErrBadVersion) {
+			return 0, err
+		}
+	}
+	return 0, errors.New("cluster: producer-id counter contention")
 }
 
 // ElectController attempts to become the controller, returning true on win.

@@ -117,7 +117,7 @@ func runVictimFailover(t *testing.T, pickVictim func(s *core.Stack) int32) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	violations := chaos.CheckAckedSurvival(scan, ledger, chaos.PreFaultMark)
+	violations := chaos.CheckAckedSurvival(scan, ledger)
 	violations = append(violations, chaos.CheckOffsetContiguity(scan)...)
 	for _, v := range violations {
 		t.Errorf("invariant violated: %s", v)

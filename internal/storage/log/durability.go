@@ -274,6 +274,7 @@ func (l *Log) syncNow() error {
 	a := l.active()
 	f := a.file
 	cp := checkpoint{base: a.baseOffset, pos: a.size, next: a.nextOffset}
+	psnap := l.snapshotProducersLocked()
 	gen := l.truncGen
 	l.dirty = false
 	l.unsyncedBytes = 0
@@ -292,6 +293,10 @@ func (l *Log) syncNow() error {
 		return err
 	}
 	l.persistCheckpoint(cp, gen)
+	// The producer snapshot rides alongside the checkpoint: it describes
+	// the same synced prefix, so recovery can seed the dedup table and
+	// rescan only the tail the checkpoint does not cover.
+	l.persistProducerSnapshot(psnap, gen)
 	l.mu.Lock()
 	if l.truncGen == gen {
 		l.advanceSyncedLocked(cp.next)

@@ -106,6 +106,10 @@ type Log struct {
 
 	appendsSinceFlush int64
 
+	// producers is the idempotent-produce dedup table, maintained from the
+	// producer stamps on appended batches (guarded by mu).
+	producers *producerState
+
 	// Durability state (guarded by mu unless noted).
 	syncedNext    int64        // offsets below this are durable
 	dirty         bool         // active segment has unsynced appends
@@ -136,6 +140,7 @@ func Open(dir string, cfg Config) (*Log, error) {
 	l := &Log{
 		dir:        dir,
 		cfg:        cfg,
+		producers:  newProducerState(),
 		syncKick:   make(chan struct{}, 1),
 		syncUrgent: make(chan struct{}, 1),
 		stopSync:   make(chan struct{}),
@@ -192,6 +197,17 @@ func Open(dir string, cfg Config) (*Log, error) {
 		}
 	}
 	l.syncedNext = l.active().nextOffset
+	// Rebuild the producer table. A valid snapshot (written alongside the
+	// checkpoint) seeds the state it covered; batch headers beyond its
+	// coverage — the recovered unsynced tail — are rescanned. Without a
+	// usable snapshot, or on compacted logs whose bytes are rewritten in
+	// place, the whole local log is header-walked.
+	rebuildFrom := l.startOffset
+	if ps, psNext, ok := readProducerSnapshotFile(dir); ok && !cfg.Compacted && psNext <= l.active().nextOffset {
+		l.producers = ps
+		rebuildFrom = psNext
+	}
+	l.rebuildProducersLocked(rebuildFrom)
 	l.startCommitter()
 	return l, nil
 }
@@ -343,6 +359,15 @@ func (l *Log) Append(records []record.Record) (int64, error) {
 // (through a pooled buffer) and appends them, assigning offsets from the
 // log end.
 func (l *Log) appendRecordsLocked(records []record.Record) (int64, error) {
+	return l.appendRecordsStampedLocked(records, record.NoProducerID, record.NoProducerEpoch, record.NoSequence)
+}
+
+// appendRecordsStampedLocked is appendRecordsLocked with an optional
+// producer identity: when pid is a real id each sub-batch is stamped with
+// it, sequences advancing record-by-record from baseSeq, so a split
+// oversized batch leaves the same dedup trail its unsplit original would
+// have (check() matches a retry against the contiguous span of entries).
+func (l *Log) appendRecordsStampedLocked(records []record.Record, pid int64, epoch int32, baseSeq int64) (int64, error) {
 	bp := encBufPool.Get().(*[]byte)
 	defer putEncBuf(bp)
 	base := l.active().nextOffset
@@ -359,6 +384,11 @@ func (l *Log) appendRecordsLocked(records []record.Record) (int64, error) {
 			end++
 		}
 		batch := record.EncodeBatchInto((*bp)[:0], next, records[start:end])
+		if pid >= 0 {
+			if err := record.StampProducer(batch, pid, epoch, baseSeq+int64(start)); err != nil {
+				return 0, err
+			}
+		}
 		*bp = batch[:0] // retain grown capacity for the next iteration
 		if err := l.appendLocked(batch); err != nil {
 			return 0, err
@@ -398,12 +428,29 @@ func (l *Log) AppendSealed(batch []byte) (int64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
+	if info.Idempotent() {
+		// Leader-side dedup: a retried batch is answered with its original
+		// offsets (as a *DupSequenceError, which the broker treats as
+		// success), an unexpected sequence or a fenced epoch is rejected.
+		dup, err := l.producers.check(info)
+		if err != nil {
+			return 0, err
+		}
+		if dup != nil {
+			return 0, dup
+		}
+	}
+	// Idempotent oversized batches are re-batched too, with the producer
+	// stamps carried onto every sub-batch: sequences advance with the
+	// records, so the dedup table records the same sequence span the unsplit
+	// original would have, and a retry of the whole batch still matches (the
+	// check above walks the contiguous split entries).
 	if codec == record.CodecNone && int64(info.Length) > l.cfg.MaxBatchBytes && info.RecordCount > 1 {
 		decoded, _, err := record.DecodeBatch(batch)
 		if err != nil {
 			return 0, err
 		}
-		return l.appendRecordsLocked(decoded.Records)
+		return l.appendRecordsStampedLocked(decoded.Records, info.ProducerID, info.ProducerEpoch, info.BaseSequence)
 	}
 	base := l.active().nextOffset
 	if err := record.RestampBase(batch, base); err != nil {
@@ -470,6 +517,10 @@ func (l *Log) appendLocked(batch []byte) error {
 	if err := a.append(batch, info, l.cfg.IndexIntervalBytes, l.cfg.Tracker); err != nil {
 		return err
 	}
+	// Every successful append feeds the producer table, whatever the path —
+	// leader produce, follower replication — so replicas converge on the
+	// same dedup state as the leader without any extra replication traffic.
+	l.producers.note(info)
 	l.noteDirtyLocked(int64(len(batch)))
 	if l.cfg.Durability.Policy == SyncBatch {
 		if err := l.syncFile(a.file); err != nil {
@@ -577,6 +628,11 @@ func (l *Log) Truncate(offset int64) error {
 	}
 	err := l.truncateLocked(offset)
 	l.truncGen++
+	// The truncated suffix may hold the producer table's newest entries;
+	// rebuild the table from the surviving log so a duplicate arriving
+	// after the cut is still judged against what the log actually holds.
+	l.producers.reset()
+	l.rebuildProducersLocked(l.startOffset)
 	if l.syncedNext > l.active().nextOffset {
 		l.syncedNext = l.active().nextOffset
 	}
@@ -596,6 +652,7 @@ func (l *Log) Truncate(offset int64) error {
 	// sync rewrites it.
 	l.cpMu.Lock()
 	os.Remove(filepath.Join(l.dir, checkpointFile))
+	os.Remove(filepath.Join(l.dir, producerSnapshotFile))
 	l.cpMu.Unlock()
 	return err
 }
@@ -672,6 +729,7 @@ func (l *Log) Flush() error {
 	a := l.active()
 	f := a.file
 	cp := checkpoint{base: a.baseOffset, pos: a.size, next: a.nextOffset}
+	psnap := l.snapshotProducersLocked()
 	gen := l.truncGen
 	l.dirty = false
 	l.unsyncedBytes = 0
@@ -681,6 +739,7 @@ func (l *Log) Flush() error {
 	}
 	if l.cfg.Durability.Policy != SyncNone {
 		l.persistCheckpoint(cp, gen)
+		l.persistProducerSnapshot(psnap, gen)
 	}
 	l.mu.Lock()
 	if l.truncGen == gen {
@@ -710,8 +769,10 @@ func (l *Log) Close() error {
 	}
 	a := l.active()
 	var cp *checkpoint
+	var psnap []byte
 	if first == nil && l.cfg.Durability.Policy != SyncNone {
 		cp = &checkpoint{base: a.baseOffset, pos: a.size, next: a.nextOffset}
+		psnap = l.snapshotProducersLocked()
 	}
 	l.advanceSyncedLocked(a.nextOffset)
 	l.failSyncWaitersLocked(ErrClosed)
@@ -724,6 +785,7 @@ func (l *Log) Close() error {
 	if cp != nil {
 		l.cpMu.Lock()
 		writeCheckpointFile(l.dir, *cp)
+		writeProducerSnapshotFile(l.dir, psnap)
 		l.cpMu.Unlock()
 	}
 	return first

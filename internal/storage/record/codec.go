@@ -70,7 +70,7 @@ func PeekCodec(buf []byte) (Codec, error) {
 	if len(buf) < batchHeaderLen {
 		return CodecNone, ErrShort
 	}
-	return Codec(int16(binary.BigEndian.Uint16(buf[16:])) & codecMask), nil
+	return Codec(int16(binary.BigEndian.Uint16(buf[attrsOffset:])) & codecMask), nil
 }
 
 // Compressor pools: gzip and flate writers are expensive to construct
@@ -223,9 +223,9 @@ func Compress(batch []byte, codec Codec) ([]byte, error) {
 	copy(out, batch[:batchHeaderLen])
 	copy(out[batchHeaderLen:], compressed)
 	binary.BigEndian.PutUint32(out[8:], uint32(len(out)-12))
-	attrs := binary.BigEndian.Uint16(out[16:])
+	attrs := binary.BigEndian.Uint16(out[attrsOffset:])
 	attrs = attrs&^codecMask | uint16(codec)&codecMask
-	binary.BigEndian.PutUint16(out[16:], attrs)
+	binary.BigEndian.PutUint16(out[attrsOffset:], attrs)
 	binary.BigEndian.PutUint32(out[crcOffset:], crc32.Checksum(out[crcDataOffset:], castagnoli))
 	return out, nil
 }
@@ -255,8 +255,8 @@ func Decompress(batch []byte) ([]byte, error) {
 	copy(out, batch[:batchHeaderLen])
 	copy(out[batchHeaderLen:], body)
 	binary.BigEndian.PutUint32(out[8:], uint32(len(out)-12))
-	attrs := binary.BigEndian.Uint16(out[16:]) &^ codecMask
-	binary.BigEndian.PutUint16(out[16:], attrs)
+	attrs := binary.BigEndian.Uint16(out[attrsOffset:]) &^ codecMask
+	binary.BigEndian.PutUint16(out[attrsOffset:], attrs)
 	binary.BigEndian.PutUint32(out[crcOffset:], crc32.Checksum(out[crcDataOffset:], castagnoli))
 	return out, nil
 }

@@ -142,7 +142,7 @@ func fixCRC(b []byte) {
 func TestCheckBatchUnknownCodec(t *testing.T) {
 	plain := EncodeBatch(0, testRecords(2))
 	bad := append([]byte(nil), plain...)
-	bad[17] |= 0x07 // codec 7: reserved
+	bad[attrsOffset+1] |= 0x07 // codec 7: reserved
 	fixCRC(bad)
 	if _, err := CheckBatch(bad); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("CheckBatch with unknown codec: %v", err)
@@ -242,7 +242,7 @@ func TestValidateBatchRejectsStructuralCorruption(t *testing.T) {
 		// but the structural walk must reject it — this is the batch that
 		// would otherwise be stored and wedge every reader.
 		bad := append([]byte(nil), sealed...)
-		bad[41] = 9 // recordCount low byte: 4 -> 9
+		bad[attrsOffset+25] = 9 // recordCount low byte: 4 -> 9
 		fixCRC(bad)
 		if _, err := CheckBatch(bad); err != nil {
 			t.Fatalf("%s: CheckBatch should pass on re-CRCed batch: %v", codec, err)

@@ -11,6 +11,23 @@ type BatchInfo struct {
 	MaxTimestamp int64
 	RecordCount  int
 	Length       int // total encoded length in bytes
+
+	// Producer identity stamped by an idempotent producer, or the -1
+	// sentinels (NoProducerID/NoProducerEpoch/NoSequence) for a plain
+	// produce. BaseSequence numbers the batch's first record within the
+	// producer's per-partition sequence space.
+	ProducerID    int64
+	ProducerEpoch int32
+	BaseSequence  int64
+}
+
+// Idempotent reports whether the batch carries a producer identity.
+func (i BatchInfo) Idempotent() bool { return i.ProducerID >= 0 }
+
+// LastSequence is the sequence number of the batch's final record
+// (BaseSequence + lastOffsetDelta). Meaningless unless Idempotent.
+func (i BatchInfo) LastSequence() int64 {
+	return i.BaseSequence + (i.LastOffset - i.BaseOffset)
 }
 
 // HeaderLen is the fixed size of a batch header; PeekBatchInfo needs only
@@ -29,18 +46,35 @@ func PeekBatchInfo(buf []byte) (BatchInfo, error) {
 		return BatchInfo{}, ErrCorrupt
 	}
 	base := int64(binary.BigEndian.Uint64(buf[0:]))
-	lastDelta := int32(binary.BigEndian.Uint32(buf[18:]))
-	maxTS := int64(binary.BigEndian.Uint64(buf[30:]))
-	count := int(int32(binary.BigEndian.Uint32(buf[38:])))
+	pid := int64(binary.BigEndian.Uint64(buf[producerOffset:]))
+	epoch := int32(binary.BigEndian.Uint32(buf[producerOffset+8:]))
+	baseSeq := int64(binary.BigEndian.Uint64(buf[producerOffset+12:]))
+	lastDelta := int32(binary.BigEndian.Uint32(buf[attrsOffset+2:]))
+	maxTS := int64(binary.BigEndian.Uint64(buf[attrsOffset+14:]))
+	count := int(int32(binary.BigEndian.Uint32(buf[attrsOffset+22:])))
 	if lastDelta < 0 || count < 0 {
 		return BatchInfo{}, ErrCorrupt
 	}
+	// The producer fields sit outside the CRC (so they can be stamped onto a
+	// sealed batch); reject values no stamper can produce, mirroring the
+	// recovery scan's base-offset regression check, so a torn prefix cannot
+	// poison the producer-state table. A stamped batch carries all three
+	// fields or none.
+	if pid < NoProducerID || epoch < NoProducerEpoch || baseSeq < NoSequence {
+		return BatchInfo{}, ErrCorrupt
+	}
+	if pid >= 0 != (epoch >= 0) || pid >= 0 != (baseSeq >= 0) {
+		return BatchInfo{}, ErrCorrupt
+	}
 	return BatchInfo{
-		BaseOffset:   base,
-		LastOffset:   base + int64(lastDelta),
-		MaxTimestamp: maxTS,
-		RecordCount:  count,
-		Length:       total,
+		BaseOffset:    base,
+		LastOffset:    base + int64(lastDelta),
+		MaxTimestamp:  maxTS,
+		RecordCount:   count,
+		Length:        total,
+		ProducerID:    pid,
+		ProducerEpoch: epoch,
+		BaseSequence:  baseSeq,
 	}, nil
 }
 
@@ -71,11 +105,12 @@ func EncodeBatchKeepOffsets(records []Record) []byte {
 
 	binary.BigEndian.PutUint64(buf[0:], uint64(base))
 	binary.BigEndian.PutUint32(buf[8:], uint32(size-12))
-	binary.BigEndian.PutUint16(buf[16:], 0)
-	binary.BigEndian.PutUint32(buf[18:], uint32(last-base))
-	binary.BigEndian.PutUint64(buf[22:], uint64(baseTS))
-	binary.BigEndian.PutUint64(buf[30:], uint64(maxTS))
-	binary.BigEndian.PutUint32(buf[38:], uint32(len(records)))
+	fillProducerSentinels(buf)
+	binary.BigEndian.PutUint16(buf[attrsOffset:], 0)
+	binary.BigEndian.PutUint32(buf[attrsOffset+2:], uint32(last-base))
+	binary.BigEndian.PutUint64(buf[attrsOffset+6:], uint64(baseTS))
+	binary.BigEndian.PutUint64(buf[attrsOffset+14:], uint64(maxTS))
+	binary.BigEndian.PutUint32(buf[attrsOffset+22:], uint32(len(records)))
 
 	pos := batchHeaderLen
 	for i := range records {

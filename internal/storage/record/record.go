@@ -74,13 +74,22 @@ func (b *Batch) MaxTimestamp() int64 {
 //
 //	baseOffset      int64
 //	batchLength     int32   // bytes following this field
+//	producerID      int64   // -1 when not an idempotent produce
+//	producerEpoch   int32   // -1 when not an idempotent produce
+//	baseSequence    int64   // -1 when not an idempotent produce
 //	crc             uint32  // CRC32-C of everything after this field
-//	attributes      int16   // reserved
+//	attributes      int16   // low bits: codec
 //	lastOffsetDelta int32
 //	baseTimestamp   int64
 //	maxTimestamp    int64
 //	recordCount     int32
 //	records         ...
+//
+// The producer id/epoch/sequence fields sit with the base offset OUTSIDE the
+// CRC-covered region: like the base offset (restamped by the leader), they
+// are stamped onto an already-sealed — possibly compressed — batch by the
+// producer's retry machinery without reopening the blob, so the stored bytes
+// stay byte-identical across replication and zero-copy fetch.
 //
 // Record layout:
 //
@@ -93,11 +102,24 @@ func (b *Batch) MaxTimestamp() int64 {
 //	headerCount     int32
 //	headers         { keyLen int32, key, valueLen int32, value }*
 const (
-	batchHeaderLen = 8 + 4 + 4 + 2 + 4 + 8 + 8 + 4
+	batchHeaderLen = 8 + 4 + 8 + 4 + 8 + 4 + 2 + 4 + 8 + 8 + 4
+	// producerOffset is the byte position of the producerID field.
+	producerOffset = 8 + 4
 	// crcOffset is the byte position of the CRC field within a batch.
-	crcOffset = 8 + 4
+	crcOffset = producerOffset + 8 + 4 + 8
 	// crcDataOffset is where the checksummed region begins.
 	crcDataOffset = crcOffset + 4
+	// attrsOffset is the byte position of the attributes field.
+	attrsOffset = crcDataOffset
+)
+
+// NoProducerID and NoProducerEpoch are the sentinel values carried by batches
+// produced without idempotence; NoSequence likewise marks an unstamped base
+// sequence. Brokers skip producer-state tracking for such batches.
+const (
+	NoProducerID    int64 = -1
+	NoProducerEpoch int32 = -1
+	NoSequence      int64 = -1
 )
 
 // EncodeBatch serialises records as a single batch starting at baseOffset.
@@ -138,12 +160,13 @@ func EncodeBatchInto(dst []byte, baseOffset int64, records []Record) []byte {
 
 	binary.BigEndian.PutUint64(buf[0:], uint64(baseOffset))
 	binary.BigEndian.PutUint32(buf[8:], uint32(size-12)) // bytes after batchLength
+	fillProducerSentinels(buf)
 	// crc filled in last
-	binary.BigEndian.PutUint16(buf[16:], 0) // attributes
-	binary.BigEndian.PutUint32(buf[18:], uint32(len(records)-1))
-	binary.BigEndian.PutUint64(buf[22:], uint64(baseTS))
-	binary.BigEndian.PutUint64(buf[30:], uint64(maxTS))
-	binary.BigEndian.PutUint32(buf[38:], uint32(len(records)))
+	binary.BigEndian.PutUint16(buf[attrsOffset:], 0) // attributes
+	binary.BigEndian.PutUint32(buf[attrsOffset+2:], uint32(len(records)-1))
+	binary.BigEndian.PutUint64(buf[attrsOffset+6:], uint64(baseTS))
+	binary.BigEndian.PutUint64(buf[attrsOffset+14:], uint64(maxTS))
+	binary.BigEndian.PutUint32(buf[attrsOffset+22:], uint32(len(records)))
 
 	pos := batchHeaderLen
 	for i := range records {
@@ -214,6 +237,31 @@ func PeekBaseOffset(buf []byte) (int64, error) {
 	return int64(binary.BigEndian.Uint64(buf)), nil
 }
 
+// fillProducerSentinels writes the -1 sentinels (all 0xFF bytes) over the
+// 20-byte producer id/epoch/sequence region of a batch header.
+func fillProducerSentinels(buf []byte) {
+	for i := producerOffset; i < crcOffset; i++ {
+		buf[i] = 0xFF
+	}
+}
+
+// StampProducer writes the producer id, epoch and base sequence onto the
+// sealed batch at the start of buf, in place. Like RestampBase, this works on
+// an already-sealed (possibly compressed) batch: the producer fields live
+// outside the CRC-covered region, so the blob's checksum and stored bytes are
+// untouched. The producer stamps a batch once, immediately before its first
+// send; retries resend the identical bytes, which is what lets the broker
+// recognise them.
+func StampProducer(buf []byte, id int64, epoch int32, baseSeq int64) error {
+	if len(buf) < producerOffset+20 {
+		return ErrShort
+	}
+	binary.BigEndian.PutUint64(buf[producerOffset:], uint64(id))
+	binary.BigEndian.PutUint32(buf[producerOffset+8:], uint32(epoch))
+	binary.BigEndian.PutUint64(buf[producerOffset+12:], uint64(baseSeq))
+	return nil
+}
+
 // DecodeBatch decodes and CRC-verifies the batch at the start of buf,
 // returning the batch and the number of bytes consumed. Compressed batches
 // (see Codec) are inflated transparently: the CRC is verified over the
@@ -229,12 +277,12 @@ func DecodeBatch(buf []byte) (Batch, int, error) {
 		return Batch{}, 0, ErrCorrupt
 	}
 	baseOffset := int64(binary.BigEndian.Uint64(b[0:]))
-	baseTS := int64(binary.BigEndian.Uint64(b[22:]))
-	count := int(int32(binary.BigEndian.Uint32(b[38:])))
+	baseTS := int64(binary.BigEndian.Uint64(b[attrsOffset+6:]))
+	count := int(int32(binary.BigEndian.Uint32(b[attrsOffset+22:])))
 	if count < 0 {
 		return Batch{}, 0, ErrCorrupt
 	}
-	codec := Codec(int16(binary.BigEndian.Uint16(b[16:])) & codecMask)
+	codec := Codec(int16(binary.BigEndian.Uint16(b[attrsOffset:])) & codecMask)
 	body := b[batchHeaderLen:]
 	if codec != CodecNone {
 		body, err = decompressBody(codec, body)

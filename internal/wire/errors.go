@@ -41,6 +41,20 @@ const (
 	// watermark beyond the bound the read requested. Retriable: the
 	// materializer catches up continuously.
 	ErrTableStale ErrorCode = 22
+	// ErrDuplicateSequence means the batch's (producerID, epoch, sequence)
+	// was already appended: the broker deduplicated a retry and returned
+	// the original base offset. Success-equivalent, never retried — the
+	// records are in the log exactly once.
+	ErrDuplicateSequence ErrorCode = 23
+	// ErrOutOfOrderSequence means the batch's base sequence is neither the
+	// next expected one nor a recent duplicate: an earlier batch from this
+	// producer was lost, or the retry fell out of the broker's bounded
+	// dedup window. Terminal — blindly re-sending risks gaps or duplicates,
+	// so the producer must surface the error.
+	ErrOutOfOrderSequence ErrorCode = 24
+	// ErrFencedEpoch means a newer instance of this producer id registered
+	// a higher epoch; this zombie's appends are rejected. Terminal.
+	ErrFencedEpoch ErrorCode = 25
 )
 
 var errorNames = map[ErrorCode]string{
@@ -67,6 +81,9 @@ var errorNames = map[ErrorCode]string{
 	ErrStaleLeaderEpoch:        "stale leader epoch",
 	ErrTableNotServed:          "table not served by this broker",
 	ErrTableStale:              "table read exceeds staleness bound",
+	ErrDuplicateSequence:       "duplicate producer sequence (already appended)",
+	ErrOutOfOrderSequence:      "out of order producer sequence",
+	ErrFencedEpoch:             "producer epoch fenced by newer instance",
 }
 
 // String returns a human-readable name for the code.
@@ -121,5 +138,10 @@ func (e ErrorCode) Retriable() bool {
 		ErrUnknownTopicOrPartition:
 		return true
 	}
+	// The idempotent-produce codes are deliberately NOT retriable:
+	// ErrDuplicateSequence is success (the producer treats it as an ack for
+	// the original offset), while ErrOutOfOrderSequence and ErrFencedEpoch
+	// are terminal — re-sending cannot fix a lost predecessor batch or a
+	// fenced zombie, it can only create gaps or duplicates.
 	return false
 }

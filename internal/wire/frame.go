@@ -128,6 +128,8 @@ func NewRequestBody(api APIKey) (Message, bool) {
 		return &TableGetRequest{}, true
 	case APITableRange:
 		return &TableRangeRequest{}, true
+	case APIInitProducer:
+		return &InitProducerRequest{}, true
 	}
 	return nil, false
 }

@@ -38,6 +38,11 @@ const (
 	// compacted-feed partitions it leads.
 	APITableGet   APIKey = 44
 	APITableRange APIKey = 45
+	// APIInitProducer allocates an idempotent-producer identity: a cluster
+	// unique producerID plus an epoch. Named producers re-registering bump
+	// the epoch so earlier instances (zombies) are fenced; anonymous
+	// producers get a fresh id at epoch 0.
+	APIInitProducer APIKey = 46
 )
 
 // Message is any protocol body that can encode and decode itself.
@@ -971,6 +976,45 @@ func (m *OffsetQueryResponse) Decode(r *Reader) {
 	m.Found = r.Bool()
 	m.Offset = r.Int64()
 	m.Metadata = r.String()
+}
+
+// ------------------------------------------------- Idempotent producers
+
+// InitProducerRequest asks any broker for a producer identity. Name is
+// optional: a named (transactional-style) producer that re-registers under
+// the same name receives the same producerID with a bumped epoch, fencing
+// its earlier instance; an anonymous producer (empty name) receives a fresh
+// id at epoch 0.
+type InitProducerRequest struct {
+	Name string
+}
+
+// Encode implements Message.
+func (m *InitProducerRequest) Encode(w *Writer) { w.String(m.Name) }
+
+// Decode implements Message.
+func (m *InitProducerRequest) Decode(r *Reader) { m.Name = r.String() }
+
+// InitProducerResponse carries the allocated identity. The producer stamps
+// (ProducerID, Epoch, sequence) onto every sealed batch it sends.
+type InitProducerResponse struct {
+	Err        ErrorCode
+	ProducerID int64
+	Epoch      int32
+}
+
+// Encode implements Message.
+func (m *InitProducerResponse) Encode(w *Writer) {
+	w.Int16(int16(m.Err))
+	w.Int64(m.ProducerID)
+	w.Int32(m.Epoch)
+}
+
+// Decode implements Message.
+func (m *InitProducerResponse) Decode(r *Reader) {
+	m.Err = ErrorCode(r.Int16())
+	m.ProducerID = r.Int64()
+	m.Epoch = r.Int32()
 }
 
 // --------------------------------------------------------- Group APIs

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -358,7 +359,7 @@ func TestNewRequestBodyCoversAllAPIs(t *testing.T) {
 		APIDeleteTopics, APIOffsetCommit, APIOffsetFetch, APIFindCoordinator,
 		APIJoinGroup, APIHeartbeat, APILeaveGroup, APISyncGroup, APIOffsetQuery,
 		APITierStatus, APIDescribeQuotas, APIAlterQuotas, APITableGet,
-		APITableRange,
+		APITableRange, APIInitProducer,
 	} {
 		if _, ok := NewRequestBody(api); !ok {
 			t.Errorf("NewRequestBody(%d) not implemented", api)
@@ -388,6 +389,42 @@ func TestErrorCodes(t *testing.T) {
 	}
 	if ErrorCode(999).String() == "" {
 		t.Fatal("unknown code should still render")
+	}
+}
+
+// TestIdempotentProduceCodeClassification pins the client-visible contract
+// of the idempotent-produce codes, through the same Code() unwrapping the
+// client applies to wrapped errors: ErrDuplicateSequence is
+// success-equivalent (the retry's records are already in the log — the
+// producer takes the returned base offset as its ack and MUST NOT resend),
+// while ErrOutOfOrderSequence and ErrFencedEpoch are terminal — resending
+// cannot recover a lost predecessor batch or un-fence a zombie epoch.
+func TestIdempotentProduceCodeClassification(t *testing.T) {
+	cases := []struct {
+		code      ErrorCode
+		retriable bool
+		terminal  bool // delivery failed for good; the producer must re-init
+	}{
+		{ErrDuplicateSequence, false, false}, // success-equivalent, not a failure at all
+		{ErrOutOfOrderSequence, false, true},
+		{ErrFencedEpoch, false, true},
+		// Contrast rows: the codes the produce retry loop does spin on.
+		{ErrNotLeaderForPartition, true, false},
+		{ErrLeaderNotAvailable, true, false},
+	}
+	for _, tc := range cases {
+		if got := tc.code.Retriable(); got != tc.retriable {
+			t.Errorf("%v.Retriable() = %v, want %v", tc.code, got, tc.retriable)
+		}
+		// The client sees these codes through wrapped errors; Code must
+		// recover them through %w chains.
+		wrapped := fmt.Errorf("client: produce t/0: %w", tc.code.Err())
+		if got := Code(wrapped); got != tc.code {
+			t.Errorf("Code(wrapped %v) = %v", tc.code, got)
+		}
+		if tc.terminal && (tc.code.Retriable() || tc.code == ErrNone) {
+			t.Errorf("%v classified terminal but retriable", tc.code)
+		}
 	}
 }
 
