@@ -1,5 +1,5 @@
 // Benchmarks wrapping the experiment harness: one benchmark per experiment
-// (E1–E20, E22, E24), so `go test -bench=.` regenerates every table at quick scale.
+// (E1–E20, E22, E24, E25), so `go test -bench=.` regenerates every table at quick scale.
 // Run cmd/liquid-bench for the full-scale tables and the machine-readable
 // BENCH_<exp>.json results.
 package liquid_test
@@ -45,3 +45,6 @@ func BenchmarkE19NoisyNeighbor(b *testing.B)       { runExperiment(b, bench.E19N
 func BenchmarkE20Durability(b *testing.B)          { runExperiment(b, bench.E20Durability) }
 func BenchmarkE22TableReads(b *testing.B)          { runExperiment(b, bench.E22TableReads) }
 func BenchmarkE24IdempotenceOverhead(b *testing.B) { runExperiment(b, bench.E24IdempotenceOverhead) }
+func BenchmarkE25ObservabilityOverhead(b *testing.B) {
+	runExperiment(b, bench.E25ObservabilityOverhead)
+}

@@ -18,13 +18,18 @@
 //	liquid-admin -bootstrap host:port quota ls
 //	liquid-admin -bootstrap host:port quota rm -principal tenant-a
 //	liquid-admin -bootstrap host:port checkpoint -group job-x -topic events -partition 0 -key version -value v1
+//	liquid-admin -bootstrap host:port lag job-x
+//	liquid-admin -bootstrap host:port metrics 1
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 
 	liquid "repro"
@@ -35,7 +40,7 @@ func main() {
 	bootstrap := flag.String("bootstrap", "127.0.0.1:9092", "comma-separated broker addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("liquid-admin: need a subcommand: create | delete | describe | offsets | tier | table | quota | checkpoint")
+		log.Fatal("liquid-admin: need a subcommand: create | delete | describe | offsets | tier | table | quota | checkpoint | lag | metrics")
 	}
 	cli, err := liquid.NewClient(liquid.ClientConfig{
 		Bootstrap: strings.Split(*bootstrap, ","),
@@ -64,6 +69,10 @@ func main() {
 		runQuota(cli, args)
 	case "checkpoint":
 		runCheckpoint(cli, args)
+	case "lag":
+		runLag(cli, args)
+	case "metrics":
+		runMetrics(cli, args)
 	default:
 		log.Fatalf("liquid-admin: unknown subcommand %q", cmd)
 	}
@@ -382,4 +391,75 @@ func runCheckpoint(cli *liquid.Client, args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("%s %s/%d: offset=%d for %s=%s\n", *group, *topic, *partition, off, *key, *value)
+}
+
+// runLag handles `lag <group>`: the group's committed offset vs the latest
+// offset on every partition it has checkpointed, via the offset-fetch and
+// list-offsets APIs (no ops server needed).
+func runLag(cli *liquid.Client, args []string) {
+	if len(args) < 1 {
+		log.Fatal("lag: usage: lag <group>")
+	}
+	group := args[0]
+	entries, err := cli.GroupLag(group)
+	if err != nil {
+		log.Fatalf("lag: %v", err)
+	}
+	if len(entries) == 0 {
+		fmt.Printf("group %q has no committed offsets\n", group)
+		return
+	}
+	fmt.Printf("%s:\n", group)
+	fmt.Printf("  %-24s %-5s %-12s %-12s %s\n", "topic", "part", "committed", "end", "lag")
+	var total int64
+	for _, e := range entries {
+		fmt.Printf("  %-24s %-5d %-12d %-12d %d\n", e.Topic, e.Partition, e.Committed, e.HighWatermark, e.Lag)
+		total += e.Lag
+	}
+	fmt.Printf("  total lag: %d\n", total)
+}
+
+// runMetrics handles `metrics <broker-id>`: resolves the broker's
+// advertised ops address from cluster metadata and dumps its /metrics
+// exposition. With no argument it lists every broker's ops address.
+func runMetrics(cli *liquid.Client, args []string) {
+	brokers, err := cli.Brokers()
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	if len(args) < 1 {
+		for _, b := range brokers {
+			addr := b.OpsAddr
+			if addr == "" {
+				addr = "(no ops server)"
+			}
+			fmt.Printf("broker %d: %s\n", b.ID, addr)
+		}
+		return
+	}
+	id, err := strconv.Atoi(args[0])
+	if err != nil {
+		log.Fatalf("metrics: broker id must be an integer: %v", err)
+	}
+	var opsAddr string
+	for _, b := range brokers {
+		if b.ID == int32(id) {
+			opsAddr = b.OpsAddr
+			break
+		}
+	}
+	if opsAddr == "" {
+		log.Fatalf("metrics: broker %d not found or has no ops server", id)
+	}
+	resp, err := http.Get("http://" + opsAddr + "/metrics")
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("metrics: %s returned %s", opsAddr, resp.Status)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -28,6 +28,7 @@ func main() {
 	dataDir := flag.String("data", "", "data directory (default: temp, removed on exit)")
 	retention := flag.Duration("retention-interval", 30*time.Second, "how often log retention runs")
 	compaction := flag.Duration("compaction-interval", time.Minute, "how often compacted topics are cleaned")
+	opsAddr := flag.String("ops", "", "per-broker ops HTTP listen address (/metrics, /healthz, /status, pprof); use 127.0.0.1:0 for ephemeral ports, empty disables")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 		DataDir:            *dataDir,
 		RetentionInterval:  *retention,
 		CompactionInterval: *compaction,
+		OpsAddr:            *opsAddr,
 		Logger:             logger,
 	})
 	if err != nil {
@@ -52,6 +54,9 @@ func main() {
 	fmt.Printf("liquid cluster up: %d broker(s)\n", *brokers)
 	fmt.Printf("bootstrap: %s\n", strings.Join(stack.Addrs(), ","))
 	fmt.Printf("data: %s\n", stack.DataDir())
+	if *opsAddr != "" {
+		fmt.Printf("ops: %s\n", strings.Join(stack.OpsAddrs(), ","))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -217,6 +217,7 @@ func All(scale Scale) []Table {
 		E20Durability(scale),
 		E22TableReads(scale),
 		E24IdempotenceOverhead(scale),
+		E25ObservabilityOverhead(scale),
 	}
 }
 
@@ -245,6 +246,7 @@ func ByID(id string) (func(Scale) Table, bool) {
 		"E20": E20Durability,
 		"E22": E22TableReads,
 		"E24": E24IdempotenceOverhead,
+		"E25": E25ObservabilityOverhead,
 	}
 	f, ok := m[strings.ToUpper(id)]
 	return f, ok

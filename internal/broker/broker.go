@@ -16,6 +16,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/dfs"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/storage/cache"
 	"repro/internal/storage/compact"
 	"repro/internal/storage/log"
@@ -122,6 +123,17 @@ type Config struct {
 	Logger *slog.Logger
 	// Metrics receives broker counters; nil creates a private registry.
 	Metrics *metrics.Registry
+	// OpsAddr, when non-empty, binds the broker's ops HTTP server
+	// (internal/obs): /metrics, /healthz, /status, /debug/pprof/* and
+	// /debug/slowlog. "host:0" picks an ephemeral port; the bound address
+	// is advertised in cluster metadata so admin tools can find it.
+	// Empty disables the server.
+	OpsAddr string
+	// DisableInstrumentation turns off the per-request metric families,
+	// the slow log, WAL metrics and the gauge-exporter tick. It exists for
+	// one purpose: the E25 benchmark's baseline, which measures the cost
+	// of the instrumentation itself.
+	DisableInstrumentation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +213,9 @@ type Broker struct {
 
 	tierCache *tier.Cache // shared cold-reader LRU (nil without TierFS)
 
+	met *brokerMetrics // request-path families + slow log (nil when disabled)
+	ops *obs.Server    // ops HTTP endpoint (nil without OpsAddr)
+
 	stopCh      chan struct{}
 	wg          sync.WaitGroup
 	watchCancel func()
@@ -241,11 +256,35 @@ func Start(store *coord.Store, cfg Config) (*Broker, error) {
 	if cfg.TierFS != nil {
 		b.tierCache = tier.NewCache(cfg.TierCacheBytes, cfg.Metrics)
 	}
+	if !cfg.DisableInstrumentation {
+		b.met = newBrokerMetrics(cfg.Metrics, cfg.ID)
+	}
+	if cfg.OpsAddr != "" {
+		opsCfg := obs.Config{
+			Addr:     cfg.OpsAddr,
+			Registry: cfg.Metrics,
+			Health:   b.healthChecks(),
+			Status:   func() any { return b.statusReportNow() },
+			Logger:   b.logger,
+		}
+		if b.met != nil {
+			opsCfg.SlowLog = b.met.slowlog
+		}
+		srv, err := obs.Start(opsCfg)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("broker: ops server: %w", err)
+		}
+		b.ops = srv
+	}
 
 	b.session = store.CreateSession(cfg.SessionTimeout)
-	info := cluster.BrokerInfo{ID: cfg.ID, Host: cfg.Host, Port: cfg.Port}
+	info := cluster.BrokerInfo{ID: cfg.ID, Host: cfg.Host, Port: cfg.Port, OpsAddr: b.OpsAddr()}
 	if err := b.reg.RegisterBroker(b.session, info); err != nil {
 		ln.Close()
+		if b.ops != nil {
+			b.ops.Close()
+		}
 		return nil, fmt.Errorf("broker: register: %w", err)
 	}
 
@@ -277,6 +316,15 @@ func (b *Broker) Addr() string {
 
 // ID returns the broker id.
 func (b *Broker) ID() int32 { return b.cfg.ID }
+
+// OpsAddr returns the bound address of the ops HTTP server, or "" when the
+// broker runs without one.
+func (b *Broker) OpsAddr() string {
+	if b.ops == nil {
+		return ""
+	}
+	return b.ops.Addr()
+}
 
 // Metrics returns the broker's metrics registry.
 func (b *Broker) Metrics() *metrics.Registry { return b.cfg.Metrics }
@@ -347,6 +395,9 @@ func (b *Broker) logConfigFor(tc cluster.TopicConfig) log.Config {
 		cfg.Tracker = cache.New(*b.cfg.PageCache)
 	}
 	cfg.Durability = b.cfg.Durability
+	if !b.cfg.DisableInstrumentation {
+		cfg.Metrics = b.cfg.Metrics
+	}
 	return cfg
 }
 
@@ -605,6 +656,15 @@ func (b *Broker) housekeeping() {
 	groups := time.NewTicker(250 * time.Millisecond)
 	defer groups.Stop()
 
+	// The gauge exporter walks every replica and checkpoint stream; 1s is
+	// frequent enough for dashboards and cheap enough to never matter.
+	var opsC <-chan time.Time
+	if b.met != nil {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		opsC = t.C
+	}
+
 	var retentionC, compactionC <-chan time.Time
 	if b.cfg.RetentionInterval > 0 {
 		t := time.NewTicker(b.cfg.RetentionInterval)
@@ -628,6 +688,8 @@ func (b *Broker) housekeeping() {
 			b.shrinkLaggingISRs()
 		case <-groups.C:
 			b.groups.tick(b.cfg.Now())
+		case <-opsC:
+			b.opsTick(b.cfg.Now())
 		case <-retentionC:
 			b.enforceRetention()
 		case <-compactionC:
@@ -793,6 +855,9 @@ func (b *Broker) shutdown(graceful bool) {
 
 	close(b.stopCh)
 	b.listener.Close()
+	if b.ops != nil {
+		b.ops.Close()
+	}
 	// Drop every open connection so per-connection goroutines unblock;
 	// a crashed machine's sockets die with it.
 	b.mu.Lock()
@@ -815,6 +880,11 @@ func (b *Broker) shutdown(graceful bool) {
 		b.store.CloseSession(b.session)
 	}
 	b.wg.Wait()
+	// Past wg.Wait no opsTick can run again, so the purge of this broker's
+	// gauge tuples from the (possibly shared) registry is final.
+	if b.met != nil {
+		b.met.purge()
+	}
 	// Close materializers before their replicas so run loops see a clean
 	// stop instead of reads against closed logs.
 	b.detachAllTables()

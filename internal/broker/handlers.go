@@ -73,7 +73,18 @@ func (b *Broker) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		// Instrumentation wraps dispatch only: handler time including any
+		// long-poll wait, excluding frame I/O. The timestamp is taken lazily
+		// so the disabled path (E25 baseline) costs a nil check and nothing
+		// else.
+		var start time.Time
+		if b.met != nil {
+			start = time.Now()
+		}
 		resp, reply, delay := b.dispatch(hdr, body)
+		if b.met != nil {
+			b.met.noteRequest(hdr.API, hdr.ClientID, len(payload), resp, time.Since(start))
+		}
 		if !reply {
 			// Fire-and-forget (acks=0) has no response frame to carry a
 			// ThrottleTimeMs verdict, so the quota penalty is applied as
@@ -456,9 +467,15 @@ func (b *Broker) collectFetch(req *wire.FetchRequest, isFollower, zeroCopy bool)
 				rp.RecordsRange = rng
 				total += int(rng.Len())
 				b.cfg.Metrics.Counter("broker.fetch.splice.bytes").Add(rng.Len())
+				if b.met != nil {
+					b.met.fetchServed.With("splice").Inc()
+				}
 			} else {
 				rp.Records = data
 				total += len(data)
+				if b.met != nil && len(data) > 0 {
+					b.met.fetchServed.With("buffered").Inc()
+				}
 			}
 			if code != wire.ErrNone {
 				hasError = true
@@ -593,7 +610,7 @@ func (b *Broker) handleTierStatus(req *wire.TierStatusRequest) *wire.TierStatusR
 func (b *Broker) handleMetadata(req *wire.MetadataRequest) *wire.MetadataResponse {
 	resp := &wire.MetadataResponse{ControllerID: b.reg.ControllerID()}
 	for _, info := range b.reg.LiveBrokers() {
-		resp.Brokers = append(resp.Brokers, wire.BrokerMeta{ID: info.ID, Host: info.Host, Port: info.Port})
+		resp.Brokers = append(resp.Brokers, wire.BrokerMeta{ID: info.ID, Host: info.Host, Port: info.Port, OpsAddr: info.OpsAddr})
 	}
 	names := req.Topics
 	if len(names) == 0 {

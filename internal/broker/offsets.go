@@ -3,6 +3,7 @@ package broker
 import (
 	"encoding/json"
 	"hash/fnv"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -220,4 +221,71 @@ func (o *offsetManager) query(req *wire.OffsetQueryRequest) *wire.OffsetQueryRes
 		}
 	}
 	return &wire.OffsetQueryResponse{}
+}
+
+// GroupLag is one consumer group's committed position on one partition
+// measured against the partition's high watermark. HighWatermark and Lag
+// are -1 when this broker does not host the partition (the coordinator for
+// a group need not host the topics the group consumes); the gauge exporter
+// skips those tuples and the broker that leads the partition exports them.
+type GroupLag struct {
+	Group         string `json:"group"`
+	Topic         string `json:"topic"`
+	Partition     int32  `json:"partition"`
+	Committed     int64  `json:"committed"`
+	HighWatermark int64  `json:"highWatermark"`
+	Lag           int64  `json:"lag"`
+}
+
+// lagSnapshot computes lag for every checkpoint stream this broker
+// coordinates. Committed offsets are copied under o.mu first and high
+// watermarks resolved after it is released: getReplica takes b.mu, and the
+// two locks are never nested anywhere in the broker.
+func (o *offsetManager) lagSnapshot() []GroupLag {
+	type stream struct {
+		k         offsetKey
+		committed int64
+	}
+	o.mu.Lock()
+	streams := make([]stream, 0, 16)
+	for _, state := range o.byPart {
+		for k, hist := range state {
+			if len(hist) == 0 {
+				continue
+			}
+			streams = append(streams, stream{k: k, committed: hist[len(hist)-1].Offset})
+		}
+	}
+	o.mu.Unlock()
+
+	out := make([]GroupLag, 0, len(streams))
+	for _, s := range streams {
+		gl := GroupLag{
+			Group:         s.k.group,
+			Topic:         s.k.topic,
+			Partition:     s.k.partition,
+			Committed:     s.committed,
+			HighWatermark: -1,
+			Lag:           -1,
+		}
+		if r := o.b.getReplica(tp{topic: s.k.topic, partition: s.k.partition}); r != nil {
+			hw := r.highWatermark()
+			gl.HighWatermark = hw
+			if gl.Lag = hw - s.committed; gl.Lag < 0 {
+				gl.Lag = 0
+			}
+		}
+		out = append(out, gl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		if a.Topic != b.Topic {
+			return a.Topic < b.Topic
+		}
+		return a.Partition < b.Partition
+	})
+	return out
 }

@@ -400,6 +400,46 @@ func (r *replica) laggingFollowers(maxLag time.Duration, now time.Time) []int32 
 	return out
 }
 
+// followerLag is one follower's replication progress behind this leader,
+// in offsets (LEO gap) and wall time (how long since it was last caught
+// up). Exported on the ops plane as broker.replica.lag.{offsets,ms}.
+type followerLag struct {
+	id      int32
+	offsets int64
+	ms      int64
+}
+
+// followerLags snapshots per-follower replication lag; nil unless leading.
+// Every assigned follower with fetch state is reported, in or out of the
+// ISR — an out-of-ISR follower's growing lag is exactly what an operator
+// needs to see.
+func (r *replica) followerLags(now time.Time) []followerLag {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.isLeader {
+		return nil
+	}
+	leo := r.log.NextOffset()
+	out := make([]followerLag, 0, len(r.followers))
+	for id, f := range r.followers {
+		if id == r.brokerID {
+			continue
+		}
+		lag := leo - f.leo
+		if lag < 0 {
+			lag = 0
+		}
+		var ms int64
+		if lag > 0 {
+			if ms = now.Sub(f.lastCaughtUp).Milliseconds(); ms < 0 {
+				ms = 0
+			}
+		}
+		out = append(out, followerLag{id: id, offsets: lag, ms: ms})
+	}
+	return out
+}
+
 // setISR installs a new ISR (already committed to the coordination
 // service) and re-evaluates the high watermark.
 func (r *replica) setISR(isr []int32, stateVersion int64) {

@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// opsGet fetches one ops-endpoint body, tolerating dead brokers (the
+// caller decides whether an error is fatal).
+func opsGet(addr, path string) (int, []byte, error) {
+	cli := http.Client{Timeout: 5 * time.Second}
+	resp, err := cli.Get("http://" + addr + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+// scrapeGroupLag returns every broker.group.lag sample for the group
+// across all live ops endpoints.
+func scrapeGroupLag(opsAddrs []string, group string) ([]obs.Sample, error) {
+	var out []obs.Sample
+	for _, addr := range opsAddrs {
+		if addr == "" {
+			continue
+		}
+		code, body, err := opsGet(addr, "/metrics")
+		if err != nil {
+			continue // dead broker; its peers answer
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("%s /metrics: status %d", addr, code)
+		}
+		samples, err := obs.LintExposition(body)
+		if err != nil {
+			return nil, fmt.Errorf("%s /metrics lint: %w", addr, err)
+		}
+		for _, s := range samples {
+			if s.Name == "broker_group_lag" && s.Label("group") == group {
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
+}
+
+// TestChaosSmokeOpsFailover drives the ops plane through a leader kill:
+// every broker's /metrics must stay lint-clean (unique series, typed
+// families, monotone histogram buckets) before, during and after the
+// fault, /healthz and /status and /debug/pprof/profile must answer on live
+// brokers, the consumer-lag gauges must appear while a group is behind,
+// and — once the group commits up to the high watermark after recovery —
+// converge back to zero.
+func TestChaosSmokeOpsFailover(t *testing.T) {
+	seed := *chaosSeed
+	sc, err := StartScenario(ScenarioConfig{
+		Name:    "ops-failover",
+		Seed:    seed,
+		OpsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		failSeed(t, seed, "start: %v", err)
+	}
+	defer sc.Close()
+
+	opsAddrs := sc.Stack.OpsAddrs()
+	for i, addr := range opsAddrs {
+		if addr == "" {
+			failSeed(t, seed, "broker %d has no ops server", i+1)
+		}
+	}
+
+	sc.StartProducers()
+	if err := sc.AwaitAcked(100, 20*time.Second); err != nil {
+		failSeed(t, seed, "%v", err)
+	}
+
+	// A group committed at offset 0 is maximally behind: its lag gauge
+	// must appear on the coordinator within a couple of exporter ticks.
+	const group = "ops-lag-group"
+	cli := sc.Stack.Client()
+	if err := cli.CommitOffsets(group, map[string]map[int32]int64{sc.Cfg.Topic: {0: 0}}, nil); err != nil {
+		failSeed(t, seed, "commit: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		lags, err := scrapeGroupLag(opsAddrs, group)
+		if err != nil {
+			failSeed(t, seed, "%v", err)
+		}
+		var behind bool
+		for _, s := range lags {
+			if s.Value > 0 {
+				behind = true
+			}
+		}
+		if behind {
+			break
+		}
+		if time.Now().After(deadline) {
+			failSeed(t, seed, "group lag gauge never appeared for %s", group)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The client-side view (what `liquid-admin lag` prints) must agree
+	// that the group is behind.
+	entries, err := cli.GroupLag(group)
+	if err != nil {
+		failSeed(t, seed, "GroupLag: %v", err)
+	}
+	if len(entries) == 0 {
+		failSeed(t, seed, "client GroupLag returned nothing for %s", group)
+	}
+
+	// Every live broker answers the full ops surface.
+	for _, addr := range opsAddrs {
+		if code, _, err := opsGet(addr, "/healthz"); err != nil || code != http.StatusOK {
+			failSeed(t, seed, "%s /healthz: code=%d err=%v", addr, code, err)
+		}
+		code, body, err := opsGet(addr, "/status")
+		if err != nil || code != http.StatusOK {
+			failSeed(t, seed, "%s /status: code=%d err=%v", addr, code, err)
+		}
+		var st struct {
+			Broker     int32 `json:"broker"`
+			Partitions []struct {
+				Topic string `json:"topic"`
+			} `json:"partitions"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			failSeed(t, seed, "%s /status JSON: %v", addr, err)
+		}
+		if len(st.Partitions) == 0 {
+			failSeed(t, seed, "%s /status reports no partitions", addr)
+		}
+		if code, body, err := opsGet(addr, "/debug/pprof/profile?seconds=1"); err != nil || code != http.StatusOK || len(body) == 0 {
+			failSeed(t, seed, "%s pprof profile: code=%d len=%d err=%v", addr, code, len(body), err)
+		}
+	}
+
+	// The fault: kill the partition leader mid-workload. The dead
+	// broker's ops server dies with it; the survivors' must stay clean.
+	sc.MarkPreFault()
+	old, err := sc.KillLeader(0)
+	if err != nil {
+		failSeed(t, seed, "kill leader: %v", err)
+	}
+	if _, err := sc.AwaitLeaderChange(0, old, 20*time.Second); err != nil {
+		failSeed(t, seed, "%v", err)
+	}
+	if err := sc.AwaitAcked(sc.Ledger.Len()+100, 30*time.Second); err != nil {
+		failSeed(t, seed, "post-failover progress: %v", err)
+	}
+	if _, err := scrapeGroupLag(opsAddrs, group); err != nil {
+		failSeed(t, seed, "post-failover scrape: %v", err)
+	}
+
+	// Standard invariants (acked survival, contiguity, HW monotonicity,
+	// epoch safety, counter conservation) over the whole run.
+	mustFinish(t, sc)
+
+	// Convergence: with the workload stopped, committing up to the high
+	// watermark must drive every exported lag tuple for the group to 0.
+	hw, err := cli.ListOffset(sc.Cfg.Topic, 0, wire.TimestampLatest)
+	if err != nil {
+		failSeed(t, seed, "list offset: %v", err)
+	}
+	if err := cli.CommitOffsets(group, map[string]map[int32]int64{sc.Cfg.Topic: {0: hw}}, nil); err != nil {
+		failSeed(t, seed, "post-recovery commit: %v", err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		lags, err := scrapeGroupLag(opsAddrs, group)
+		if err != nil {
+			failSeed(t, seed, "%v", err)
+		}
+		converged := len(lags) > 0
+		for _, s := range lags {
+			if s.Value != 0 {
+				converged = false
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			detail := ""
+			for _, s := range lags {
+				detail += " " + s.Label("topic") + "/" + s.Label("partition") + "=" + strconv.FormatFloat(s.Value, 'f', -1, 64)
+			}
+			failSeed(t, seed, "group lag never converged to 0:%s", detail)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/storage/log"
 	"repro/internal/wire"
 )
@@ -53,6 +54,10 @@ type ScenarioConfig struct {
 	// Durability is forwarded to every broker's partition logs; the
 	// group-commit crash scenario kills a leader mid-sync-window under it.
 	Durability log.Durability
+	// OpsAddr is forwarded to every broker: non-empty (use "127.0.0.1:0")
+	// gives each one an ops HTTP server so scenarios can scrape /metrics
+	// and probe /healthz across faults.
+	OpsAddr string
 	// Logger receives stack events; nil keeps only errors.
 	Logger *slog.Logger
 }
@@ -115,7 +120,9 @@ type Scenario struct {
 	Stack  *core.Stack
 	Ledger *Ledger
 
-	observer *client.Client // clean-link client for monitors and scans
+	observer *client.Client    // clean-link client for monitors and scans
+	obsMet   *metrics.Registry // the observer's private registry
+	prodMet  *metrics.Registry // shared by the scenario's own producers only
 	hw       *HWMonitor
 	ew       *EpochWatcher
 
@@ -142,6 +149,7 @@ func StartScenario(cfg ScenarioConfig) (*Scenario, error) {
 		RetentionInterval: cfg.RetentionInterval,
 		TierUploadHook:    cfg.TierUploadHook,
 		Durability:        cfg.Durability,
+		OpsAddr:           cfg.OpsAddr,
 		Chaos:             net,
 		Logger:            cfg.Logger,
 	})
@@ -162,6 +170,10 @@ func StartScenario(cfg ScenarioConfig) (*Scenario, error) {
 	// The monitors observe through their own node on the network, so
 	// scenarios that fault ClientNode links never corrupt a measurement:
 	// an invariant violation is always the stack's fault, not the probe's.
+	// The observer gets a private registry for the same reason: its
+	// consume counters must reflect only the final scan, and the stack
+	// registry's acked counter only the scenario producers.
+	obsMet := metrics.NewRegistry()
 	observer, err := client.New(client.Config{
 		Bootstrap:    stack.Addrs(),
 		ClientID:     cfg.Name + "-observer",
@@ -169,6 +181,7 @@ func StartScenario(cfg ScenarioConfig) (*Scenario, error) {
 		RetryBackoff: 25 * time.Millisecond,
 		MetadataTTL:  time.Second,
 		Dialer:       net.Dialer(ObserverNode),
+		Metrics:      obsMet,
 	})
 	if err != nil {
 		stack.Shutdown()
@@ -180,6 +193,8 @@ func StartScenario(cfg ScenarioConfig) (*Scenario, error) {
 		Stack:         stack,
 		Ledger:        NewLedger(),
 		observer:      observer,
+		obsMet:        obsMet,
+		prodMet:       metrics.NewRegistry(),
 		stopProducers: make(chan struct{}),
 	}
 	s.hw = StartHWMonitor(observer, cfg.Topic, cfg.Partitions, 10*time.Millisecond)
@@ -199,7 +214,19 @@ func (s *Scenario) StartProducers() {
 
 func (s *Scenario) produceLoop(id int) {
 	defer s.wg.Done()
-	cli, err := s.Stack.NewClient(fmt.Sprintf("%s-producer-%d", s.Cfg.Name, id))
+	// Built directly rather than via Stack.NewClient so the workload
+	// records into prodMet, a registry only these producers share: the
+	// counter-conservation check needs acked-counter == ledger even when
+	// a scenario runs auxiliary clients (quota aggressors, probes).
+	cli, err := client.New(client.Config{
+		Bootstrap:    s.Stack.Addrs(),
+		ClientID:     fmt.Sprintf("%s-producer-%d", s.Cfg.Name, id),
+		MaxRetries:   40,
+		RetryBackoff: 25 * time.Millisecond,
+		MetadataTTL:  time.Second,
+		Dialer:       s.Net.ClientDial(),
+		Metrics:      s.prodMet,
+	})
 	if err != nil {
 		s.produceErrs.Add(1)
 		return
@@ -364,8 +391,18 @@ func (s *Scenario) Finish() ([]Violation, error) {
 	s.stopWorkload()
 
 	// The cluster must come back: a probe produce succeeding proves a
-	// leader is elected and serving before the final scan.
-	probe, err := s.Stack.NewClient(s.Cfg.Name + "-probe")
+	// leader is elected and serving before the final scan. The probe is
+	// built directly (not via Stack.NewClient) so its acks stay out of
+	// the stack registry — the counter-conservation check below needs the
+	// acked counter to equal the ledger exactly.
+	probe, err := client.New(client.Config{
+		Bootstrap:    s.Stack.Addrs(),
+		ClientID:     s.Cfg.Name + "-probe",
+		MaxRetries:   40,
+		RetryBackoff: 25 * time.Millisecond,
+		MetadataTTL:  time.Second,
+		Dialer:       s.Net.ClientDial(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +433,47 @@ func (s *Scenario) Finish() ([]Violation, error) {
 	// via offsets.
 	violations = append(violations, CheckAckedSurvival(scan, s.Ledger)...)
 	violations = append(violations, CheckOffsetContiguity(scan)...)
+	violations = append(violations, s.checkCounterConservation(scan)...)
 	return violations, nil
+}
+
+// checkCounterConservation audits the instrumentation's own books against
+// ground truth the scenario already holds: the producers' registry's acked
+// counter must equal the ledger (both are written at the same SendSync
+// resolution), the observer registry's consume counter and e2e histogram
+// must equal the final scan (the observer only ever consumes during
+// ScanFeed), and no counter anywhere may have gone backwards. A failover
+// that loses or double-counts instrumentation shows up here even when the
+// data itself survived.
+func (s *Scenario) checkCounterConservation(scan *FeedScan) []Violation {
+	var out []Violation
+	const inv = "CounterConservation"
+
+	acked := s.prodMet.CounterFamily("client.produce.acked.records", "topic").With(s.Cfg.Topic).Value()
+	if acked != int64(s.Ledger.Len()) {
+		out = append(out, violationf(inv,
+			"acked counter %d != ledger %d for %s", acked, s.Ledger.Len(), s.Cfg.Topic))
+	}
+
+	var scanned int64
+	for _, offs := range scan.Offsets {
+		scanned += int64(len(offs))
+	}
+	consumed := s.obsMet.CounterFamily("client.consume.records", "topic").With(s.Cfg.Topic).Value()
+	if consumed != scanned {
+		out = append(out, violationf(inv,
+			"consume counter %d != scanned records %d for %s", consumed, scanned, s.Cfg.Topic))
+	}
+	e2e := s.obsMet.HistogramFamily("client.e2e.latency.ns", "topic").With(s.Cfg.Topic).Count()
+	if e2e != scanned {
+		out = append(out, violationf(inv,
+			"e2e latency observations %d != scanned records %d for %s", e2e, scanned, s.Cfg.Topic))
+	}
+
+	if n := metrics.NegativeAdds(); n > 0 {
+		out = append(out, violationf(inv, "%d negative counter adds recorded process-wide", n))
+	}
+	return out
 }
 
 // Close shuts the stack down (idempotent with Finish).

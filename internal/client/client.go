@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -39,6 +40,11 @@ type Config struct {
 	// client (and its producers/consumers) opens crosses the injected
 	// network.
 	Dialer Dialer
+	// Metrics, when non-nil, receives client-side instrumentation: acked
+	// produce records, consumed records and the end-to-end produce→consume
+	// latency histogram (batch-append timestamp to fetch decode) per
+	// topic. Nil disables client instrumentation entirely.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +72,7 @@ func (c Config) withDefaults() Config {
 // Client.
 type Client struct {
 	cfg Config
+	met *clientMetrics // nil unless Config.Metrics is set
 
 	mu     sync.Mutex
 	conns  map[int32]*Conn // shared request/response conns by broker id
@@ -74,13 +81,33 @@ type Client struct {
 	closed bool
 }
 
+// clientMetrics pre-resolves the client-side families so producers and
+// consumers record into child metrics without per-record registry lookups.
+type clientMetrics struct {
+	produceAcked   *metrics.CounterFamily   // client.produce.acked.records{topic}
+	consumeRecords *metrics.CounterFamily   // client.consume.records{topic}
+	e2eLatency     *metrics.HistogramFamily // client.e2e.latency.ns{topic}
+}
+
+func newClientMetrics(reg *metrics.Registry) *clientMetrics {
+	return &clientMetrics{
+		produceAcked:   reg.CounterFamily("client.produce.acked.records", "topic"),
+		consumeRecords: reg.CounterFamily("client.consume.records", "topic"),
+		e2eLatency:     reg.HistogramFamily("client.e2e.latency.ns", "topic"),
+	}
+}
+
 // New creates a client. It does not dial until first use.
 func New(cfg Config) (*Client, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Bootstrap) == 0 {
 		return nil, ErrNoBrokers
 	}
-	return &Client{cfg: cfg, conns: make(map[int32]*Conn)}, nil
+	c := &Client{cfg: cfg, conns: make(map[int32]*Conn)}
+	if cfg.Metrics != nil {
+		c.met = newClientMetrics(cfg.Metrics)
+	}
+	return c, nil
 }
 
 // Config returns the effective configuration.

@@ -324,6 +324,24 @@ func (c *Consumer) fetchFrom(leader int32, parts []*consumerTP, maxWait time.Dur
 				if next > want {
 					c.advance(key, next)
 				}
+				if m := c.c.met; m != nil && len(msgs) > 0 {
+					m.consumeRecords.With(t.Name).Add(int64(len(msgs)))
+					// End-to-end latency: producer-stamped record
+					// timestamp (ms) to decode time. Clock skew can make
+					// it negative on multi-host setups; clamp rather
+					// than pollute the histogram.
+					nowMs := time.Now().UnixMilli()
+					h := m.e2eLatency.With(t.Name)
+					for i := range msgs {
+						if ts := msgs[i].Timestamp; ts > 0 {
+							lat := (nowMs - ts) * int64(time.Millisecond)
+							if lat < 0 {
+								lat = 0
+							}
+							h.Observe(lat)
+						}
+					}
+				}
 				out = append(out, msgs...)
 			case wire.ErrOffsetOutOfRange:
 				if err := c.handleReset(t.Name, p.Partition, p.LogStartOffset); err != nil {

@@ -1,0 +1,77 @@
+package client
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// GroupLagEntry is one partition's consumer-group lag as observed from the
+// client: the group's committed offset against the partition's latest
+// offset (the high watermark a fetch at TimestampLatest resolves to).
+type GroupLagEntry struct {
+	Topic         string `json:"topic"`
+	Partition     int32  `json:"partition"`
+	Committed     int64  `json:"committed"`
+	HighWatermark int64  `json:"highWatermark"`
+	Lag           int64  `json:"lag"`
+}
+
+// GroupLag computes the group's lag on every partition it has committed an
+// offset for, across all non-internal topics. This is the client-side view
+// behind `liquid-admin lag <group>`: it needs only the existing
+// offset-fetch and list-offsets APIs, so it works against any broker —
+// including ones whose ops HTTP server is disabled.
+func (c *Client) GroupLag(group string) ([]GroupLagEntry, error) {
+	topics, err := c.TopicNames()
+	if err != nil {
+		return nil, err
+	}
+	var out []GroupLagEntry
+	for _, topic := range topics {
+		if strings.HasPrefix(topic, "__") {
+			continue // internal topics (offsets feed) are not group-consumed
+		}
+		n, err := c.PartitionCount(topic)
+		if err != nil || n <= 0 {
+			continue
+		}
+		parts := make([]int32, n)
+		for i := range parts {
+			parts[i] = int32(i)
+		}
+		offs, err := c.FetchOffsets(group, topic, parts)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range parts {
+			committed, ok := offs[p]
+			if !ok || committed < 0 {
+				continue // group never committed here
+			}
+			hw, err := c.ListOffset(topic, p, wire.TimestampLatest)
+			if err != nil {
+				return nil, err
+			}
+			lag := hw - committed
+			if lag < 0 {
+				lag = 0
+			}
+			out = append(out, GroupLagEntry{
+				Topic:         topic,
+				Partition:     p,
+				Committed:     committed,
+				HighWatermark: hw,
+				Lag:           lag,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Topic != out[j].Topic {
+			return out[i].Topic < out[j].Topic
+		}
+		return out[i].Partition < out[j].Partition
+	})
+	return out, nil
+}

@@ -487,6 +487,13 @@ func (p *Producer) produce(topic string, partition int32, recs []record.Record) 
 			p.pidOK = false
 		}
 	}
+	// Acked-record accounting happens exactly here — the single point
+	// where an acked produce resolves successfully — so the counter equals
+	// the number of records the application saw confirmed (the chaos
+	// suite's conservation invariant depends on that equality).
+	if err == nil && p.c.met != nil {
+		p.c.met.produceAcked.With(topic).Add(int64(len(recs)))
+	}
 	return base, err
 }
 

@@ -32,11 +32,13 @@ const (
 // ErrNoTopic reports a lookup of an unknown topic.
 var ErrNoTopic = errors.New("cluster: no such topic")
 
-// BrokerInfo describes one broker's address.
+// BrokerInfo describes one broker's address. OpsAddr is the broker's
+// ops-plane HTTP endpoint (/metrics, /healthz, ...), empty when disabled.
 type BrokerInfo struct {
-	ID   int32  `json:"id"`
-	Host string `json:"host"`
-	Port int32  `json:"port"`
+	ID      int32  `json:"id"`
+	Host    string `json:"host"`
+	Port    int32  `json:"port"`
+	OpsAddr string `json:"opsAddr,omitempty"`
 }
 
 // Addr renders host:port.

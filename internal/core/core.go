@@ -128,6 +128,18 @@ type Config struct {
 	Logger *slog.Logger
 	// Metrics receives stack-wide counters; nil creates a registry.
 	Metrics *metrics.Registry
+	// OpsAddr, when non-empty, gives every broker an ops HTTP server
+	// (/metrics, /healthz, /status, /debug/pprof/*, /debug/slowlog) bound
+	// to this address. With more than one broker it must carry port 0
+	// ("127.0.0.1:0") so each broker picks its own ephemeral port; bound
+	// addresses are read back with Stack.OpsAddrs. Empty disables the
+	// servers.
+	OpsAddr string
+	// DisableInstrumentation turns off request-path metric families, WAL
+	// metrics, client-side e2e latency tracking and the gauge-exporter
+	// tick on every broker and stack client. Exists for the E25
+	// benchmark's baseline.
+	DisableInstrumentation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -209,28 +221,30 @@ func Start(cfg Config) (*Stack, error) {
 	for i := 0; i < cfg.Brokers; i++ {
 		id := int32(i + 1)
 		bcfg := broker.Config{
-			ID:                    id,
-			DataDir:               filepath.Join(dataRoot, fmt.Sprintf("broker-%d", id)),
-			SessionTimeout:        cfg.SessionTimeout,
-			ReplicaMaxLag:         cfg.ReplicaMaxLag,
-			RetentionInterval:     cfg.RetentionInterval,
-			CompactionInterval:    cfg.CompactionInterval,
-			OffsetsPartitions:     cfg.OffsetsPartitions,
-			OffsetsReplication:    cfg.OffsetsReplication,
-			DefaultSegmentBytes:   cfg.DefaultSegmentBytes,
-			DefaultRetentionMs:    cfg.DefaultRetentionMs,
-			DefaultRetentionBytes: cfg.DefaultRetentionBytes,
-			Durability:            cfg.Durability,
-			DisableZeroCopyFetch:  cfg.DisableZeroCopyFetch,
-			PageCache:             cfg.PageCache,
-			DefaultQuota:          cfg.DefaultQuota,
-			TierFS:                tierFS,
-			TierInterval:          cfg.TierInterval,
-			TierCacheBytes:        cfg.TierCacheBytes,
-			TierUploadHook:        cfg.TierUploadHook,
-			Now:                   cfg.Clock,
-			Logger:                cfg.Logger,
-			Metrics:               cfg.Metrics,
+			ID:                     id,
+			DataDir:                filepath.Join(dataRoot, fmt.Sprintf("broker-%d", id)),
+			SessionTimeout:         cfg.SessionTimeout,
+			ReplicaMaxLag:          cfg.ReplicaMaxLag,
+			RetentionInterval:      cfg.RetentionInterval,
+			CompactionInterval:     cfg.CompactionInterval,
+			OffsetsPartitions:      cfg.OffsetsPartitions,
+			OffsetsReplication:     cfg.OffsetsReplication,
+			DefaultSegmentBytes:    cfg.DefaultSegmentBytes,
+			DefaultRetentionMs:     cfg.DefaultRetentionMs,
+			DefaultRetentionBytes:  cfg.DefaultRetentionBytes,
+			Durability:             cfg.Durability,
+			DisableZeroCopyFetch:   cfg.DisableZeroCopyFetch,
+			PageCache:              cfg.PageCache,
+			DefaultQuota:           cfg.DefaultQuota,
+			TierFS:                 tierFS,
+			TierInterval:           cfg.TierInterval,
+			TierCacheBytes:         cfg.TierCacheBytes,
+			TierUploadHook:         cfg.TierUploadHook,
+			Now:                    cfg.Clock,
+			Logger:                 cfg.Logger,
+			Metrics:                cfg.Metrics,
+			OpsAddr:                cfg.OpsAddr,
+			DisableInstrumentation: cfg.DisableInstrumentation,
 		}
 		if cfg.Chaos != nil {
 			bcfg.Listen = cfg.Chaos.BrokerListen(id)
@@ -266,6 +280,16 @@ func (s *Stack) Addrs() []string {
 	return out
 }
 
+// OpsAddrs returns each broker's bound ops HTTP address, index-aligned
+// with Addrs; entries are "" for brokers running without an ops server.
+func (s *Stack) OpsAddrs() []string {
+	out := make([]string, 0, len(s.brokers))
+	for _, b := range s.brokers {
+		out = append(out, b.OpsAddr())
+	}
+	return out
+}
+
 // Client returns the stack's shared client.
 func (s *Stack) Client() *client.Client { return s.cli }
 
@@ -288,6 +312,9 @@ func (s *Stack) NewClient(id string) (*client.Client, error) {
 	}
 	if s.cfg.Chaos != nil {
 		cfg.Dialer = s.cfg.Chaos.ClientDial()
+	}
+	if !s.cfg.DisableInstrumentation {
+		cfg.Metrics = s.cfg.Metrics
 	}
 	return client.New(cfg)
 }

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind identifies what a metric family holds.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// labelSep joins label values into a child key. It is a control character so
+// it cannot collide with realistic label values (topic names, API names).
+const labelSep = "\x1f"
+
+// family is the shared implementation behind the three typed family views: a
+// name, an ordered label-name list, and one child metric per distinct
+// label-value tuple.
+type family struct {
+	name   string
+	kind   Kind
+	labels []string
+
+	mu   sync.RWMutex
+	kids map[string]*child
+}
+
+// child pairs a label-value tuple with its metric (exactly one of c/g/h is
+// set, matching the family kind).
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// lookup returns the child for the given label values, creating it on first
+// use. The read-locked fast path keeps With cheap on hot paths.
+func (f *family) lookup(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: family %q wants labels %v, got %d values", f.name, f.labels, len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	k, ok := f.kids[key]
+	f.mu.RUnlock()
+	if ok {
+		return k
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if k, ok = f.kids[key]; ok {
+		return k
+	}
+	k = &child{values: append([]string(nil), values...)}
+	switch f.kind {
+	case KindCounter:
+		k.c = &Counter{}
+	case KindGauge:
+		k.g = &Gauge{}
+	case KindHistogram:
+		k.h = &Histogram{}
+	}
+	f.kids[key] = k
+	return k
+}
+
+// sortedKids returns the children ordered by label-value tuple, for stable
+// Gather/exposition output.
+func (f *family) sortedKids() []*child {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys := make([]string, 0, len(f.kids))
+	for k := range f.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*child, len(keys))
+	for i, k := range keys {
+		out[i] = f.kids[k]
+	}
+	return out
+}
+
+// CounterFamily is a set of counters keyed by label values (e.g. one counter
+// per API name, or per topic).
+type CounterFamily struct{ f *family }
+
+// With returns the counter for the given label values, creating it on first
+// use. The number of values must match the family's label names.
+func (cf *CounterFamily) With(values ...string) *Counter { return cf.f.lookup(values).c }
+
+// GaugeFamily is a set of gauges keyed by label values.
+type GaugeFamily struct{ f *family }
+
+// With returns the gauge for the given label values, creating it on first use.
+func (gf *GaugeFamily) With(values ...string) *Gauge { return gf.f.lookup(values).g }
+
+// Each calls fn for every child gauge currently in the family.
+func (gf *GaugeFamily) Each(fn func(values []string, g *Gauge)) {
+	for _, k := range gf.f.sortedKids() {
+		fn(k.values, k.g)
+	}
+}
+
+// Reset drops every child gauge. Used by periodic exporters that rebuild the
+// family from scratch each tick so stale label tuples (a partition no longer
+// led, a departed follower) do not linger at their last value.
+func (gf *GaugeFamily) Reset() {
+	gf.f.mu.Lock()
+	gf.f.kids = make(map[string]*child)
+	gf.f.mu.Unlock()
+}
+
+// DeleteWhere drops every child gauge whose value for the named label equals
+// value. Periodic exporters sharing one registry across brokers use this to
+// retire only their own stale tuples (keyed by a per-broker label) without
+// wiping tuples concurrently exported by their peers, which Reset would do.
+// An unknown label name deletes nothing.
+func (gf *GaugeFamily) DeleteWhere(label, value string) {
+	idx := -1
+	for i, l := range gf.f.labels {
+		if l == label {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	gf.f.mu.Lock()
+	for key, k := range gf.f.kids {
+		if k.values[idx] == value {
+			delete(gf.f.kids, key)
+		}
+	}
+	gf.f.mu.Unlock()
+}
+
+// HistogramFamily is a set of histograms keyed by label values.
+type HistogramFamily struct{ f *family }
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (hf *HistogramFamily) With(values ...string) *Histogram { return hf.f.lookup(values).h }
+
+// getFamily returns the named family, creating it with the given kind and
+// label names on first use. Redefining a name with a different kind or label
+// set is a programming error and panics.
+func (r *Registry) getFamily(name string, kind Kind, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:   name,
+			kind:   kind,
+			labels: append([]string(nil), labels...),
+			kids:   make(map[string]*child),
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("metrics: family %q redefined (%v %v vs %v %v)", name, f.kind, f.labels, kind, labels))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("metrics: family %q redefined with labels %v (was %v)", name, labels, f.labels))
+		}
+	}
+	return f
+}
+
+// CounterFamily returns the labeled counter family with the given name,
+// creating it if needed.
+func (r *Registry) CounterFamily(name string, labels ...string) *CounterFamily {
+	return &CounterFamily{f: r.getFamily(name, KindCounter, labels)}
+}
+
+// GaugeFamily returns the labeled gauge family with the given name, creating
+// it if needed.
+func (r *Registry) GaugeFamily(name string, labels ...string) *GaugeFamily {
+	return &GaugeFamily{f: r.getFamily(name, KindGauge, labels)}
+}
+
+// HistogramFamily returns the labeled histogram family with the given name,
+// creating it if needed.
+func (r *Registry) HistogramFamily(name string, labels ...string) *HistogramFamily {
+	return &HistogramFamily{f: r.getFamily(name, KindHistogram, labels)}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -163,9 +164,6 @@ func (h *Histogram) Quantile(q float64) int64 {
 		seen += h.buckets[i].Load()
 		if seen >= rank {
 			// Upper edge of bucket i, clamped to the observed max.
-			if i >= 62 {
-				return max
-			}
 			upper := int64(1) << uint(i+1)
 			if upper > max {
 				upper = max
@@ -205,6 +203,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	families   map[string]*family
 }
 
 // NewRegistry returns an empty registry.
@@ -213,6 +212,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		families:   make(map[string]*family),
 	}
 }
 
@@ -270,9 +270,10 @@ func (r *Registry) Dump() string {
 			name, s.Count, s.Mean, s.P50, s.P99, s.Max))
 	}
 	sort.Strings(lines)
-	out := ""
+	var out strings.Builder
 	for _, l := range lines {
-		out += l + "\n"
+		out.WriteString(l)
+		out.WriteByte('\n')
 	}
-	return out
+	return out.String()
 }

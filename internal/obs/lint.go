@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its labels, and the
+// value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the value of a label, or "" if absent.
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseExposition parses Prometheus text exposition format (the subset our
+// writer emits: # TYPE comments, name{labels} value lines) into samples.
+// Scrapers, the admin CLI and tests share this parser.
+func ParseExposition(text []byte) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(strings.NewReader(string(text)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSampleLine parses one `name{l="v",...} value` line.
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` into dst, honouring \\, \" and \n
+// escapes.
+func parseLabels(in string, dst map[string]string) error {
+	for in != "" {
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", in)
+		}
+		key := strings.TrimSpace(in[:eq])
+		in = in[eq+1:]
+		if len(in) == 0 || in[0] != '"' {
+			return fmt.Errorf("label %q value not quoted", key)
+		}
+		in = in[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(in); i++ {
+			c := in[i]
+			if c == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i == len(in) {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		dst[key] = val.String()
+		in = strings.TrimPrefix(in[i+1:], ",")
+	}
+	return nil
+}
+
+// LintExposition checks exposition text for the properties CI and the chaos
+// suite gate on: it parses cleanly, is non-empty, every sample series
+// (name + label tuple) is unique, every sample's base family has a # TYPE
+// line, no value is NaN or infinite, and histogram cumulative buckets are
+// non-decreasing and agree with _count.
+func LintExposition(text []byte) ([]Sample, error) {
+	samples, err := ParseExposition(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("exposition is empty")
+	}
+
+	typed := map[string]string{} // family name -> declared type
+	sc := bufio.NewScanner(strings.NewReader(string(text)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("malformed TYPE line %q", line)
+		}
+		if _, dup := typed[fields[2]]; dup {
+			return nil, fmt.Errorf("duplicate # TYPE for %q", fields[2])
+		}
+		typed[fields[2]] = fields[3]
+	}
+
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			return nil, fmt.Errorf("sample %s has non-finite value %v", s.Name, s.Value)
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate series %s", key)
+		}
+		seen[key] = true
+		base := s.Name
+		if t, ok := typed[base]; !ok || t == "" {
+			// Histogram component samples resolve to their base family.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if b, found := strings.CutSuffix(base, suffix); found && typed[b] == "histogram" {
+					base = b
+					break
+				}
+			}
+			if _, ok := typed[base]; !ok {
+				return nil, fmt.Errorf("sample %s has no # TYPE line", s.Name)
+			}
+		}
+	}
+
+	if err := lintHistograms(samples, typed); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// lintHistograms checks that each histogram series' cumulative buckets are
+// non-decreasing and that the +Inf bucket equals _count.
+func lintHistograms(samples []Sample, typed map[string]string) error {
+	type histState struct {
+		last    float64
+		inf     float64
+		sawInf  bool
+		count   float64
+		sawCnt  bool
+		ordered bool
+	}
+	hists := map[string]*histState{}
+	state := func(name, labelKey string) *histState {
+		k := name + labelKey
+		h, ok := hists[k]
+		if !ok {
+			h = &histState{ordered: true}
+			hists[k] = h
+		}
+		return h
+	}
+	for _, s := range samples {
+		if base, ok := strings.CutSuffix(s.Name, "_bucket"); ok && typed[base] == "histogram" {
+			h := state(base, labelKeyWithout(s, "le"))
+			if s.Value < h.last {
+				h.ordered = false
+			}
+			h.last = s.Value
+			if s.Label("le") == "+Inf" {
+				h.inf, h.sawInf = s.Value, true
+			}
+		} else if base, ok := strings.CutSuffix(s.Name, "_count"); ok && typed[base] == "histogram" {
+			h := state(base, labelKeyWithout(s, "le"))
+			h.count, h.sawCnt = s.Value, true
+		}
+	}
+	for k, h := range hists {
+		if !h.ordered {
+			return fmt.Errorf("histogram %s: cumulative buckets decrease", k)
+		}
+		if !h.sawInf {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", k)
+		}
+		if h.sawCnt && h.inf != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", k, h.inf, h.count)
+		}
+	}
+	return nil
+}
+
+// seriesKey identifies a sample series: name plus sorted label pairs.
+func seriesKey(s Sample) string {
+	return s.Name + labelKeyWithout(s, "")
+}
+
+// labelKeyWithout renders the sample's labels (minus one excluded name,
+// e.g. "le") as a canonical sorted string.
+func labelKeyWithout(s Sample, exclude string) string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	pairs := make([]string, 0, len(s.Labels))
+	for k, v := range s.Labels {
+		if k == exclude && exclude != "" {
+			continue
+		}
+		pairs = append(pairs, k+`="`+v+`"`)
+	}
+	if len(pairs) == 0 {
+		return ""
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}

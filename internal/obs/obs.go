@@ -1,0 +1,148 @@
+// Package obs is the per-broker ops plane: an HTTP server exposing
+// Prometheus-format metrics, health checks, a JSON status report, pprof
+// profiling, and a slow-request log. It is the paper's §4.3 operability
+// story made concrete — the signals an operator needs to run the stack at
+// scale (fetch p99, replication lag, fsync cadence, group lag) without
+// attaching a debugger. Everything is stdlib-only, like the rest of the
+// repo.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// HealthCheck is one named /healthz probe. Check returns nil when healthy.
+type HealthCheck struct {
+	Name  string
+	Check func() error
+}
+
+// Config configures an ops server.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9644" or ":0" for an
+	// ephemeral port.
+	Addr string
+	// Registry backs /metrics. Required.
+	Registry *metrics.Registry
+	// Health checks back /healthz; all must pass for a 200.
+	Health []HealthCheck
+	// Status, if set, is marshalled to JSON on /status.
+	Status func() any
+	// SlowLog, if set, backs /debug/slowlog.
+	SlowLog *SlowLog
+	// Logger receives serve errors; nil discards them.
+	Logger *slog.Logger
+}
+
+// Server is a running ops HTTP server.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds the configured address and serves in a background goroutine.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("obs: Config.Registry is required")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{cfg: cfg, ln: ln}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	// pprof registers on http.DefaultServeMux via its init; wire the same
+	// handlers onto our private mux so a broker process never exposes
+	// whatever else landed on the default mux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed && cfg.Logger != nil {
+			cfg.Logger.Error("ops server exited", "addr", cfg.Addr, "err", err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately. In-flight scrapes are abandoned —
+// broker shutdown must not wait on a slow profiling request.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.cfg.Registry.WritePrometheus(w); err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("metrics write failed", "err", err)
+	}
+}
+
+// healthResult is one check's outcome in the /healthz body.
+type healthResult struct {
+	Name  string `json:"name"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	results := make([]healthResult, 0, len(s.cfg.Health))
+	healthy := true
+	for _, hc := range s.cfg.Health {
+		res := healthResult{Name: hc.Name, OK: true}
+		if err := hc.Check(); err != nil {
+			res.OK = false
+			res.Error = err.Error()
+			healthy = false
+		}
+		results = append(results, res)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, map[string]any{"healthy": healthy, "checks": results})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Status == nil {
+		http.Error(w, "no status source configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, s.cfg.Status())
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SlowLog == nil {
+		http.Error(w, "no slowlog configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, s.cfg.SlowLog.Slowest())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

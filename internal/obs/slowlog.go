@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowLogEntry is one recorded request in the slow log.
+type SlowLogEntry struct {
+	API       string        `json:"api"`
+	Principal string        `json:"principal,omitempty"`
+	Topic     string        `json:"topic,omitempty"`
+	Partition int32         `json:"partition"`
+	Duration  time.Duration `json:"durationNs"`
+	At        time.Time     `json:"at"`
+}
+
+// SlowLog keeps a bounded set of the slowest recent requests. Capacity
+// bounds memory; once full, a new observation only enters by displacing the
+// current fastest entry, and Slowest drops entries older than the window so
+// the log reflects recent behaviour rather than all-time records. Note that
+// long-poll fetches legitimately dominate: their duration includes the
+// configured wait budget, same as Kafka's request logs.
+type SlowLog struct {
+	mu      sync.Mutex
+	cap     int
+	window  time.Duration
+	entries []SlowLogEntry
+	now     func() time.Time
+}
+
+// NewSlowLog returns a slow log keeping up to capacity entries from the last
+// window (defaults: 64 entries, 10 minutes).
+func NewSlowLog(capacity int, window time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if window <= 0 {
+		window = 10 * time.Minute
+	}
+	return &SlowLog{cap: capacity, window: window, now: time.Now}
+}
+
+// Observe offers one completed request to the log.
+func (s *SlowLog) Observe(e SlowLogEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.At.IsZero() {
+		e.At = s.now()
+	}
+	s.expireLocked(s.now())
+	if len(s.entries) < s.cap {
+		s.entries = append(s.entries, e)
+		return
+	}
+	// Full: displace the fastest entry if this one is slower.
+	minIdx := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].Duration < s.entries[minIdx].Duration {
+			minIdx = i
+		}
+	}
+	if e.Duration > s.entries[minIdx].Duration {
+		s.entries[minIdx] = e
+	}
+}
+
+// expireLocked drops entries older than the window.
+func (s *SlowLog) expireLocked(now time.Time) {
+	cutoff := now.Add(-s.window)
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if e.At.After(cutoff) {
+			kept = append(kept, e)
+		}
+	}
+	s.entries = kept
+}
+
+// Slowest returns the retained entries, slowest first.
+func (s *SlowLog) Slowest() []SlowLogEntry {
+	s.mu.Lock()
+	s.expireLocked(s.now())
+	out := append([]SlowLogEntry(nil), s.entries...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}
+
+// Len reports how many entries are currently retained.
+func (s *SlowLog) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.now())
+	return len(s.entries)
+}

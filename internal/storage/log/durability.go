@@ -107,12 +107,24 @@ type syncWaiter struct {
 	ch   chan error
 }
 
-// syncFile syncs one segment file under the configured syncer.
+// syncFile syncs one segment file under the configured syncer, feeding the
+// fsync count and latency series when metrics are wired.
 func (l *Log) syncFile(f *os.File) error {
-	if s := l.cfg.Durability.Syncer; s != nil {
-		return s(f)
+	var start time.Time
+	if l.met != nil {
+		start = time.Now()
 	}
-	return fdatasync(f)
+	var err error
+	if s := l.cfg.Durability.Syncer; s != nil {
+		err = s(f)
+	} else {
+		err = fdatasync(f)
+	}
+	if l.met != nil {
+		l.met.fsyncs.Inc()
+		l.met.fsyncNs.ObserveSince(start)
+	}
+	return err
 }
 
 // SyncedNext returns the durability frontier: every offset below it has been
@@ -150,6 +162,11 @@ func (l *Log) SyncWait(next int64) <-chan error {
 // noteDirtyLocked records n freshly appended unsynced bytes and, under
 // SyncGroup, kicks the committer (urgently once GroupBytes accumulate).
 func (l *Log) noteDirtyLocked(n int64) {
+	if !l.dirty {
+		// Clean→dirty transition: start the durability-lag clock health
+		// checks read (how long the oldest unsynced append has waited).
+		l.dirtySinceNano.Store(time.Now().UnixNano())
+	}
 	l.dirty = true
 	l.unsyncedBytes += n
 	if l.cfg.Durability.Policy == SyncGroup {
@@ -276,9 +293,16 @@ func (l *Log) syncNow() error {
 	cp := checkpoint{base: a.baseOffset, pos: a.size, next: a.nextOffset}
 	psnap := l.snapshotProducersLocked()
 	gen := l.truncGen
+	batched := l.unsyncedBytes
 	l.dirty = false
+	l.dirtySinceNano.Store(0)
 	l.unsyncedBytes = 0
 	l.mu.Unlock()
+	if l.met != nil && batched > 0 {
+		// One fdatasync covers this many appended bytes: the group-commit
+		// batch size distribution.
+		l.met.groupBytes.Observe(batched)
+	}
 
 	if err := l.syncFile(f); err != nil {
 		l.mu.Lock()
@@ -287,6 +311,7 @@ func (l *Log) syncNow() error {
 			// under us) is stale, not failed; otherwise surface the error
 			// to every parked ack and retry on the next kick.
 			l.dirty = true
+			l.dirtySinceNano.CompareAndSwap(0, time.Now().UnixNano())
 			l.failSyncWaitersLocked(err)
 		}
 		l.mu.Unlock()
@@ -302,7 +327,33 @@ func (l *Log) syncNow() error {
 		l.advanceSyncedLocked(cp.next)
 	}
 	l.mu.Unlock()
+	l.lastSyncNano.Store(time.Now().UnixNano())
 	return nil
+}
+
+// LastSyncTime returns when the log last made its contents durable (sync +
+// checkpoint, or recovery at open). The zero time means never.
+func (l *Log) LastSyncTime() time.Time {
+	n := l.lastSyncNano.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// DurabilityLag reports how long the oldest unsynced append has been waiting
+// for an fsync: 0 when everything appended is durable. Health checks alarm
+// on this exceeding the configured sync cadence by a wide margin.
+func (l *Log) DurabilityLag(now time.Time) time.Duration {
+	n := l.dirtySinceNano.Load()
+	if n == 0 {
+		return 0
+	}
+	d := now.Sub(time.Unix(0, n))
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Checkpoint file: the persisted durability frontier. Format is a single

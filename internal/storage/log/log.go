@@ -9,8 +9,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/storage/record"
 )
 
@@ -52,6 +54,10 @@ type Config struct {
 	// whether acks wait for group commit, and checkpointed recovery. The
 	// zero value (SyncNone) keeps the legacy OS-buffered behaviour.
 	Durability Durability
+	// Metrics, when set, receives WAL durability metrics (fsync count and
+	// latency, group-commit batch size distribution). The counters are
+	// process-wide: every log sharing the registry feeds the same series.
+	Metrics *metrics.Registry
 }
 
 // Defaults used when Config fields are zero.
@@ -123,6 +129,21 @@ type Log struct {
 	syncWG        sync.WaitGroup
 	syncMu        sync.Mutex // serialises syncNow
 	cpMu          sync.Mutex // serialises checkpoint file writes/removal
+
+	// met holds pre-resolved durability metrics (nil when Config.Metrics is
+	// unset). lastSyncNano/dirtySinceNano track checkpoint freshness for
+	// health checks; they are atomics so readers never take l.mu.
+	met            *logMetrics
+	lastSyncNano   atomic.Int64
+	dirtySinceNano atomic.Int64
+}
+
+// logMetrics pre-resolves the WAL durability series so hot paths skip the
+// registry map lookups.
+type logMetrics struct {
+	fsyncs     *metrics.Counter
+	fsyncNs    *metrics.Histogram
+	groupBytes *metrics.Histogram
 }
 
 // Open opens or creates the log in dir. When a valid durability checkpoint
@@ -144,6 +165,13 @@ func Open(dir string, cfg Config) (*Log, error) {
 		syncKick:   make(chan struct{}, 1),
 		syncUrgent: make(chan struct{}, 1),
 		stopSync:   make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		l.met = &logMetrics{
+			fsyncs:     cfg.Metrics.Counter("log.fsync.count"),
+			fsyncNs:    cfg.Metrics.Histogram("log.fsync.ns"),
+			groupBytes: cfg.Metrics.Histogram("log.groupcommit.batch.bytes"),
+		}
 	}
 
 	cp, cpOK := readCheckpointFile(dir)
@@ -197,6 +225,9 @@ func Open(dir string, cfg Config) (*Log, error) {
 		}
 	}
 	l.syncedNext = l.active().nextOffset
+	// Everything recovered is durable (or freshly re-synced above): the
+	// checkpoint-freshness clock starts now.
+	l.lastSyncNano.Store(time.Now().UnixNano())
 	// Rebuild the producer table. A valid snapshot (written alongside the
 	// checkpoint) seeds the state it covered; batch headers beyond its
 	// coverage — the recovered unsynced tail — are rescanned. Without a
@@ -527,8 +558,10 @@ func (l *Log) appendLocked(batch []byte) error {
 			return err
 		}
 		l.dirty = false
+		l.dirtySinceNano.Store(0)
 		l.unsyncedBytes = 0
 		l.advanceSyncedLocked(a.nextOffset)
+		l.lastSyncNano.Store(time.Now().UnixNano())
 	}
 	l.appendsSinceFlush++
 	if l.cfg.FlushMessages > 0 && l.appendsSinceFlush >= l.cfg.FlushMessages {
@@ -732,6 +765,7 @@ func (l *Log) Flush() error {
 	psnap := l.snapshotProducersLocked()
 	gen := l.truncGen
 	l.dirty = false
+	l.dirtySinceNano.Store(0)
 	l.unsyncedBytes = 0
 	l.mu.Unlock()
 	if err := l.syncFile(f); err != nil {
@@ -746,6 +780,7 @@ func (l *Log) Flush() error {
 		l.advanceSyncedLocked(cp.next)
 	}
 	l.mu.Unlock()
+	l.lastSyncNano.Store(time.Now().UnixNano())
 	return nil
 }
 

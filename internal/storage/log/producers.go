@@ -294,6 +294,14 @@ func readProducerSnapshotFile(dir string) (*producerState, int64, bool) {
 	return p, next, true
 }
 
+// ProducerCount reports how many producer ids the idempotence dedup table
+// currently tracks — the per-partition state a /status report surfaces.
+func (l *Log) ProducerCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.producers.byID)
+}
+
 // rebuildProducersLocked reconstructs the table's view of batches at offsets
 // >= from by header-walking the segment files. Recovery already truncated
 // any torn tail, so every batch encountered has a sane header; headers that

@@ -1,5 +1,7 @@
 package wire
 
+import "fmt"
+
 // APIKey identifies a request type.
 type APIKey int16
 
@@ -44,6 +46,54 @@ const (
 	// producers get a fresh id at epoch 0.
 	APIInitProducer APIKey = 46
 )
+
+// String returns the lowercase API name, used as the per-API metric label
+// and in slowlog entries. Unknown keys render as "api-<n>".
+func (k APIKey) String() string {
+	switch k {
+	case APIProduce:
+		return "produce"
+	case APIFetch:
+		return "fetch"
+	case APIListOffsets:
+		return "list-offsets"
+	case APIMetadata:
+		return "metadata"
+	case APICreateTopics:
+		return "create-topics"
+	case APIDeleteTopics:
+		return "delete-topics"
+	case APIOffsetCommit:
+		return "offset-commit"
+	case APIOffsetFetch:
+		return "offset-fetch"
+	case APIFindCoordinator:
+		return "find-coordinator"
+	case APIJoinGroup:
+		return "join-group"
+	case APIHeartbeat:
+		return "heartbeat"
+	case APILeaveGroup:
+		return "leave-group"
+	case APISyncGroup:
+		return "sync-group"
+	case APIOffsetQuery:
+		return "offset-query"
+	case APITierStatus:
+		return "tier-status"
+	case APIDescribeQuotas:
+		return "describe-quotas"
+	case APIAlterQuotas:
+		return "alter-quotas"
+	case APITableGet:
+		return "table-get"
+	case APITableRange:
+		return "table-range"
+	case APIInitProducer:
+		return "init-producer"
+	}
+	return fmt.Sprintf("api-%d", int16(k))
+}
 
 // Message is any protocol body that can encode and decode itself.
 type Message interface {
@@ -484,11 +534,14 @@ func (m *MetadataRequest) Encode(w *Writer) { w.StringArray(m.Topics) }
 // Decode implements Message.
 func (m *MetadataRequest) Decode(r *Reader) { m.Topics = r.StringArray() }
 
-// BrokerMeta describes one live broker.
+// BrokerMeta describes one live broker. OpsAddr is the broker's ops-plane
+// HTTP address ("" when the broker runs without one); clients use it to
+// reach /metrics and friends without separate discovery.
 type BrokerMeta struct {
-	ID   int32
-	Host string
-	Port int32
+	ID      int32
+	Host    string
+	Port    int32
+	OpsAddr string
 }
 
 // PartitionMeta describes current leadership for one partition.
@@ -524,6 +577,7 @@ func (m *MetadataResponse) Encode(w *Writer) {
 		w.Int32(m.Brokers[i].ID)
 		w.String(m.Brokers[i].Host)
 		w.Int32(m.Brokers[i].Port)
+		w.String(m.Brokers[i].OpsAddr)
 	}
 	w.Int32(m.ControllerID)
 	w.ArrayLen(len(m.Topics))
@@ -551,9 +605,10 @@ func (m *MetadataResponse) Decode(r *Reader) {
 	m.Brokers = make([]BrokerMeta, 0, n)
 	for i := 0; i < n; i++ {
 		m.Brokers = append(m.Brokers, BrokerMeta{
-			ID:   r.Int32(),
-			Host: r.String(),
-			Port: r.Int32(),
+			ID:      r.Int32(),
+			Host:    r.String(),
+			Port:    r.Int32(),
+			OpsAddr: r.String(),
 		})
 	}
 	m.ControllerID = r.Int32()
