@@ -1,0 +1,30 @@
+// liquid-vet is the repo's custom static-analysis suite: five analyzers
+// that machine-enforce correctness invariants the stack depends on (lock
+// discipline, wire exhaustiveness, tmp+sync+rename commits, sync.Pool
+// pairing, injectable-clock discipline). See docs/INVARIANTS.md.
+//
+// Usage:
+//
+//	liquid-vet ./...                      # standalone, exit 1 on findings
+//	liquid-vet -only clockdiscipline ./internal/broker
+//	go vet -vettool=$(which liquid-vet) ./...
+package main
+
+import (
+	"repro/internal/lint/clockdiscipline"
+	"repro/internal/lint/commitdiscipline"
+	"repro/internal/lint/lockguard"
+	"repro/internal/lint/multichecker"
+	"repro/internal/lint/poolcheck"
+	"repro/internal/lint/wireclass"
+)
+
+func main() {
+	multichecker.Main(
+		lockguard.Analyzer,
+		wireclass.Analyzer,
+		commitdiscipline.Analyzer,
+		poolcheck.Analyzer,
+		clockdiscipline.Analyzer,
+	)
+}

@@ -68,7 +68,8 @@ func WriteJSON(dir string, t Table, scale Scale) (string, error) {
 	data = append(data, '\n')
 	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", t.ID))
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
 		return "", err
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -76,4 +77,22 @@ func WriteJSON(dir string, t Table, scale Scale) (string, error) {
 		return "", err
 	}
 	return path, nil
+}
+
+// writeFileSync writes data to path and fsyncs it so the rename that
+// follows publishes a fully-persisted results file.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -257,7 +257,7 @@ func Start(store *coord.Store, cfg Config) (*Broker, error) {
 		b.tierCache = tier.NewCache(cfg.TierCacheBytes, cfg.Metrics)
 	}
 	if !cfg.DisableInstrumentation {
-		b.met = newBrokerMetrics(cfg.Metrics, cfg.ID)
+		b.met = newBrokerMetrics(cfg.Metrics, cfg.ID, cfg.Now)
 	}
 	if cfg.OpsAddr != "" {
 		opsCfg := obs.Config{
@@ -649,30 +649,30 @@ func cutTopicPath(path string) (string, bool) {
 // group expiry, retention and compaction.
 func (b *Broker) housekeeping() {
 	defer b.wg.Done()
-	keepalive := time.NewTicker(b.cfg.KeepAliveInterval)
+	keepalive := newTicker(b.cfg.KeepAliveInterval)
 	defer keepalive.Stop()
-	isr := time.NewTicker(b.cfg.ReplicaMaxLag / 2)
+	isr := newTicker(b.cfg.ReplicaMaxLag / 2)
 	defer isr.Stop()
-	groups := time.NewTicker(250 * time.Millisecond)
+	groups := newTicker(250 * time.Millisecond)
 	defer groups.Stop()
 
 	// The gauge exporter walks every replica and checkpoint stream; 1s is
 	// frequent enough for dashboards and cheap enough to never matter.
 	var opsC <-chan time.Time
 	if b.met != nil {
-		t := time.NewTicker(time.Second)
+		t := newTicker(time.Second)
 		defer t.Stop()
 		opsC = t.C
 	}
 
 	var retentionC, compactionC <-chan time.Time
 	if b.cfg.RetentionInterval > 0 {
-		t := time.NewTicker(b.cfg.RetentionInterval)
+		t := newTicker(b.cfg.RetentionInterval)
 		defer t.Stop()
 		retentionC = t.C
 	}
 	if b.cfg.CompactionInterval > 0 {
-		t := time.NewTicker(b.cfg.CompactionInterval)
+		t := newTicker(b.cfg.CompactionInterval)
 		defer t.Stop()
 		compactionC = t.C
 	}
@@ -705,7 +705,7 @@ func (b *Broker) housekeeping() {
 // failover.
 func (b *Broker) tierLoop() {
 	defer b.wg.Done()
-	t := time.NewTicker(b.cfg.TierInterval)
+	t := newTicker(b.cfg.TierInterval)
 	defer t.Stop()
 	for {
 		select {

@@ -143,7 +143,7 @@ func (f *replicaFetcher) run() {
 		select {
 		case <-f.stop:
 			return false
-		case <-time.After(50 * time.Millisecond):
+		case <-f.b.after(50 * time.Millisecond):
 			return true
 		}
 	}

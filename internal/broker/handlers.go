@@ -79,11 +79,11 @@ func (b *Broker) serveConn(conn net.Conn) {
 		// else.
 		var start time.Time
 		if b.met != nil {
-			start = time.Now()
+			start = b.now()
 		}
 		resp, reply, delay := b.dispatch(hdr, body)
 		if b.met != nil {
-			b.met.noteRequest(hdr.API, hdr.ClientID, len(payload), resp, time.Since(start))
+			b.met.noteRequest(hdr.API, hdr.ClientID, len(payload), resp, b.since(start))
 		}
 		if !reply {
 			// Fire-and-forget (acks=0) has no response frame to carry a
@@ -98,7 +98,7 @@ func (b *Broker) serveConn(conn net.Conn) {
 					delay = maxThrottle
 				}
 				select {
-				case <-time.After(delay):
+				case <-b.after(delay):
 				case <-b.stopCh:
 					return
 				}
@@ -142,6 +142,7 @@ func (b *Broker) dispatch(hdr wire.RequestHeader, r *wire.Reader) (wire.Message,
 	if f, ok := body.(*wire.FetchRequest); !ok || f.ReplicaID < 0 {
 		reqPenalty = b.quotas.chargeRequest(hdr.ClientID)
 	}
+	//wireclass:dispatch
 	switch req := body.(type) {
 	case *wire.ProduceRequest:
 		resp := b.handleProduce(req, hdr.ClientID, reqPenalty)
@@ -256,7 +257,7 @@ func (b *Broker) handleProduce(req *wire.ProduceRequest, principal string, reqPe
 		// Replication (acks=all) and group-commit durability share one
 		// deadline: an ack is released only when both the ISR has the
 		// batch and — under SyncGroup — the covering fdatasync has landed.
-		deadline := time.NewTimer(timeout)
+		deadline := newTimer(timeout)
 		defer deadline.Stop()
 		for _, w := range waits {
 			code := wire.ErrNone
@@ -341,7 +342,7 @@ func (b *Broker) handleFetch(req *wire.FetchRequest, principal string, reqPenalt
 		maxWait = 30 * time.Second
 	}
 	minBytes := int(req.MinBytes)
-	deadline := time.Now().Add(maxWait)
+	deadline := b.now().Add(maxWait)
 
 	// Single-partition requests (the common consumer case) wait
 	// event-driven on the partition's notify channel; multi-partition
@@ -353,7 +354,7 @@ func (b *Broker) handleFetch(req *wire.FetchRequest, principal string, reqPenalt
 	zeroCopy := !b.cfg.DisableZeroCopyFetch
 	for {
 		resp, total, hasError := b.collectFetch(req, isFollower, zeroCopy)
-		if total >= minBytes || hasError || !time.Now().Before(deadline) {
+		if total >= minBytes || hasError || !b.now().Before(deadline) {
 			if total > 0 {
 				b.cfg.Metrics.Counter("broker.fetch.bytes").Add(int64(total))
 			}
@@ -368,11 +369,11 @@ func (b *Broker) handleFetch(req *wire.FetchRequest, principal string, reqPenalt
 		// This pass is discarded for another long-poll round; release any
 		// segment file handles its ranges hold.
 		closeFetchRanges(resp)
-		remain := time.Until(deadline)
+		remain := b.until(deadline)
 		if single != nil {
 			select {
 			case <-single.notifyChan():
-			case <-time.After(remain):
+			case <-b.after(remain):
 			case <-b.stopCh:
 				return resp
 			}
@@ -382,7 +383,7 @@ func (b *Broker) handleFetch(req *wire.FetchRequest, principal string, reqPenalt
 				wait = remain
 			}
 			select {
-			case <-time.After(wait):
+			case <-b.after(wait):
 			case <-b.stopCh:
 				return resp
 			}

@@ -1,0 +1,11 @@
+package broker
+
+import (
+	"testing"
+
+	"repro/internal/lint/leakcheck"
+)
+
+// TestMain fails the suite if broker/stack goroutines outlive the tests;
+// see internal/lint/leakcheck.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -136,7 +136,7 @@ func (o *offsetManager) commit(group, topic string, partition int32, offset int6
 	hist := append(state[key], Checkpoint{
 		Offset:      offset,
 		Metadata:    metadata,
-		CommittedAt: time.Now().UnixMilli(),
+		CommittedAt: o.b.now().UnixMilli(),
 	})
 	if len(hist) > checkpointHistory {
 		hist = hist[len(hist)-checkpointHistory:]
@@ -156,14 +156,14 @@ func (o *offsetManager) commit(group, topic string, partition int32, offset int6
 	}
 	select {
 	case code = <-ackCh:
-	case <-time.After(5 * time.Second):
+	case <-o.b.after(5 * time.Second):
 		return wire.ErrRequestTimedOut
 	}
 	if code == wire.ErrNone && durCh != nil {
 		select {
 		case err := <-durCh:
 			code = durErrorCode(err)
-		case <-time.After(5 * time.Second):
+		case <-o.b.after(5 * time.Second):
 			return wire.ErrRequestTimedOut
 		}
 	}

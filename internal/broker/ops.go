@@ -63,10 +63,14 @@ type brokerMetrics struct {
 	tableApplied      *metrics.GaugeFamily // broker.table.applied.offset{broker,topic,partition}
 
 	slowlog *obs.SlowLog
+
+	// now is the broker's injected clock, for slow-log timestamps.
+	now func() time.Time
 }
 
-func newBrokerMetrics(reg *metrics.Registry, brokerID int32) *brokerMetrics {
+func newBrokerMetrics(reg *metrics.Registry, brokerID int32, now func() time.Time) *brokerMetrics {
 	return &brokerMetrics{
+		now:               now,
 		id:                strconv.Itoa(int(brokerID)),
 		apiRequests:       reg.CounterFamily("broker.api.requests", "api"),
 		apiLatency:        reg.HistogramFamily("broker.api.latency.ns", "api"),
@@ -117,7 +121,7 @@ func (m *brokerMetrics) noteRequest(api wire.APIKey, principal string, reqBytes 
 		Topic:     topic,
 		Partition: partition,
 		Duration:  d,
-		At:        time.Now(),
+		At:        m.now(),
 	})
 }
 

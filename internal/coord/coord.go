@@ -347,6 +347,7 @@ func (s *Store) StartExpiry(interval time.Duration) func() {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		//lint:ignore clockdiscipline the expiry pump runs on real time by design; session deadlines use the injected clock
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {

@@ -253,10 +253,28 @@ func (fs *FS) persistLocked() error {
 		return err
 	}
 	tmp := fs.imagePath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data, 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, fs.imagePath())
+}
+
+// writeFileSync writes data to path and fsyncs it before returning, so the
+// rename that follows cannot commit a torn image after a crash.
+func writeFileSync(path string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Stats returns activity counters.

@@ -1,0 +1,195 @@
+// Package analysis is a minimal, dependency-free implementation of the
+// golang.org/x/tools/go/analysis API surface that liquid-vet needs. The
+// container this repo builds in has no module proxy access and x/tools is
+// not vendored, so the framework is reimplemented on the standard library
+// (go/ast, go/types) with the same shapes — Analyzer, Pass, Diagnostic —
+// so the analyzers port to the real framework unchanged if the dependency
+// ever becomes available.
+//
+// Deliberate differences from x/tools:
+//
+//   - No Facts: every analyzer here is package-local by design. Cross-
+//     package knowledge comes from type information of imported packages
+//     (e.g. wireclass enumerates wire's exported request types through the
+//     broker package's import graph), never from serialized facts.
+//   - No ResultOf/Requires: the analyzers are independent.
+//   - Test files are excluded from analysis (but included in type
+//     checking): the invariants enforced here are production-code
+//     invariants, and white-box tests legitimately break several of them
+//     (unlocked field access in single-threaded tests, tmp renames without
+//     fsync in fixtures, real clocks in benchmarks).
+//   - Suppression is a single uniform mechanism: a "//lint:ignore <name>
+//     <reason>" comment on the reported line or the line above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description: the invariant, why it holds,
+	// and how to suppress a finding.
+	Doc string
+	// Run reports violations via pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's worth of parsed+typed code to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's non-test files. AllFiles additionally
+	// includes _test.go files for the rare analyzer that wants them.
+	Files    []*ast.File
+	AllFiles []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the driver
+}
+
+// Unit is one package ready to be analyzed. Drivers (multichecker,
+// analysistest) construct a Unit and call Run.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File // all parsed files, test files included
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run executes the analyzers over the unit, applies //lint:ignore
+// filtering, and returns the surviving diagnostics sorted by position.
+func (u *Unit) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	var nonTest []*ast.File
+	for _, f := range u.Files {
+		if !strings.HasSuffix(u.Fset.File(f.Pos()).Name(), "_test.go") {
+			nonTest = append(nonTest, f)
+		}
+	}
+	ignore := buildIgnoreIndex(u.Fset, u.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     u.Fset,
+			Files:    nonTest,
+			AllFiles: u.Files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			if !ignore.ignored(u.Fset, name, d.Pos) {
+				out = append(out, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := u.Fset.Position(out[i].Pos), u.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// ignoreRe matches "//lint:ignore <analyzer> <reason>". The reason is
+// required: a suppression without a recorded why is convention drift, the
+// exact thing this suite exists to stop.
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+\S`)
+
+type ignoreIndex struct {
+	// byFile maps filename -> line -> analyzer names suppressed there.
+	byFile map[string]map[int][]string
+}
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	ix := &ignoreIndex{byFile: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ix.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					ix.byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], m[1])
+			}
+		}
+	}
+	return ix
+}
+
+// ignored reports whether a directive for the analyzer sits on the
+// diagnostic's line or the line immediately above it.
+func (ix *ignoreIndex) ignored(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	lines := ix.byFile[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer || name == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsPkgCall reports whether call is a call of the form pkg.Name(...) where
+// pkg resolves to an imported package with the given import path, and
+// returns the selected function name.
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

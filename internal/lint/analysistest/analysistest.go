@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over a golden testdata module and
+// checks its diagnostics against "// want" expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: each analyzer keeps a self-contained module under
+// testdata/ — a go.mod (so `go list` works offline with stdlib-only
+// imports) plus one directory per test package. An expectation is written
+// on the line it applies to:
+//
+//	bad := pool.Get() // want `sync\.Pool\.Get without a paired Put`
+//
+// Multiple expectations on one line are allowed; each diagnostic must
+// match exactly one pending expectation on its line, and every
+// expectation must be consumed. //lint:ignore directives are honored
+// before matching, so negative suppression cases need no want comments.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Run loads the module rooted at dir (typically "testdata") and checks
+// the analyzer's diagnostics against the // want expectations in it.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded from %s", dir)
+	}
+	for _, pkg := range pkgs {
+		unit := &analysis.Unit{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+		diags, err := unit.Run([]*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: running %s: %v", pkg.PkgPath, a.Name, err)
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkExpectations(t *testing.T, pkg *loader.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation) // file -> line -> pending
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, raw := range parseWants(t, c.Text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", raw, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = make(map[int][]*expectation)
+					}
+					wants[pos.Filename][pos.Line] = append(
+						wants[pos.Filename][pos.Line], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !match(wants, pos, d.Message) {
+			t.Errorf("%s:%d:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, pos.Column, d.Message)
+		}
+	}
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, e.raw)
+				}
+			}
+		}
+	}
+}
+
+func match(wants map[string]map[int][]*expectation, pos token.Position, msg string) bool {
+	for _, e := range wants[pos.Filename][pos.Line] {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the quoted regexps from a `// want "re" \`re\“
+// comment, or nil if the comment is not a want comment.
+func parseWants(t *testing.T, text string) []string {
+	t.Helper()
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var out []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		q := rest[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("malformed want comment %q: expectations must be quoted", text)
+		}
+		end := strings.IndexByte(rest[1:], q)
+		if end < 0 {
+			t.Fatalf("malformed want comment %q: unterminated %c", text, q)
+		}
+		lit := rest[:end+2]
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("malformed want expectation %s in %q: %v", lit, text, err)
+		}
+		out = append(out, s)
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	return out
+}

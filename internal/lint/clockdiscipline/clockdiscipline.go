@@ -1,0 +1,126 @@
+// Package clockdiscipline forbids direct wall-clock calls in packages
+// that declare an injectable clock.
+//
+// The chaos harness reproduces failure schedules from a single seed; that
+// only works if every timestamp a package reads comes from the clock the
+// scenario injects (broker.Config.Now, core.Config.Clock, coord's session
+// clock, ...). A stray time.Now() in such a package silently reads the
+// wall clock instead — timestamps, deadlines and latency measurements
+// stop being reproducible, which is exactly the class of drift that made
+// seeded chaos runs diverge. The analyzer fires on direct calls to
+// time.Now, time.Since, time.Until, time.Sleep, time.After, time.Tick,
+// time.NewTicker, time.NewTimer and time.AfterFunc in any package that
+// declares a clock hook; route the call through the injected clock, or —
+// for genuine real-time waits that no injected clock replaces (background
+// ticker loops) — suppress one choke-point helper with
+// "//lint:ignore clockdiscipline <reason>".
+//
+// A package "declares an injectable clock" when a (non-test) struct field
+// named Now or Clock has type func() time.Time, or it defines a named
+// type Clock with that underlying type. Referencing time.Now as a default
+// value (cfg.Now = time.Now) is a reference, not a call, and is allowed.
+package clockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "clockdiscipline",
+	Doc:  "forbid direct time.Now/Sleep/After/... calls in packages with an injectable clock",
+	Run:  run,
+}
+
+// banned lists the time functions whose direct call breaks seeded
+// reproducibility when the package has a clock hook to use instead.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	hook := clockHook(pass)
+	if hook == "" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := analysis.IsPkgCall(pass.Info, call, "time")
+			if ok && banned[name] {
+				pass.Reportf(call.Pos(),
+					"direct time.%s call in a package with an injectable clock (%s); use the injected clock so seeded chaos runs stay reproducible",
+					name, hook)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// clockHook returns a description of the package's injectable clock
+// declaration, or "" if the package declares none.
+func clockHook(pass *analysis.Pass) string {
+	hook := ""
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if hook != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					t := pass.Info.Types[field.Type].Type
+					if t == nil || !isClockFunc(t) {
+						continue
+					}
+					for _, name := range field.Names {
+						if name.Name == "Now" || name.Name == "Clock" {
+							hook = "field " + name.Name + " func() time.Time"
+							return false
+						}
+					}
+				}
+			case *ast.TypeSpec:
+				if n.Name.Name == "Clock" {
+					if t := pass.Info.Types[n.Type].Type; t != nil && isClockFunc(t) {
+						hook = "type Clock func() time.Time"
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if hook != "" {
+			break
+		}
+	}
+	return hook
+}
+
+// isClockFunc reports whether t is func() time.Time.
+func isClockFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Time"
+}

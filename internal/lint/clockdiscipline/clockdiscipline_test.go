@@ -1,0 +1,12 @@
+package clockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/clockdiscipline"
+)
+
+func TestClockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", clockdiscipline.Analyzer)
+}

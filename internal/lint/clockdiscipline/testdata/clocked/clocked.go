@@ -1,0 +1,37 @@
+// Package clocked declares an injectable clock, so direct time calls are
+// clockdiscipline violations.
+package clocked
+
+import "time"
+
+// Config carries the injectable clock.
+type Config struct {
+	Now func() time.Time
+}
+
+// Default clock as a reference, not a call: allowed.
+func defaults(c *Config) {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+func stamp(c *Config) int64 {
+	good := c.Now().UnixMilli()
+	bad := time.Now().UnixMilli() // want `direct time\.Now call in a package with an injectable clock`
+	return good + bad
+}
+
+func waits(c *Config) {
+	time.Sleep(time.Millisecond)     // want `direct time\.Sleep call`
+	<-time.After(time.Millisecond)   // want `direct time\.After call`
+	t := time.NewTicker(time.Second) // want `direct time\.NewTicker call`
+	t.Stop()
+	_ = time.Since(c.Now()) // want `direct time\.Since call`
+}
+
+// A documented real-time wait is suppressed with an ignore directive.
+func sanctionedWait() {
+	//lint:ignore clockdiscipline periodic wake is a real-time wait, not a timestamp read
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,3 @@
+module clockdata
+
+go 1.24

@@ -1,0 +1,12 @@
+// Package plain declares no injectable clock; direct time calls are fine.
+package plain
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixMilli()
+}
+
+func wait() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,12 @@
+package commitdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/commitdiscipline"
+)
+
+func TestCommitDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", commitdiscipline.Analyzer)
+}

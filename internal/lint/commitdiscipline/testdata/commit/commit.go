@@ -1,0 +1,69 @@
+// Package commit exercises the tmp+sync+rename commit discipline.
+package commit
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Bad: WriteFile leaves the data in the page cache; the rename can
+// commit torn bytes after a crash.
+func commitUnsynced(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "manifest.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "manifest")) // want `os\.Rename commit without a preceding Sync`
+}
+
+// Good: explicit open, write, fsync, close, rename.
+func commitSynced(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "manifest.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "manifest"))
+}
+
+// Good: durability delegated to a helper whose name says it syncs.
+func commitViaHelper(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "manifest.tmp")
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "manifest"))
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// A rename that needs no durability is suppressed with a reason.
+func shuffleScratch(dir string) error {
+	//lint:ignore commitdiscipline scratch dir is rebuilt from scratch on crash
+	return os.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b"))
+}

@@ -1,0 +1,3 @@
+module commitdata
+
+go 1.24

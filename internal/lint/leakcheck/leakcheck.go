@@ -1,0 +1,86 @@
+// Package leakcheck fails a test binary when goroutines running this
+// repo's code survive the test run. Wire it in with a one-line TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// Unlike a per-test check, a TestMain-level check is immune to goroutines
+// that legitimately outlive one test but must not outlive the suite
+// (shared stacks, cached clients). The check only inspects stacks that
+// mention this module's own packages, so runtime and testing-harness
+// goroutines never trip it.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePrefix identifies frames that belong to this repo. Only goroutines
+// with such a frame count as leaks.
+const modulePrefix = "repro/internal/"
+
+// settle is how long Main waits for straggler goroutines to exit before
+// declaring them leaked. Shutdown paths that take longer than this on an
+// idle machine are bugs in their own right.
+const settle = 5 * time.Second
+
+// Main runs the tests, then fails the binary if repo goroutines are still
+// alive once the suite has finished and had settle time to wind down.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if stacks := wait(settle); len(stacks) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) leaked after tests:\n\n%s\n",
+				len(stacks), strings.Join(stacks, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// wait polls until no repo goroutines remain or the deadline passes,
+// returning the stacks of the survivors.
+func wait(d time.Duration) []string {
+	deadline := time.Now().Add(d)
+	for {
+		stacks := leakedStacks()
+		if len(stacks) == 0 || time.Now().After(deadline) {
+			return stacks
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// leakedStacks snapshots all goroutines and keeps the ones running repo
+// code, excluding the calling goroutine.
+func leakedStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.HasPrefix(g, "goroutine ") {
+			continue
+		}
+		if !strings.Contains(g, modulePrefix) {
+			continue
+		}
+		// The first block is this goroutine (runtime.Stack's caller);
+		// leakcheck frames identify it regardless of ordering.
+		if strings.Contains(g, modulePrefix+"lint/leakcheck") {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package loader loads and type-checks Go packages for the liquid-vet
+// analyzers without golang.org/x/tools/go/packages. It shells out to
+// `go list -deps -export -json`, which compiles the requested packages and
+// hands back gc export data for every dependency, then parses the target
+// packages' sources and type-checks them against that export data via the
+// standard library's gc importer. Everything works offline: the only
+// inputs are the go toolchain and the module being analyzed.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath  string
+	Dir         string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	Standard    bool
+	DepOnly     bool
+	Incomplete  bool
+	Error       *struct{ Err string }
+}
+
+// Load lists patterns in dir, type-checks every matched (non-dependency)
+// package, and returns them. Test files are not loaded: `go list -deps`
+// does not surface test-only dependencies' export data, and the analyzers
+// deliberately skip test files anyway (see package analysis).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil && t.Incomplete {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{
+			Importer: imp,
+			// Collect the first error only; analyzers need a clean
+			// package, and the go toolchain already reported details
+			// during `go list -export`.
+			Error: func(error) {},
+		}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath: t.ImportPath,
+			Dir:     t.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return pkgs, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,199 @@
+// Package lockguard enforces "guarded by <mutex>" field annotations.
+//
+// The stack's concurrent structures document their locking discipline in
+// field comments ("guarded by mu"). Those comments were previously held
+// up only by review; this analyzer makes them load-bearing: a field whose
+// doc or line comment says "guarded by <name>" may only be accessed in
+// functions that visibly acquire that mutex.
+//
+// The check is flow-insensitive and package-local, tuned to catch the
+// common regression (a new method touching shared state without taking
+// the lock) without drowning real code in noise:
+//
+//   - An access `x.field` is satisfied when the same function (closures
+//     included) calls x.<guard>.Lock, RLock, TryLock or TryRLock on the
+//     same base expression x.
+//   - Functions whose name ends in "Locked", or whose doc comment says
+//     the caller must hold the lock ("caller holds mu", "callers hold",
+//     "mu held", "must hold"), are exempt: they encode the
+//     caller-holds-the-lock convention.
+//   - Accesses through a variable declared locally in the same function
+//     (not a parameter or receiver) are exempt: freshly constructed
+//     objects are not shared yet. Composite-literal construction
+//     (Foo{field: v}) is likewise not an access.
+//
+// The guard named in the annotation must be a field of the same struct;
+// a dangling annotation is itself reported. Suppress intentional
+// lock-free accesses (initialization before goroutines start, teardown
+// after they stop) with "//lint:ignore lockguard <reason>".
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated 'guarded by mu' may only be accessed with that mutex held",
+	Run:  run,
+}
+
+var (
+	guardedRe    = regexp.MustCompile(`(?i)guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+	callerHoldRe = regexp.MustCompile(`(?i)caller[s]? (must )?hold|must hold|[A-Za-z_]+ held|while holding`)
+)
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+
+func run(pass *analysis.Pass) error {
+	// guards maps a guarded field object to the guard field object of
+	// the same struct.
+	guards := map[types.Object]types.Object{}
+	for _, f := range pass.Files {
+		collectAnnotations(pass, f, guards)
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// collectAnnotations finds struct fields annotated "guarded by <name>"
+// and resolves the guard to a sibling field.
+func collectAnnotations(pass *analysis.Pass, f *ast.File, guards map[types.Object]types.Object) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		// Index the struct's fields by name for guard resolution.
+		byName := map[string]types.Object{}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					byName[name.Name] = obj
+				}
+			}
+		}
+		for _, field := range st.Fields.List {
+			guardName := annotationIn(field.Doc) + annotationIn(field.Comment)
+			m := guardedRe.FindStringSubmatch(guardName)
+			if m == nil {
+				continue
+			}
+			guard, ok := byName[m[1]]
+			if !ok {
+				pass.Reportf(field.Pos(),
+					"'guarded by %s' names no field of this struct; the annotation cannot be enforced", m[1])
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil && obj != guard {
+					guards[obj] = guard
+				}
+			}
+		}
+		return true
+	})
+}
+
+func annotationIn(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	return cg.Text()
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[types.Object]types.Object) {
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return
+	}
+	if fn.Doc != nil && callerHoldRe.MatchString(fn.Doc.Text()) {
+		return
+	}
+
+	// locked collects (base expression, guard object) pairs for every
+	// lock acquisition in the function, closures included.
+	type lockKey struct {
+		base  string
+		guard types.Object
+	}
+	locked := map[lockKey]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !lockMethods[sel.Sel.Name] {
+			return true
+		}
+		// Receiver must be <base>.<guardField>.
+		recv, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[recv.Sel]
+		if obj == nil {
+			return true
+		}
+		locked[lockKey{types.ExprString(recv.X), obj}] = true
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		guard, guarded := guards[obj]
+		if !guarded {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if locked[lockKey{base, guard}] {
+			return true
+		}
+		if isFunctionLocal(pass, fn, sel.X) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s is guarded by %s but accessed without holding it in %s; acquire %s.%s or document the convention (Locked suffix, 'caller holds' doc, or //lint:ignore lockguard <reason>)",
+			sel.Sel.Name, guard.Name(), fn.Name.Name, base, guard.Name())
+		return true
+	})
+}
+
+// isFunctionLocal reports whether the access base is a variable declared
+// inside fn's body — a freshly constructed, not-yet-shared object.
+// Parameters and receivers are declared before the body's opening brace,
+// so they do not qualify.
+func isFunctionLocal(pass *analysis.Pass, fn *ast.FuncDecl, base ast.Expr) bool {
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	return obj.Pos() > fn.Body.Lbrace && obj.Pos() < fn.Body.Rbrace
+}

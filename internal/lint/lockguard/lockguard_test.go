@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer)
+}

@@ -1,0 +1,3 @@
+module lockdata
+
+go 1.24

@@ -1,0 +1,68 @@
+// Package locks exercises the "guarded by" field annotations.
+package locks
+
+import "sync"
+
+// Counter is shared state with an annotated field.
+type Counter struct {
+	mu sync.RWMutex
+	// n is the running total (guarded by mu).
+	n int
+	// label never changes after construction; unguarded on purpose.
+	label string
+}
+
+// Bad: no lock in sight.
+func (c *Counter) Bump() {
+	c.n++ // want `field n is guarded by mu but accessed without holding it`
+}
+
+// Good: write lock held somewhere in the function.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// Good: read lock counts.
+func (c *Counter) Get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Good: the Locked suffix encodes the caller-holds convention.
+func (c *Counter) bumpLocked() {
+	c.n++
+}
+
+// addQuietly's caller holds mu, so the direct access is sanctioned.
+func (c *Counter) addQuietly(d int) {
+	c.n += d
+}
+
+// Good: freshly constructed locals are not shared yet.
+func NewCounter(start int) *Counter {
+	c := &Counter{label: "fresh"}
+	c.n = start
+	return c
+}
+
+// Unguarded fields stay unchecked.
+func (c *Counter) Label() string {
+	return c.label
+}
+
+// Suppressed with a reason: single-goroutine teardown.
+func (c *Counter) drain() int {
+	//lint:ignore lockguard teardown runs after every goroutine has exited
+	return c.n
+}
+
+// Dangling annotations are themselves findings.
+type broken struct {
+	// v cannot be checked (guarded by missing).
+	v int // want `'guarded by missing' names no field of this struct`
+}
+
+func (b *broken) get() int { return b.v }

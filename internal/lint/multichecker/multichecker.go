@@ -1,0 +1,112 @@
+// Package multichecker drives a set of analysis.Analyzers from a command
+// line. It supports two modes:
+//
+//   - Standalone: `liquid-vet [packages]` loads the packages (default
+//     ./...) via the loader and prints findings. Exit status 1 if any.
+//   - Vet tool: `go vet -vettool=$(which liquid-vet) ./...`. The go
+//     command drives the tool once per package with a JSON config file
+//     (the unitchecker protocol); see unitchecker.go.
+//
+// This mirrors x/tools' multichecker+unitchecker pair, reimplemented on
+// the standard library because the build environment is offline.
+package multichecker
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Main runs the analyzers according to os.Args and exits.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// go vet protocol: version probe (build cache key) and flag probe.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		fmt.Printf("%s version v1.0.0\n", progname)
+		os.Exit(0)
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No tool-specific flags are exposed to the go command.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		unitchecker(args[len(args)-1], analyzers)
+		return
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: %s [-only name,...] [packages]\n\nAnalyzers:\n", progname)
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(fs.Output(), "  %-16s %s\n", a.Name, doc)
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Println(a.Name)
+		}
+		os.Exit(0)
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "%s: no analyzer matches -only=%s\n", progname, *only)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	pkgs, err := loader.Load(".", fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	found := false
+	for _, pkg := range pkgs {
+		unit := &analysis.Unit{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+		diags, err := unit.Run(analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %s: %v\n", progname, pkg.PkgPath, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			found = true
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+package multichecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// vetConfig is the JSON the go command writes for each package when the
+// binary is used as `go vet -vettool=...`. Field names and semantics
+// follow x/tools' unitchecker protocol; fields this driver does not need
+// are omitted (unknown JSON keys are ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standalone                bool
+	SucceedOnTypecheckFailure bool
+	VetxOnly                  bool
+	VetxOutput                string
+}
+
+// unitchecker analyzes the single package described by cfgPath and exits.
+// Diagnostics go to stderr in file:line:col form; exit status 2 signals
+// findings to the go command. The facts file (VetxOutput) is always
+// written — empty, since these analyzers are fact-free — because the go
+// command treats a missing output as a tool failure.
+func unitchecker(cfgPath string, analyzers []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing vet config %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: the go command only wants facts, and this
+		// suite has none.
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := loader.NewInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: tpkg, Info: info}
+	diags, err := unit.Run(analyzers)
+	if err != nil {
+		fatalf("%s: %v", cfg.ImportPath, err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "liquid-vet: "+format+"\n", args...)
+	os.Exit(1)
+}

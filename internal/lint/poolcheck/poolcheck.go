@@ -1,0 +1,276 @@
+// Package poolcheck enforces the Get/Put discipline on sync.Pool values.
+//
+// The hot paths (wire frame encoding, log batch encoding, compression
+// codecs) recycle buffers through sync.Pools; a Get without a matching
+// Put is a silent allocation-rate regression, and a pooled value that
+// escapes into longer-lived storage gets recycled under its new owner —
+// a use-after-reuse corruption bug.
+//
+// Package-local rules, per pool variable (any package-level var or
+// struct field of type sync.Pool):
+//
+//   - A function that calls pool.Get and does not return the value must
+//     also Put it back on the same pool in the same function (directly,
+//     in a deferred closure, or by calling a same-package release helper
+//     that Puts on that pool).
+//   - A function that returns the gotten value is an acquire helper;
+//     that is allowed only when the package also defines a release
+//     helper for the same pool (GetWriter/PutWriter style), so callers
+//     have a sanctioned way to return the value.
+//   - The gotten value must not be stored into a struct field: pooled
+//     objects must not outlive the function that borrowed them.
+//
+// Suppress intentional exceptions with "//lint:ignore poolcheck <reason>".
+package poolcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc:  "sync.Pool.Get must have a paired Put, and pooled values must not escape",
+	Run:  run,
+}
+
+// funcFacts is what one pass over a function body records.
+type funcFacts struct {
+	decl *ast.FuncDecl
+	// gets maps each Get call to the pool object and the variable the
+	// result was bound to (nil when unassigned or assigned through a
+	// non-ident).
+	gets []getSite
+	// puts is the set of pool objects Put directly in this function
+	// (closures included).
+	puts map[types.Object]bool
+	// calls is the set of same-package functions invoked.
+	calls map[types.Object]bool
+	// returned is the set of objects appearing in return statements;
+	// returnedCalls the call expressions returned directly.
+	returned      map[types.Object]bool
+	returnedCalls map[*ast.CallExpr]bool
+	// fieldStores maps variable objects to the position of an
+	// assignment that stores them into a struct field.
+	fieldStores map[types.Object]ast.Node
+}
+
+type getSite struct {
+	call   *ast.CallExpr
+	pool   types.Object
+	result types.Object
+}
+
+func run(pass *analysis.Pass) error {
+	var fns []*funcFacts
+	// releasers[pool] = true when some function in the package Puts on
+	// the pool; acquire helpers are legal only in that case.
+	releasers := map[types.Object]map[types.Object]bool{} // funcObj -> pools put
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ff := collect(pass, fn)
+			fns = append(fns, ff)
+			if obj := pass.Info.Defs[fn.Name]; obj != nil && len(ff.puts) > 0 {
+				pools := map[types.Object]bool{}
+				for p := range ff.puts {
+					pools[p] = true
+				}
+				releasers[obj] = pools
+			}
+		}
+	}
+	anyReleaser := map[types.Object]bool{}
+	for _, pools := range releasers {
+		for p := range pools {
+			anyReleaser[p] = true
+		}
+	}
+
+	for _, ff := range fns {
+		for _, g := range ff.gets {
+			escaped := ff.returnedCalls[g.call] || (g.result != nil && ff.returned[g.result])
+			if escaped {
+				// Acquire helper: needs a package-level release
+				// helper for this pool.
+				if !anyReleaser[g.pool] {
+					pass.Reportf(g.call.Pos(),
+						"pooled value from %s escapes via return but the package has no release helper that Puts it back", poolName(g.pool))
+				}
+			} else if !ff.puts[g.pool] && !callsReleaser(ff, releasers, g.pool) {
+				pass.Reportf(g.call.Pos(),
+					"sync.Pool.Get on %s without a paired Put in this function; Put on every return path (defer the release) or the pool drains into the allocator", poolName(g.pool))
+			}
+			if g.result != nil {
+				if store, ok := ff.fieldStores[g.result]; ok {
+					pass.Reportf(store.Pos(),
+						"pooled value %s stored into a struct field; pooled objects must not outlive the function that borrowed them", g.result.Name())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func callsReleaser(ff *funcFacts, releasers map[types.Object]map[types.Object]bool, pool types.Object) bool {
+	for callee := range ff.calls {
+		if releasers[callee][pool] {
+			return true
+		}
+	}
+	return false
+}
+
+func poolName(o types.Object) string { return o.Name() }
+
+func collect(pass *analysis.Pass, fn *ast.FuncDecl) *funcFacts {
+	ff := &funcFacts{
+		decl:          fn,
+		puts:          map[types.Object]bool{},
+		calls:         map[types.Object]bool{},
+		returned:      map[types.Object]bool{},
+		returnedCalls: map[*ast.CallExpr]bool{},
+		fieldStores:   map[types.Object]ast.Node{},
+	}
+	// Assignments are visited before the Get call they wrap, so result
+	// bindings are recorded here and merged after the walk.
+	bindings := map[*ast.CallExpr]types.Object{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pool, method, ok := poolCall(pass, n); ok {
+				switch method {
+				case "Get":
+					ff.gets = append(ff.gets, getSite{call: n, pool: pool})
+				case "Put":
+					ff.puts[pool] = true
+				}
+			} else if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					ff.calls[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			// v := pool.Get().(T) / v := pool.Get()
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if call, ok := getCall(pass, rhs); ok {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							if obj := firstObj(pass, id); obj != nil {
+								bindings[call] = obj
+							}
+						}
+					}
+				}
+			}
+			// x.field = v
+			for i, lhs := range n.Lhs {
+				if _, ok := lhs.(*ast.SelectorExpr); !ok {
+					continue
+				}
+				if i < len(n.Rhs) {
+					if id, ok := unparen(n.Rhs[i]).(*ast.Ident); ok {
+						if obj := pass.Info.Uses[id]; obj != nil {
+							if _, seen := ff.fieldStores[obj]; !seen {
+								ff.fieldStores[obj] = n
+							}
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			// Only a value returned directly (possibly through & or
+			// parens) escapes; `return len(*b)` does not hand the
+			// pooled object to the caller.
+			for _, res := range n.Results {
+				if call, ok := getCall(pass, res); ok {
+					ff.returnedCalls[call] = true
+				}
+				e := unparen(res)
+				if u, ok := e.(*ast.UnaryExpr); ok {
+					e = unparen(u.X)
+				}
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						ff.returned[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for i := range ff.gets {
+		if obj, ok := bindings[ff.gets[i].call]; ok {
+			ff.gets[i].result = obj
+		}
+	}
+	return ff
+}
+
+// getCall unwraps expr (through parens and type assertions) to a
+// pool.Get call.
+func getCall(pass *analysis.Pass, expr ast.Expr) (*ast.CallExpr, bool) {
+	switch e := unparen(expr).(type) {
+	case *ast.TypeAssertExpr:
+		return getCall(pass, e.X)
+	case *ast.CallExpr:
+		if _, method, ok := poolCall(pass, e); ok && method == "Get" {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// poolCall reports whether call is <pool>.Get() or <pool>.Put(x) on a
+// value of type sync.Pool, returning the pool's variable object.
+func poolCall(pass *analysis.Pass, call *ast.CallExpr) (types.Object, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+		return nil, "", false
+	}
+	var obj types.Object
+	switch x := unparen(sel.X).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[x.Sel]
+	}
+	if obj == nil || !isPoolType(obj.Type()) {
+		return nil, "", false
+	}
+	return obj, sel.Sel.Name, true
+}
+
+func isPoolType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+func firstObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

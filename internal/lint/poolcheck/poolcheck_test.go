@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/poolcheck"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", poolcheck.Analyzer)
+}

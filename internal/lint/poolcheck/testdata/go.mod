@@ -1,0 +1,3 @@
+module pooldata
+
+go 1.24

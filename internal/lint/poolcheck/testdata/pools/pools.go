@@ -1,0 +1,61 @@
+// Package pools exercises the sync.Pool Get/Put pairing rules.
+package pools
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// Bad: the buffer never goes back.
+func leak() int {
+	b := bufs.Get().(*[]byte) // want `sync\.Pool\.Get on bufs without a paired Put`
+	return len(*b)
+}
+
+// Good: deferred Put on every return path.
+func roundTrip() int {
+	b := bufs.Get().(*[]byte)
+	defer bufs.Put(b)
+	return len(*b)
+}
+
+// Good: release delegated to a same-package helper.
+func viaHelper() int {
+	b := bufs.Get().(*[]byte)
+	defer release(b)
+	return len(*b)
+}
+
+func release(b *[]byte) {
+	*b = (*b)[:0]
+	bufs.Put(b)
+}
+
+// Good: acquire helper — escape via return is sanctioned because the
+// package defines a release helper (release above) for the same pool.
+func acquire() *[]byte {
+	return bufs.Get().(*[]byte)
+}
+
+// orphans has Gets escaping via return but no Put anywhere in the
+// package: every borrow leaks.
+var orphans = sync.Pool{New: func() any { return new(int) }}
+
+func acquireOrphan() *int {
+	return orphans.Get().(*int) // want `escapes via return but the package has no release helper`
+}
+
+// Bad: a pooled value parked in a struct outlives the borrow.
+type holder struct{ buf *[]byte }
+
+func park(h *holder) {
+	b := bufs.Get().(*[]byte)
+	h.buf = b // want `pooled value b stored into a struct field`
+	bufs.Put(b)
+}
+
+// Suppressed: a deliberate exception carries its reason.
+func sanctionedLeak() int {
+	//lint:ignore poolcheck one-shot path, measured: pool pressure is irrelevant here
+	b := bufs.Get().(*[]byte)
+	return len(*b)
+}

@@ -1,0 +1,36 @@
+// Package broker exercises the //wireclass:dispatch exhaustiveness check
+// against the good wire package.
+package broker
+
+import wire "wireclassdata/wireok"
+
+// Bad: the marked dispatch switch serves Ping but not Bounce.
+func dispatchBad(body wire.Message) string {
+	//wireclass:dispatch
+	switch body.(type) { // want `dispatch type switch has no case for wire\.BounceRequest`
+	case *wire.PingRequest:
+		return "ping"
+	}
+	return ""
+}
+
+// Good: every request type has a case.
+func dispatchGood(body wire.Message) string {
+	//wireclass:dispatch
+	switch body.(type) {
+	case *wire.PingRequest:
+		return "ping"
+	case *wire.BounceRequest:
+		return "bounce"
+	}
+	return ""
+}
+
+// Unmarked switches are not dispatch switches and stay unchecked.
+func classify(body wire.Message) string {
+	switch body.(type) {
+	case *wire.PingRequest:
+		return "ping"
+	}
+	return "other"
+}

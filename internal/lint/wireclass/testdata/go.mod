@@ -1,0 +1,3 @@
+module wireclassdata
+
+go 1.24

@@ -1,0 +1,69 @@
+// Package wire (bad variant): constants exist that the classification
+// tables and switches do not cover.
+package wire
+
+// ErrorCode is the protocol error code.
+type ErrorCode int16
+
+// Codes.
+const (
+	ErrNone ErrorCode = 0
+	ErrBoom ErrorCode = 1
+	ErrLost ErrorCode = 2 // want `ErrLost has no registered message in errorNames` `ErrLost is not classified in the retriable table`
+)
+
+var errorNames = map[ErrorCode]string{
+	ErrNone: "none",
+	ErrBoom: "boom",
+}
+
+var retriable = map[ErrorCode]bool{
+	ErrNone: false,
+	ErrBoom: true,
+}
+
+// Retriable reports retry semantics from the table.
+func (e ErrorCode) Retriable() bool { return retriable[e] }
+
+// String names the code.
+func (e ErrorCode) String() string { return errorNames[e] }
+
+// APIKey identifies a request type.
+type APIKey int16
+
+// APIs.
+const (
+	APIPing   APIKey = 0
+	APIBounce APIKey = 1 // want `APIBounce has no case in APIKey\.String` `APIBounce has no case in NewRequestBody`
+)
+
+// String is the per-API metrics label.
+func (k APIKey) String() string {
+	switch k {
+	case APIPing:
+		return "ping"
+	}
+	return "api-?"
+}
+
+// Message is a wire message.
+type Message interface{ Encode() }
+
+// PingRequest is dispatched.
+type PingRequest struct{}
+
+func (*PingRequest) Encode() {}
+
+// BounceRequest is decodable but unclassified.
+type BounceRequest struct{}
+
+func (*BounceRequest) Encode() {}
+
+// NewRequestBody allocates the body for an API.
+func NewRequestBody(api APIKey) (Message, bool) {
+	switch api {
+	case APIPing:
+		return &PingRequest{}, true
+	}
+	return nil, false
+}

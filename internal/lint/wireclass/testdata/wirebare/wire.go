@@ -1,0 +1,11 @@
+// Package wire (bare variant): the classification tables are missing
+// entirely, which is reported once at the type.
+package wire
+
+// ErrorCode is the protocol error code.
+type ErrorCode int16 // want `must classify every ErrorCode in a package-level .retriable. map literal` `must register every ErrorCode message in a package-level .errorNames. map literal`
+
+// Codes.
+const (
+	ErrNone ErrorCode = 0
+)

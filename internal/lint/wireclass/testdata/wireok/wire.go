@@ -1,0 +1,74 @@
+// Package wire (good variant): everything classified, no findings.
+package wire
+
+// ErrorCode is the protocol error code.
+type ErrorCode int16
+
+// Codes.
+const (
+	ErrNone ErrorCode = 0
+	ErrBoom ErrorCode = 1
+)
+
+var errorNames = map[ErrorCode]string{
+	ErrNone: "none",
+	ErrBoom: "boom",
+}
+
+var retriable = map[ErrorCode]bool{
+	ErrNone: false,
+	ErrBoom: true,
+}
+
+// Retriable reports retry semantics from the table.
+func (e ErrorCode) Retriable() bool { return retriable[e] }
+
+// String names the code.
+func (e ErrorCode) String() string { return errorNames[e] }
+
+// APIKey identifies a request type.
+type APIKey int16
+
+// APIs.
+const (
+	APIPing   APIKey = 0
+	APIBounce APIKey = 1
+)
+
+// String is the per-API metrics label.
+func (k APIKey) String() string {
+	switch k {
+	case APIPing:
+		return "ping"
+	case APIBounce:
+		return "bounce"
+	}
+	return "api-?"
+}
+
+// Message is a wire message.
+type Message interface{ Encode() }
+
+// PingRequest pings.
+type PingRequest struct{}
+
+func (*PingRequest) Encode() {}
+
+// BounceRequest bounces.
+type BounceRequest struct{}
+
+func (*BounceRequest) Encode() {}
+
+// RequestHeader is not a message type and is exempt from dispatch.
+type RequestHeader struct{}
+
+// NewRequestBody allocates the body for an API.
+func NewRequestBody(api APIKey) (Message, bool) {
+	switch api {
+	case APIPing:
+		return &PingRequest{}, true
+	case APIBounce:
+		return &BounceRequest{}, true
+	}
+	return nil, false
+}

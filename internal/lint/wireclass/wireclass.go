@@ -1,0 +1,315 @@
+// Package wireclass enforces exhaustive classification of the wire
+// protocol's error codes and API keys.
+//
+// PR 8 shipped new error codes whose retriability was decided implicitly
+// by a switch's default arm — "new code, unclassified" is exactly how a
+// terminal error ends up silently retried (or a retriable one surfaced
+// to callers). This analyzer makes the classification tables load-
+// bearing; adding a constant without deciding its semantics everywhere
+// is now a compile-gate failure.
+//
+// In the package named "wire" (the one defining type ErrorCode):
+//
+//   - Every ErrorCode constant must have a registered message: a key in
+//     the package-level `errorNames` map literal.
+//   - Every ErrorCode constant must be explicitly classified in the
+//     package-level `retriable` map literal — true or false, stated,
+//     never defaulted.
+//   - Every APIKey constant must have a case in APIKey.String (the
+//     per-API metrics label and slowlog name) and a case in
+//     NewRequestBody (the decode dispatch).
+//
+// In any package that marks a type switch with a "//wireclass:dispatch"
+// comment (the broker's request dispatch): the switch must have a case
+// for every exported request type of the imported wire package — a type
+// named *Request implementing wire.Message. A new API cannot be decoded
+// without also being served.
+package wireclass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wireclass",
+	Doc:  "wire error codes and API keys must be exhaustively classified (messages, retriability, labels, dispatch)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "wire" && pass.Pkg.Scope().Lookup("ErrorCode") != nil {
+		checkWirePackage(pass)
+	}
+	checkDispatchSwitches(pass)
+	return nil
+}
+
+// ------------------------------------------------------------- wire side
+
+func checkWirePackage(pass *analysis.Pass) {
+	scope := pass.Pkg.Scope()
+	errType, _ := scope.Lookup("ErrorCode").(*types.TypeName)
+	apiType, _ := scope.Lookup("APIKey").(*types.TypeName)
+
+	errConsts := constsOf(scope, errType)
+	apiConsts := constsOf(scope, apiType)
+
+	names := mapLiteralKeys(pass, "errorNames")
+	retri := mapLiteralKeys(pass, "retriable")
+	stringCases := switchCaseObjects(pass, methodDecl(pass, "APIKey", "String"))
+	decodeCases := switchCaseObjects(pass, funcDecl(pass, "NewRequestBody"))
+
+	for _, c := range errConsts {
+		if names != nil && !names[c] {
+			pass.Reportf(c.Pos(), "wire.ErrorCode %s has no registered message in errorNames", c.Name())
+		}
+		if retri == nil {
+			continue // reported once below
+		}
+		if !retri[c] {
+			pass.Reportf(c.Pos(), "wire.ErrorCode %s is not classified in the retriable table; every code must state its retry semantics explicitly", c.Name())
+		}
+	}
+	if retri == nil && errType != nil {
+		pass.Reportf(errType.Pos(), "package wire must classify every ErrorCode in a package-level `retriable` map literal")
+	}
+	if names == nil && errType != nil {
+		pass.Reportf(errType.Pos(), "package wire must register every ErrorCode message in a package-level `errorNames` map literal")
+	}
+	for _, c := range apiConsts {
+		if stringCases != nil && !stringCases[c] {
+			pass.Reportf(c.Pos(), "wire.APIKey %s has no case in APIKey.String; every API needs a metrics label", c.Name())
+		}
+		if decodeCases != nil && !decodeCases[c] {
+			pass.Reportf(c.Pos(), "wire.APIKey %s has no case in NewRequestBody; the broker cannot decode this API's requests", c.Name())
+		}
+	}
+}
+
+// constsOf returns the package-level constants of the given named type,
+// in declaration order.
+func constsOf(scope *types.Scope, tn *types.TypeName) []*types.Const {
+	if tn == nil {
+		return nil
+	}
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && c.Type() == tn.Type() {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// mapLiteralKeys returns the constant objects used as keys in the
+// package-level `var name = map[...]...{...}` literal, or nil if no such
+// literal exists.
+func mapLiteralKeys(pass *analysis.Pass, name string) map[types.Object]bool {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					keys := map[types.Object]bool{}
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							if obj := pass.Info.Uses[id]; obj != nil {
+								keys[obj] = true
+							}
+						}
+					}
+					return keys
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// switchCaseObjects returns every constant object appearing as a case
+// expression in any switch inside fn, or nil if fn is nil.
+func switchCaseObjects(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	if fn == nil || fn.Body == nil {
+		return nil
+	}
+	out := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func methodDecl(pass *analysis.Pass, recvType, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != name || fn.Recv == nil || len(fn.Recv.List) != 1 {
+				continue
+			}
+			t := pass.Info.Types[fn.Recv.List[0].Type].Type
+			if t == nil {
+				continue
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Name() == recvType {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+func funcDecl(pass *analysis.Pass, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Name.Name == name {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// --------------------------------------------------------- dispatch side
+
+// checkDispatchSwitches verifies every type switch marked with a
+// "//wireclass:dispatch" comment covers all request types of the
+// imported wire package.
+func checkDispatchSwitches(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		directives := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//wireclass:dispatch") {
+					directives[pass.Fset.Position(c.End()).Line] = true
+				}
+			}
+		}
+		if len(directives) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			line := pass.Fset.Position(ts.Pos()).Line
+			if !directives[line-1] && !directives[line] {
+				return true
+			}
+			checkDispatch(pass, ts)
+			return true
+		})
+	}
+}
+
+func checkDispatch(pass *analysis.Pass, ts *ast.TypeSwitchStmt) {
+	wirePkg := importedWire(pass)
+	if wirePkg == nil {
+		pass.Reportf(ts.Pos(), "//wireclass:dispatch switch in a package that does not import the wire package")
+		return
+	}
+	required := requestTypes(wirePkg)
+
+	covered := map[types.Object]bool{}
+	ast.Inspect(ts.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			t := pass.Info.Types[e].Type
+			if t == nil {
+				continue
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				covered[named.Obj()] = true
+			}
+		}
+		return true
+	})
+	for _, req := range required {
+		if !covered[req] {
+			pass.Reportf(ts.Pos(), "dispatch type switch has no case for %s.%s; the API decodes but is never served", wirePkg.Name(), req.Name())
+		}
+	}
+}
+
+// importedWire finds the imported package that defines the wire protocol
+// (package name "wire" with an ErrorCode type).
+func importedWire(pass *analysis.Pass) *types.Package {
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Name() == "wire" && imp.Scope().Lookup("ErrorCode") != nil {
+			return imp
+		}
+	}
+	return nil
+}
+
+// requestTypes returns wire's exported *Request message types in a
+// stable order.
+func requestTypes(wirePkg *types.Package) []types.Object {
+	scope := wirePkg.Scope()
+	msg, _ := scope.Lookup("Message").(*types.TypeName)
+	var msgIface *types.Interface
+	if msg != nil {
+		msgIface, _ = msg.Type().Underlying().(*types.Interface)
+	}
+	var out []types.Object
+	for _, name := range scope.Names() {
+		if !strings.HasSuffix(name, "Request") || name == "RequestHeader" {
+			continue
+		}
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() {
+			continue
+		}
+		if _, isStruct := tn.Type().Underlying().(*types.Struct); !isStruct {
+			continue
+		}
+		if msgIface != nil && !types.Implements(types.NewPointer(tn.Type()), msgIface) {
+			continue
+		}
+		out = append(out, tn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

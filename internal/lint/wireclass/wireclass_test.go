@@ -1,0 +1,12 @@
+package wireclass_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/wireclass"
+)
+
+func TestWireClass(t *testing.T) {
+	analysistest.Run(t, "testdata", wireclass.Analyzer)
+}

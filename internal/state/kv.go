@@ -429,13 +429,32 @@ func writeRun(path string, entries []entry) (*run, error) {
 	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(body, walTable))
 	buf = append(buf, body...)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	if err := writeFileSync(tmp, buf); err != nil {
 		return nil, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return nil, err
 	}
 	return &run{path: path, entries: entries}, nil
+}
+
+// writeFileSync writes data to path and fsyncs it before returning. Run
+// files are renamed into place and then trusted as durable (the WAL records
+// that cover them are dropped), so a torn run after a crash would lose data.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // openRun loads a run file, validating its checksum.

@@ -926,6 +926,15 @@ func (l *Log) ReplaceSegments(oldBases []int64, newSegments [][]byte) error {
 		}
 		newSegs = append(newSegs, s)
 	}
+	// Fsync the replacement files before destroying the old segments: the
+	// renames below commit them under canonical names, and a crash must not
+	// be able to commit torn bytes after the originals are gone.
+	for _, s := range newSegs {
+		if err := s.file.Sync(); err != nil {
+			cleanup()
+			return err
+		}
+	}
 	// Remove the old segments and splice in the new ones.
 	var kept []*segment
 	for _, s := range l.segments {

@@ -124,24 +124,52 @@ func (e ErrorCode) Err() error {
 	return &protocolError{code: e}
 }
 
-// Retriable reports whether a request failing with this code may succeed on
-// retry after refreshing metadata (leadership moved, coordinator moved,
-// transient unavailability). Clients use it to drive their retry loops.
-func (e ErrorCode) Retriable() bool {
-	switch e {
-	case ErrLeaderNotAvailable, ErrNotLeaderForPartition, ErrRequestTimedOut,
-		ErrCoordinatorNotAvailable, ErrNotCoordinator, ErrRebalanceInProgress,
-		ErrBrokerNotAvailable, ErrNotEnoughReplicas, ErrStaleLeaderEpoch,
-		ErrTableNotServed, ErrTableStale,
-		// Topic metadata propagates to brokers asynchronously after
-		// creation, so a brief unknown-topic window is normal.
-		ErrUnknownTopicOrPartition:
-		return true
-	}
+// retriable classifies every protocol code: true means a request failing
+// with this code may succeed on retry after refreshing metadata (leadership
+// moved, coordinator moved, transient unavailability). Exhaustive by
+// construction — liquid-vet's wireclass analyzer rejects any code missing
+// from this table, so adding a code forces an explicit retry decision.
+var retriable = map[ErrorCode]bool{
+	ErrNone:               false,
+	ErrUnknown:            false,
+	ErrCorruptMessage:     false,
+	ErrOffsetOutOfRange:   false,
+	ErrIllegalGeneration:  false,
+	ErrUnknownMemberID:    false,
+	ErrInvalidTopic:       false,
+	ErrTopicAlreadyExists: false,
+	ErrInvalidRequest:     false,
+	ErrUnsupportedAPI:     false,
+	ErrMessageTooLarge:    false,
+
+	ErrLeaderNotAvailable:      true,
+	ErrNotLeaderForPartition:   true,
+	ErrRequestTimedOut:         true,
+	ErrCoordinatorNotAvailable: true,
+	ErrNotCoordinator:          true,
+	ErrRebalanceInProgress:     true,
+	ErrBrokerNotAvailable:      true,
+	ErrNotEnoughReplicas:       true,
+	ErrStaleLeaderEpoch:        true,
+	ErrTableNotServed:          true,
+	ErrTableStale:              true,
+	// Topic metadata propagates to brokers asynchronously after creation,
+	// so a brief unknown-topic window is normal.
+	ErrUnknownTopicOrPartition: true,
+
 	// The idempotent-produce codes are deliberately NOT retriable:
 	// ErrDuplicateSequence is success (the producer treats it as an ack for
 	// the original offset), while ErrOutOfOrderSequence and ErrFencedEpoch
 	// are terminal — re-sending cannot fix a lost predecessor batch or a
 	// fenced zombie, it can only create gaps or duplicates.
-	return false
+	ErrDuplicateSequence:  false,
+	ErrOutOfOrderSequence: false,
+	ErrFencedEpoch:        false,
+}
+
+// Retriable reports whether a request failing with this code may succeed on
+// retry after refreshing metadata. Clients use it to drive their retry
+// loops. Codes absent from the table (foreign or future) are not retried.
+func (e ErrorCode) Retriable() bool {
+	return retriable[e]
 }
